@@ -1,0 +1,187 @@
+//! Bench: ablations over the design choices DESIGN.md calls out.
+//!
+//! Each group measures the *outcome-relevant* code path under a parameter
+//! sweep so regressions in either speed or convergence behaviour surface:
+//!
+//! * WMA parameters (α, φ, β, history λ) — scaler convergence loops;
+//! * division step size and the oscillation safeguard;
+//! * the 8-bit quantized weight table vs the f64 reference (§VI);
+//! * the roofline overlap factor (model sensitivity).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::division::{DivisionController, DivisionParams};
+use greengpu::quantized::QuantizedWma;
+use greengpu::wma::{WmaParams, WmaScaler};
+use greengpu_bench::BENCH_SEED;
+use greengpu_hw::calib::geforce_8800_gtx;
+use greengpu_hw::WorkUnits;
+use greengpu_sim::Pcg32;
+
+fn bench_wma_params(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/wma_observe");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // 1000 observe intervals of a noisy fluctuating trace per iteration.
+    let mut run = |label: String, params: WmaParams| {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || (WmaScaler::new(6, 6, params), Pcg32::seeded(BENCH_SEED)),
+                |(mut s, mut rng)| {
+                    let mut last = (0, 0);
+                    for k in 0..1000 {
+                        let phase = if (k / 20) % 2 == 0 { 0.8 } else { 0.2 };
+                        let u = (phase + rng.uniform(-0.05, 0.05)).clamp(0.0, 1.0);
+                        last = s.observe(u, 1.0 - u);
+                    }
+                    last
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    };
+    run("defaults".to_string(), WmaParams::default());
+    for alpha_core in [0.05, 0.30] {
+        run(format!("alpha_core_{alpha_core}"), WmaParams { alpha_core, ..WmaParams::default() });
+    }
+    for phi in [0.1, 0.7] {
+        run(format!("phi_{phi}"), WmaParams { phi, ..WmaParams::default() });
+    }
+    for beta in [0.1, 0.5] {
+        run(format!("beta_{beta}"), WmaParams { beta, ..WmaParams::default() });
+    }
+    for history in [0.6, 1.0] {
+        run(format!("history_{history}"), WmaParams { history, ..WmaParams::default() });
+    }
+    g.finish();
+}
+
+fn bench_quantized_vs_float(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/quantized_table");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("f64_reference", |b| {
+        b.iter_batched(
+            || (WmaScaler::new(6, 6, WmaParams::default()), Pcg32::seeded(BENCH_SEED)),
+            |(mut s, mut rng)| {
+                for _ in 0..1000 {
+                    s.observe(rng.next_f64(), rng.next_f64());
+                }
+                s.argmax()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("u8_fixed_point", |b| {
+        b.iter_batched(
+            || (QuantizedWma::new(6, 6, WmaParams::default()), Pcg32::seeded(BENCH_SEED)),
+            |(mut s, mut rng)| {
+                for _ in 0..1000 {
+                    s.observe(rng.next_f64(), rng.next_f64());
+                }
+                s.argmax()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_division_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/division_step");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for step in [0.01, 0.05, 0.10, 0.20] {
+        g.bench_function(format!("step_{step}"), |b| {
+            b.iter_batched(
+                || {
+                    DivisionController::new(
+                        0.50,
+                        DivisionParams {
+                            step,
+                            ..DivisionParams::default()
+                        },
+                    )
+                },
+                |mut ctl| {
+                    // Converge on an asymmetric testbed and count moves.
+                    for _ in 0..200 {
+                        let r = ctl.share();
+                        ctl.update(r * 4.5, (1.0 - r) * 1.0);
+                    }
+                    (ctl.share(), ctl.moves(), ctl.holds())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_safeguard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/oscillation_safeguard");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (label, safeguard) in [("on", true), ("off", false)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    DivisionController::new(
+                        0.10,
+                        DivisionParams {
+                            safeguard,
+                            ..DivisionParams::default()
+                        },
+                    )
+                },
+                |mut ctl| {
+                    // Off-grid optimum at 12.5% — the paper's oscillation
+                    // example.
+                    for _ in 0..200 {
+                        let r = ctl.share();
+                        ctl.update(r * 7.0, (1.0 - r) * 1.0);
+                    }
+                    (ctl.moves(), ctl.holds())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/roofline_overlap");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let work = WorkUnits::new(1e12, 5e11);
+    for overlap in [0.0, 0.5, 0.85, 1.0] {
+        let mut spec = geforce_8800_gtx();
+        spec.overlap = overlap;
+        g.bench_function(format!("overlap_{overlap}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for lvl in 0..6 {
+                    let t = greengpu_hw::gpu_timing(
+                        std::hint::black_box(&work),
+                        spec.ops_per_sec(spec.core_levels_mhz[lvl]),
+                        spec.peak_bytes_per_sec(),
+                        spec.overlap,
+                    );
+                    acc += t.total_s;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wma_params,
+    bench_quantized_vs_float,
+    bench_division_step,
+    bench_safeguard,
+    bench_overlap_sensitivity
+);
+criterion_main!(benches);

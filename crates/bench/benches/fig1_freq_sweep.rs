@@ -1,0 +1,49 @@
+//! Bench: Fig. 1 — per-domain frequency sweeps on nbody and streamcluster.
+//!
+//! Times (a) single pinned-clock runs at the extreme levels and (b) the
+//! full 2×6-point sweep experiment that regenerates the figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::baselines::run_pinned;
+use greengpu_bench::{BENCH_SEED, EXPERIMENT_SAMPLES};
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::nbody::NBody;
+use greengpu_workloads::streamcluster::StreamCluster;
+
+fn bench_pinned_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/pinned_runs");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    for (label, core, mem) in [("peak", 5usize, 5usize), ("mem_floor", 5, 0), ("core_floor", 0, 5)] {
+        g.bench_function(format!("nbody/{label}"), |b| {
+            b.iter_batched(
+                || NBody::paper(BENCH_SEED),
+                |mut wl| run_pinned(&mut wl, core, mem, RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("streamcluster/{label}"), |b| {
+            b.iter_batched(
+                || StreamCluster::paper(BENCH_SEED),
+                |mut wl| run_pinned(&mut wl, core, mem, RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/full_experiment");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| greengpu_repro::fig1::run(std::hint::black_box(BENCH_SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pinned_runs, bench_full_figure);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench: Fig. 2 — the static workload-division sweep for kmeans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::baselines::{run_static_division, static_search};
+use greengpu_bench::{BENCH_SEED, EXPERIMENT_SAMPLES};
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::kmeans::KMeans;
+
+fn bench_single_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/static_points");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    for share in [0.0, 0.10, 0.50, 0.90] {
+        g.bench_function(format!("kmeans_share_{:.0}pct", share * 100.0), |b| {
+            b.iter_batched(
+                || KMeans::paper(BENCH_SEED),
+                |mut wl| run_static_division(&mut wl, share, RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/full_sweep");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("ten_point_search", |b| {
+        b.iter(|| static_search(|| Box::new(KMeans::paper(BENCH_SEED)), 0.10, 0.90))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_points, bench_full_sweep);
+criterion_main!(benches);

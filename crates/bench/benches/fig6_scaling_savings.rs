@@ -1,0 +1,58 @@
+//! Bench: Fig. 6 — the frequency-scaling tier across all nine workloads
+//! (also covers the Fig. 5 trace generation, which is the streamcluster
+//! member of this sweep).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_bench::{BENCH_SEED, EXPERIMENT_SAMPLES};
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::registry;
+
+fn bench_per_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/scaling_only_runs");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    for name in registry::TABLE2_NAMES {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || registry::by_name(name, BENCH_SEED).expect("registered"),
+                |mut wl| run_with_config(wl.as_mut(), GreenGpuConfig::scaling_only(), RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/best_performance_runs");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    for name in ["streamcluster", "kmeans", "bfs"] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || registry::by_name(name, BENCH_SEED).expect("registered"),
+                |mut wl| run_best_performance_with(wl.as_mut(), RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/full_experiment");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("all_nine_workloads", |b| {
+        b.iter(|| greengpu_repro::fig6::compute(std::hint::black_box(BENCH_SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_workload, bench_baseline, bench_full_figure);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench: Fig. 7 — workload-division convergence traces (kmeans, hotspot).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::baselines::run_with_config;
+use greengpu::GreenGpuConfig;
+use greengpu_bench::{BENCH_SEED, EXPERIMENT_SAMPLES};
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+
+fn bench_division_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/division_only_runs");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("kmeans", |b| {
+        b.iter_batched(
+            || KMeans::paper(BENCH_SEED),
+            |mut wl| run_with_config(&mut wl, GreenGpuConfig::division_only(), RunConfig::sweep()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hotspot", |b| {
+        b.iter_batched(
+            || Hotspot::paper(BENCH_SEED),
+            |mut wl| run_with_config(&mut wl, GreenGpuConfig::division_only(), RunConfig::sweep()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/full_experiment");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| greengpu_repro::fig7::run(std::hint::black_box(BENCH_SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_division_runs, bench_full_figure);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench: Fig. 8 — the holistic two-tier controller vs single-tier
+//! baselines, plus the §VII-B static-search oracle (the remaining
+//! evaluation artifacts).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use greengpu::baselines::{run_with_config, static_search};
+use greengpu::GreenGpuConfig;
+use greengpu_bench::{BENCH_SEED, EXPERIMENT_SAMPLES};
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/policies_on_hotspot");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    for (label, cfg) in [
+        ("greengpu", GreenGpuConfig::holistic()),
+        ("division_only", GreenGpuConfig::division_only()),
+        ("scaling_only", GreenGpuConfig::scaling_only()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || Hotspot::paper(BENCH_SEED),
+                |mut wl| run_with_config(&mut wl, cfg, RunConfig::sweep()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/full_experiment");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| greengpu_repro::fig8::run(std::hint::black_box(BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_static_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/static_search_oracle");
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(EXPERIMENT_SAMPLES);
+    g.bench_function("kmeans_19_points", |b| {
+        b.iter(|| static_search(|| Box::new(KMeans::paper(BENCH_SEED)), 0.05, 0.90))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_full_figure, bench_static_search);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Shared helpers for the GreenGPU benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables/figures under
+//! Criterion timing (how long the simulated experiment takes to run) and,
+//! for `kernels`, measures the *functional* Rust re-implementations of the
+//! Rodinia workloads themselves.
+
+/// A deterministic seed family for bench runs (distinct from the repro
+/// binary's default so cached results never alias).
+pub const BENCH_SEED: u64 = 0x67_67_70_75; // "ggpu"
+
+/// Criterion sample size for whole-experiment benches (each iteration runs
+/// a full simulated experiment, so keep the count modest).
+pub const EXPERIMENT_SAMPLES: usize = 10;

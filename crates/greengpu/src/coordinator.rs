@@ -1,0 +1,365 @@
+//! The two-tier GreenGPU controller (paper §IV, Fig. 3).
+//!
+//! Wires the WMA GPU scaler, the ondemand CPU governor, and the division
+//! controller into one [`Controller`] the runtime can drive. The frequency
+//! scaling tier runs on a short fixed period (3 s in the paper's trace);
+//! the division tier runs once per iteration, which the workloads size to
+//! be ≳ 40× longer so the DVFS loop settles inside each division interval
+//! and the tiers do not destructively interact.
+
+use crate::division::{DivisionController, DivisionParams, ModelBasedDivision};
+use crate::governors::CpuGovernor;
+use crate::wma::{WmaParams, WmaScaler};
+use greengpu_hw::{Platform, Smi};
+use greengpu_runtime::{Controller, IterationInfo};
+use greengpu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which division algorithm tier 1 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivisionAlgo {
+    /// The paper's one-step-per-iteration heuristic with the oscillation
+    /// safeguard (§V-B).
+    Stepwise,
+    /// The Qilin-style model jump: calibrate on the first iteration, jump
+    /// to the predicted balance, then refine step-wise (the §V-B
+    /// "sophisticated global algorithm" integration).
+    ModelBased,
+}
+
+/// Which CPU governor tier 2 runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GovernorKind {
+    /// The paper's choice: the Linux ondemand governor.
+    Ondemand,
+    /// Pin the peak P-state.
+    Performance,
+    /// Pin the lowest P-state.
+    Powersave,
+    /// The Linux conservative governor (one step per sample).
+    Conservative,
+    /// Utilization-proportional selection (Wu et al.-style).
+    Proportional,
+}
+
+impl GovernorKind {
+    fn build(self) -> CpuGovernor {
+        match self {
+            GovernorKind::Ondemand => CpuGovernor::default(),
+            GovernorKind::Performance => CpuGovernor::Performance,
+            GovernorKind::Powersave => CpuGovernor::Powersave,
+            GovernorKind::Conservative => CpuGovernor::conservative(),
+            GovernorKind::Proportional => CpuGovernor::proportional(),
+        }
+    }
+}
+
+/// Which tiers are enabled — the axes of the paper's §VII comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GreenGpuConfig {
+    /// Tier-1 workload division on/off.
+    pub division: bool,
+    /// Tier-2 GPU core+memory scaling on/off.
+    pub gpu_scaling: bool,
+    /// Tier-2 CPU ondemand governor on/off.
+    pub cpu_scaling: bool,
+    /// Initial CPU share for the division tier (paper traces use 30 %).
+    pub initial_share: f64,
+    /// Frequency-scaling invocation period (paper trace: 3 s).
+    pub dvfs_period: SimDuration,
+    /// Division tuning.
+    pub division_params: DivisionParams,
+    /// WMA tuning.
+    pub wma_params: WmaParams,
+    /// Division algorithm (paper heuristic or model-based jump).
+    pub division_algo: DivisionAlgo,
+    /// CPU governor (the paper uses ondemand).
+    pub governor: GovernorKind,
+}
+
+impl Default for GreenGpuConfig {
+    fn default() -> Self {
+        GreenGpuConfig {
+            division: true,
+            gpu_scaling: true,
+            cpu_scaling: true,
+            initial_share: 0.30,
+            dvfs_period: SimDuration::from_secs(3),
+            division_params: DivisionParams::default(),
+            wma_params: WmaParams::default(),
+            division_algo: DivisionAlgo::Stepwise,
+            governor: GovernorKind::Ondemand,
+        }
+    }
+}
+
+impl GreenGpuConfig {
+    /// The full holistic configuration (both tiers).
+    pub fn holistic() -> Self {
+        GreenGpuConfig::default()
+    }
+
+    /// Division tier only — the paper's *Division* baseline (frequency
+    /// scaling disabled; clocks stay wherever the platform pinned them).
+    pub fn division_only() -> Self {
+        GreenGpuConfig {
+            gpu_scaling: false,
+            cpu_scaling: false,
+            ..GreenGpuConfig::default()
+        }
+    }
+
+    /// Frequency-scaling tier only — the paper's *Frequency-scaling*
+    /// baseline (all work stays on the GPU).
+    pub fn scaling_only() -> Self {
+        GreenGpuConfig {
+            division: false,
+            initial_share: 0.0,
+            ..GreenGpuConfig::default()
+        }
+    }
+}
+
+/// Tier-1 implementation selected by [`DivisionAlgo`].
+enum DivisionImpl {
+    Stepwise(DivisionController),
+    ModelBased(ModelBasedDivision),
+}
+
+impl DivisionImpl {
+    fn update(&mut self, tc: f64, tg: f64) -> f64 {
+        match self {
+            DivisionImpl::Stepwise(c) => c.update(tc, tg),
+            DivisionImpl::ModelBased(c) => c.update(tc, tg),
+        }
+    }
+}
+
+/// The assembled two-tier controller.
+pub struct GreenGpuController {
+    config: GreenGpuConfig,
+    wma: WmaScaler,
+    governor: CpuGovernor,
+    division: DivisionImpl,
+    gpu_smi: Smi,
+    cpu_smi: Smi,
+}
+
+impl GreenGpuController {
+    /// Builds a controller for a platform with `n_core`×`n_mem` GPU levels.
+    pub fn new(config: GreenGpuConfig, n_core_levels: usize, n_mem_levels: usize) -> Self {
+        let division = match config.division_algo {
+            DivisionAlgo::Stepwise => {
+                DivisionImpl::Stepwise(DivisionController::new(config.initial_share, config.division_params))
+            }
+            DivisionAlgo::ModelBased => {
+                DivisionImpl::ModelBased(ModelBasedDivision::new(config.initial_share, config.division_params))
+            }
+        };
+        GreenGpuController {
+            wma: WmaScaler::new(n_core_levels, n_mem_levels, config.wma_params),
+            governor: config.governor.build(),
+            division,
+            gpu_smi: Smi::new(),
+            cpu_smi: Smi::new(),
+            config,
+        }
+    }
+
+    /// Builds a controller for the default 6×6 testbed.
+    pub fn for_testbed(config: GreenGpuConfig) -> Self {
+        GreenGpuController::new(config, 6, 6)
+    }
+
+    /// The WMA scaler (inspection/tests).
+    pub fn wma(&self) -> &WmaScaler {
+        &self.wma
+    }
+
+    /// The step-wise division controller, when that algorithm is selected
+    /// (inspection/tests).
+    pub fn division(&self) -> Option<&DivisionController> {
+        match &self.division {
+            DivisionImpl::Stepwise(c) => Some(c),
+            DivisionImpl::ModelBased(_) => None,
+        }
+    }
+
+    /// The CPU governor (inspection/tests).
+    pub fn governor(&self) -> &CpuGovernor {
+        &self.governor
+    }
+}
+
+impl Controller for GreenGpuController {
+    fn initial_share(&self) -> f64 {
+        if self.config.division {
+            self.config.initial_share
+        } else {
+            0.0
+        }
+    }
+
+    fn dvfs_period(&self) -> Option<SimDuration> {
+        if self.config.gpu_scaling || self.config.cpu_scaling {
+            Some(self.config.dvfs_period)
+        } else {
+            None
+        }
+    }
+
+    fn on_dvfs_tick(&mut self, platform: &mut Platform, now: SimTime) {
+        if self.config.gpu_scaling {
+            let reading = self.gpu_smi.poll_gpu(platform.gpu(), now);
+            let (core_lvl, mem_lvl) = self.wma.observe(reading.u_core, reading.u_mem);
+            platform.set_gpu_levels(now, core_lvl, mem_lvl);
+        }
+        if self.config.cpu_scaling {
+            let reading = self.cpu_smi.poll_cpu(platform.cpu(), now);
+            self.governor.tick(platform, reading.util, now);
+        }
+    }
+
+    fn on_iteration_end(&mut self, info: &IterationInfo, _platform: &mut Platform, _now: SimTime) -> f64 {
+        if self.config.division {
+            self.division.update(info.tc_s, info.tg_s)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_enable_the_right_tiers() {
+        let h = GreenGpuConfig::holistic();
+        assert!(h.division && h.gpu_scaling && h.cpu_scaling);
+        let d = GreenGpuConfig::division_only();
+        assert!(d.division && !d.gpu_scaling && !d.cpu_scaling);
+        let s = GreenGpuConfig::scaling_only();
+        assert!(!s.division && s.gpu_scaling);
+    }
+
+    #[test]
+    fn scaling_only_pins_share_to_zero() {
+        let ctl = GreenGpuController::for_testbed(GreenGpuConfig::scaling_only());
+        assert_eq!(ctl.initial_share(), 0.0);
+    }
+
+    #[test]
+    fn division_only_disables_the_dvfs_loop() {
+        let ctl = GreenGpuController::for_testbed(GreenGpuConfig::division_only());
+        assert_eq!(ctl.dvfs_period(), None);
+    }
+
+    #[test]
+    fn holistic_uses_three_second_period() {
+        let ctl = GreenGpuController::for_testbed(GreenGpuConfig::holistic());
+        assert_eq!(ctl.dvfs_period(), Some(SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn dvfs_tick_actuates_gpu_levels_from_sensors() {
+        let mut platform = Platform::default_testbed();
+        let mut ctl = GreenGpuController::for_testbed(GreenGpuConfig::scaling_only());
+        // Saturate both domains for a window, then tick: the scaler must
+        // push both levels to the peak.
+        platform.set_gpu_activity(SimTime::ZERO, 1.0, 1.0);
+        ctl.on_dvfs_tick(&mut platform, SimTime::from_secs(3));
+        assert_eq!(platform.gpu().core().current_level(), 5);
+        assert_eq!(platform.gpu().mem().current_level(), 5);
+    }
+
+    #[test]
+    fn iteration_end_moves_division() {
+        let mut platform = Platform::default_testbed();
+        let mut ctl = GreenGpuController::for_testbed(GreenGpuConfig::holistic());
+        let info = IterationInfo {
+            index: 0,
+            cpu_share: 0.30,
+            tc_s: 10.0,
+            tg_s: 2.0,
+        };
+        let next = ctl.on_iteration_end(&info, &mut platform, SimTime::from_secs(10));
+        assert_eq!(next, 0.25, "slower CPU sheds one step");
+    }
+}
+
+#[cfg(test)]
+mod governor_integration_tests {
+    use super::*;
+    use crate::baselines::run_with_config;
+    use greengpu_runtime::{CommMode, RunConfig};
+    use greengpu_workloads::streamcluster::StreamCluster;
+
+    fn async_cfg() -> RunConfig {
+        let mut cfg = RunConfig::sweep();
+        cfg.comm_mode = CommMode::Async;
+        cfg
+    }
+
+    #[test]
+    fn powersave_governor_floors_the_cpu() {
+        let cfg = GreenGpuConfig {
+            governor: GovernorKind::Powersave,
+            ..GreenGpuConfig::scaling_only()
+        };
+        let report = run_with_config(&mut StreamCluster::paper(1), cfg, async_cfg());
+        assert_eq!(report.platform.cpu().domain().current_level(), 0);
+    }
+
+    #[test]
+    fn performance_governor_pins_the_peak() {
+        let cfg = GreenGpuConfig {
+            governor: GovernorKind::Performance,
+            ..GreenGpuConfig::scaling_only()
+        };
+        let report = run_with_config(&mut StreamCluster::paper(1), cfg, async_cfg());
+        assert_eq!(report.platform.cpu().domain().current_level(), 3);
+    }
+
+    #[test]
+    fn throttling_governors_save_cpu_energy_under_async_comm() {
+        let run = |kind: GovernorKind| {
+            let cfg = GreenGpuConfig {
+                governor: kind,
+                ..GreenGpuConfig::scaling_only()
+            };
+            run_with_config(&mut StreamCluster::paper(2), cfg, async_cfg())
+        };
+        let perf = run(GovernorKind::Performance);
+        for kind in [GovernorKind::Ondemand, GovernorKind::Conservative, GovernorKind::Proportional] {
+            let throttled = run(kind);
+            assert!(
+                throttled.cpu_energy_j < perf.cpu_energy_j,
+                "{kind:?}: {} vs performance {}",
+                throttled.cpu_energy_j,
+                perf.cpu_energy_j
+            );
+            // Same GPU-side work and time regardless of the CPU governor.
+            assert_eq!(throttled.total_time, perf.total_time);
+        }
+    }
+
+    #[test]
+    fn model_based_division_through_the_coordinator() {
+        use greengpu_workloads::hotspot::Hotspot;
+        let cfg = GreenGpuConfig {
+            division_algo: DivisionAlgo::ModelBased,
+            gpu_scaling: false,
+            cpu_scaling: false,
+            ..GreenGpuConfig::default()
+        };
+        let report = run_with_config(&mut Hotspot::paper(3), cfg, RunConfig::sweep());
+        // The jump reaches the balance region by iteration 2.
+        let second = &report.iterations[1];
+        assert!(
+            (0.45..=0.60).contains(&second.cpu_share),
+            "model jump landed at {}",
+            second.cpu_share
+        );
+    }
+}

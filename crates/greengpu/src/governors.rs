@@ -1,0 +1,199 @@
+//! Alternative CPU governors.
+//!
+//! The paper adopts `ondemand` for the CPU tier but explicitly notes that
+//! "other more sophisticated DVFS-based processor power management
+//! strategies, such as \[10\], \[28\], \[25\], can also be integrated into
+//! GreenGPU for even more energy savings" (§IV). This module provides that
+//! integration point: the classic Linux governor family plus a
+//! proportional (utilization-tracking) policy in the spirit of Wu et
+//! al.'s formal online frequency control \[28\].
+
+use crate::ondemand::OndemandGovernor;
+use greengpu_hw::Platform;
+use greengpu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A pluggable CPU frequency policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CpuGovernor {
+    /// The kernel default the paper uses: jump to max above the up
+    /// threshold, step down below the low threshold.
+    Ondemand(OndemandGovernor),
+    /// Pin the peak P-state (the kernel `performance` governor).
+    Performance,
+    /// Pin the lowest P-state (the kernel `powersave` governor).
+    Powersave,
+    /// Step one level *up or down* per sample based on thresholds (the
+    /// kernel `conservative` governor — gentler than ondemand's jump).
+    Conservative {
+        /// Step-up threshold.
+        up_threshold: f64,
+        /// Step-down threshold.
+        down_threshold: f64,
+    },
+    /// Track utilization proportionally: select the lowest P-state whose
+    /// relative frequency covers the observed utilization plus headroom —
+    /// a simplified formal-control policy after Wu et al. \[28\].
+    Proportional {
+        /// Utilization headroom factor (e.g. 1.1 → provision 10 % above
+        /// the observed utilization).
+        headroom: f64,
+    },
+}
+
+impl Default for CpuGovernor {
+    fn default() -> Self {
+        CpuGovernor::Ondemand(OndemandGovernor::default())
+    }
+}
+
+impl CpuGovernor {
+    /// The conservative governor with kernel-default thresholds.
+    pub fn conservative() -> Self {
+        CpuGovernor::Conservative {
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+        }
+    }
+
+    /// The proportional governor with 10 % headroom.
+    pub fn proportional() -> Self {
+        CpuGovernor::Proportional { headroom: 1.1 }
+    }
+
+    /// One governor sample at `now` given the windowed utilization.
+    pub fn tick(&mut self, platform: &mut Platform, util: f64, now: SimTime) {
+        match self {
+            CpuGovernor::Ondemand(g) => g.tick(platform, util, now),
+            CpuGovernor::Performance => {
+                let peak = platform.cpu().domain().peak_level();
+                platform.set_cpu_level(now, peak);
+            }
+            CpuGovernor::Powersave => {
+                platform.set_cpu_level(now, 0);
+            }
+            CpuGovernor::Conservative {
+                up_threshold,
+                down_threshold,
+            } => {
+                let current = platform.cpu().domain().current_level();
+                let peak = platform.cpu().domain().peak_level();
+                if util > *up_threshold && current < peak {
+                    platform.set_cpu_level(now, current + 1);
+                } else if util < *down_threshold && current > 0 {
+                    platform.set_cpu_level(now, current - 1);
+                }
+            }
+            CpuGovernor::Proportional { headroom } => {
+                let spec = platform.cpu().spec().clone();
+                let peak_mhz = *spec.levels_mhz.last().expect("levels");
+                let demand_mhz = (util * *headroom).clamp(0.0, 1.0) * peak_mhz;
+                let level = spec
+                    .levels_mhz
+                    .iter()
+                    .position(|&mhz| mhz >= demand_mhz)
+                    .unwrap_or(spec.levels_mhz.len() - 1);
+                platform.set_cpu_level(now, level);
+            }
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuGovernor::Ondemand(_) => "ondemand",
+            CpuGovernor::Performance => "performance",
+            CpuGovernor::Powersave => "powersave",
+            CpuGovernor::Conservative { .. } => "conservative",
+            CpuGovernor::Proportional { .. } => "proportional",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform_at(level: usize) -> Platform {
+        let mut p = Platform::default_testbed();
+        p.set_cpu_level(SimTime::ZERO, level);
+        p
+    }
+
+    #[test]
+    fn performance_pins_peak() {
+        let mut p = platform_at(0);
+        let mut g = CpuGovernor::Performance;
+        g.tick(&mut p, 0.0, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 3);
+    }
+
+    #[test]
+    fn powersave_pins_floor() {
+        let mut p = platform_at(3);
+        let mut g = CpuGovernor::Powersave;
+        g.tick(&mut p, 1.0, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 0);
+    }
+
+    #[test]
+    fn conservative_steps_one_level_each_way() {
+        let mut p = platform_at(1);
+        let mut g = CpuGovernor::conservative();
+        g.tick(&mut p, 0.95, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 2, "one step up, not a jump");
+        g.tick(&mut p, 0.05, SimTime::from_secs(2));
+        g.tick(&mut p, 0.05, SimTime::from_secs(3));
+        assert_eq!(p.cpu().domain().current_level(), 0);
+        // Saturates at both ends.
+        g.tick(&mut p, 0.05, SimTime::from_secs(4));
+        assert_eq!(p.cpu().domain().current_level(), 0);
+    }
+
+    #[test]
+    fn conservative_vs_ondemand_ramp_speed() {
+        // ondemand jumps straight to peak; conservative takes a step per
+        // sample — the defining difference.
+        let mut p1 = platform_at(0);
+        let mut p2 = platform_at(0);
+        let mut od = CpuGovernor::default();
+        let mut cons = CpuGovernor::conservative();
+        od.tick(&mut p1, 0.95, SimTime::from_secs(1));
+        cons.tick(&mut p2, 0.95, SimTime::from_secs(1));
+        assert_eq!(p1.cpu().domain().current_level(), 3);
+        assert_eq!(p2.cpu().domain().current_level(), 1);
+    }
+
+    #[test]
+    fn proportional_tracks_utilization() {
+        let mut g = CpuGovernor::proportional();
+        // Levels: 800, 1300, 2100, 2800 MHz. util 0.4 × 1.1 → 1232 MHz
+        // demand → level 1 (1300).
+        let mut p = platform_at(3);
+        g.tick(&mut p, 0.40, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 1);
+        // util 0.9 → 2772 MHz demand → level 3.
+        g.tick(&mut p, 0.90, SimTime::from_secs(2));
+        assert_eq!(p.cpu().domain().current_level(), 3);
+        // idle → floor.
+        g.tick(&mut p, 0.0, SimTime::from_secs(3));
+        assert_eq!(p.cpu().domain().current_level(), 0);
+    }
+
+    #[test]
+    fn proportional_saturates_demand_above_peak() {
+        let mut g = CpuGovernor::proportional();
+        let mut p = platform_at(0);
+        g.tick(&mut p, 1.0, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 3);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CpuGovernor::default().name(), "ondemand");
+        assert_eq!(CpuGovernor::Performance.name(), "performance");
+        assert_eq!(CpuGovernor::Powersave.name(), "powersave");
+        assert_eq!(CpuGovernor::conservative().name(), "conservative");
+        assert_eq!(CpuGovernor::proportional().name(), "proportional");
+    }
+}

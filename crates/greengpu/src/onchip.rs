@@ -1,0 +1,134 @@
+//! On-chip controller cost model (paper §VI).
+//!
+//! The paper sketches a hardware implementation of the frequency-scaling
+//! tier: the N×M weight table in 8-bit registers (36 bytes for 6×6), the
+//! fixed-coefficient multiplies of Eqs. 1–3 reduced to shift-add logic, and
+//! — citing Mathew et al.'s sparse-tree adder \[17\] — "scaled to 8-bit and
+//! current 65nm technology, the adder … only consumes 0.001 mm² and
+//! 12.5×10⁻⁹ J each invocation". This module turns that sketch into an
+//! accounting model: adder invocations per observe interval, controller
+//! energy over a run, and the comparison against the savings the
+//! controller produces — the paper's "negligible" claim, quantified.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-invocation cost of the paper's 8-bit shift-add unit at 65 nm.
+pub const ADDER_ENERGY_J: f64 = 12.5e-9;
+
+/// Area of the adder, mm² (65 nm, from the paper's §VI).
+pub const ADDER_AREA_MM2: f64 = 0.001;
+
+/// Hardware cost model of the on-chip WMA controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnchipModel {
+    /// Core frequency levels (`N`).
+    pub n_core: usize,
+    /// Memory frequency levels (`M`).
+    pub n_mem: usize,
+}
+
+impl OnchipModel {
+    /// The paper's 6×6 testbed.
+    pub fn testbed() -> Self {
+        OnchipModel { n_core: 6, n_mem: 6 }
+    }
+
+    /// Weight-table storage in bytes (8 bits per pair).
+    pub fn table_bytes(&self) -> usize {
+        self.n_core * self.n_mem
+    }
+
+    /// Shift-add invocations per observe interval.
+    ///
+    /// Per interval the controller computes `N` core losses and `M` memory
+    /// losses (each: one subtract + one coefficient multiply folded to a
+    /// shift-add ⇒ 2 invocations), combines them into `N·M` total losses
+    /// (one shift-add each for the φ fold), and performs `N·M` weight
+    /// updates (multiply-shift ⇒ 1) plus the argmax scan (`N·M − 1`
+    /// compares, counted as adds).
+    pub fn adds_per_interval(&self) -> u64 {
+        let nm = (self.n_core * self.n_mem) as u64;
+        let losses = 2 * (self.n_core + self.n_mem) as u64;
+        losses + nm /* φ fold */ + nm /* weight update */ + (nm - 1) /* argmax */
+    }
+
+    /// Controller energy per observe interval, joules.
+    pub fn energy_per_interval_j(&self) -> f64 {
+        self.adds_per_interval() as f64 * ADDER_ENERGY_J
+    }
+
+    /// Controller energy over a run of `intervals` observe intervals,
+    /// joules.
+    pub fn controller_energy_j(&self, intervals: u64) -> f64 {
+        intervals as f64 * self.energy_per_interval_j()
+    }
+
+    /// The controller-overhead fraction: controller energy divided by the
+    /// energy the scaling tier saved.
+    pub fn overhead_fraction(&self, intervals: u64, saving_j: f64) -> f64 {
+        assert!(saving_j > 0.0, "needs a positive saving to compare against");
+        self.controller_energy_j(intervals) / saving_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{run_best_performance_with, run_with_config};
+    use crate::GreenGpuConfig;
+    use greengpu_runtime::RunConfig;
+    use greengpu_workloads::kmeans::KMeans;
+
+    #[test]
+    fn testbed_table_is_36_bytes() {
+        assert_eq!(OnchipModel::testbed().table_bytes(), 36);
+    }
+
+    #[test]
+    fn adds_per_interval_is_order_hundred() {
+        // 6×6: 24 loss adds + 36 folds + 36 updates + 35 compares = 131.
+        let m = OnchipModel::testbed();
+        assert_eq!(m.adds_per_interval(), 131);
+        // That is well within one microsecond of a single 4 GHz adder —
+        // nothing like a bottleneck at a 3 s interval.
+    }
+
+    #[test]
+    fn controller_energy_is_nanojoule_scale() {
+        let m = OnchipModel::testbed();
+        let per_interval = m.energy_per_interval_j();
+        assert!(per_interval < 2e-6, "per-interval {per_interval} J");
+    }
+
+    #[test]
+    fn controller_overhead_is_negligible_vs_savings() {
+        // The paper's claim, end to end: run the scaling tier on kmeans,
+        // count its intervals, and compare the on-chip controller energy
+        // against the measured saving.
+        let base = run_best_performance_with(&mut KMeans::paper(2), RunConfig::sweep());
+        let ours = run_with_config(&mut KMeans::paper(2), GreenGpuConfig::scaling_only(), RunConfig::sweep());
+        let saving = base.gpu_energy_j - ours.gpu_energy_j;
+        assert!(saving > 0.0);
+        let intervals = (ours.total_time.as_secs_f64() / 3.0).ceil() as u64;
+        let overhead = OnchipModel::testbed().overhead_fraction(intervals, saving);
+        assert!(
+            overhead < 1e-6,
+            "controller overhead {overhead} of the saving — should be parts-per-million"
+        );
+    }
+
+    #[test]
+    fn scales_with_table_dimensions() {
+        let small = OnchipModel { n_core: 2, n_mem: 2 };
+        let big = OnchipModel { n_core: 12, n_mem: 12 };
+        assert!(big.adds_per_interval() > small.adds_per_interval() * 10);
+        assert_eq!(small.table_bytes(), 4);
+        assert_eq!(big.table_bytes(), 144);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive saving")]
+    fn zero_saving_panics() {
+        OnchipModel::testbed().overhead_fraction(100, 0.0);
+    }
+}

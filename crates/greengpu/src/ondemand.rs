@@ -1,0 +1,150 @@
+//! The Linux `ondemand` CPU governor (paper §IV).
+//!
+//! GreenGPU deliberately reuses the stock kernel policy for the CPU side
+//! rather than inventing one: "If CPU utilization rises above a upper
+//! utilization threshold value, the ondemand governor increases the CPU
+//! frequency to the highest available frequency. When CPU utilization falls
+//! below a low utilization threshold, the governor sets the CPU to run at
+//! the next lowest frequency." (first shipped in linux-2.6.9).
+
+use greengpu_hw::Platform;
+use greengpu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The ondemand governor with the classic thresholds.
+///
+/// ```
+/// use greengpu::ondemand::OndemandGovernor;
+/// use greengpu_hw::Platform;
+/// use greengpu_sim::SimTime;
+///
+/// let mut platform = Platform::default_testbed(); // CPU at peak
+/// let mut governor = OndemandGovernor::default();
+/// governor.tick(&mut platform, 0.05, SimTime::from_secs(1)); // idle sample
+/// assert_eq!(platform.cpu().domain().current_level(), 2, "stepped down once");
+/// governor.tick(&mut platform, 0.95, SimTime::from_secs(2)); // busy sample
+/// assert_eq!(platform.cpu().domain().current_level(), 3, "jumped to peak");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OndemandGovernor {
+    /// Jump-to-max threshold (kernel default 80 %).
+    pub up_threshold: f64,
+    /// Step-down threshold.
+    pub down_threshold: f64,
+    transitions: u64,
+}
+
+impl Default for OndemandGovernor {
+    fn default() -> Self {
+        OndemandGovernor {
+            up_threshold: 0.80,
+            down_threshold: 0.30,
+            transitions: 0,
+        }
+    }
+}
+
+impl OndemandGovernor {
+    /// Creates a governor with explicit thresholds.
+    pub fn new(up_threshold: f64, down_threshold: f64) -> Self {
+        assert!(
+            0.0 < down_threshold && down_threshold < up_threshold && up_threshold <= 1.0,
+            "thresholds must satisfy 0 < down < up <= 1"
+        );
+        OndemandGovernor {
+            up_threshold,
+            down_threshold,
+            transitions: 0,
+        }
+    }
+
+    /// One governor sample: applies the threshold policy to the CPU given
+    /// its windowed utilization.
+    pub fn tick(&mut self, platform: &mut Platform, util: f64, now: SimTime) {
+        let current = platform.cpu().domain().current_level();
+        if util > self.up_threshold {
+            let peak = platform.cpu().domain().peak_level();
+            if current != peak {
+                platform.set_cpu_level(now, peak);
+                self.transitions += 1;
+            }
+        } else if util < self.down_threshold && current > 0 {
+            platform.set_cpu_level(now, current - 1);
+            self.transitions += 1;
+        }
+    }
+
+    /// Number of frequency transitions performed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_utilization_jumps_to_peak() {
+        let mut p = Platform::new(
+            greengpu_hw::calib::geforce_8800_gtx(),
+            greengpu_hw::calib::phenom_ii_x2(),
+            0,
+            0,
+            0, // CPU at lowest P-state
+        );
+        let mut g = OndemandGovernor::default();
+        g.tick(&mut p, 0.95, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 3, "must jump straight to peak");
+        assert_eq!(g.transitions(), 1);
+    }
+
+    #[test]
+    fn low_utilization_steps_down_one_level_at_a_time() {
+        let mut p = Platform::default_testbed(); // CPU at peak (level 3)
+        let mut g = OndemandGovernor::default();
+        for expected in [2usize, 1, 0, 0] {
+            g.tick(&mut p, 0.05, SimTime::from_secs(1));
+            assert_eq!(p.cpu().domain().current_level(), expected);
+        }
+        assert_eq!(g.transitions(), 3, "saturates at the floor");
+    }
+
+    #[test]
+    fn midband_utilization_holds_level() {
+        let mut p = Platform::default_testbed();
+        p.set_cpu_level(SimTime::ZERO, 2);
+        let mut g = OndemandGovernor::default();
+        g.tick(&mut p, 0.55, SimTime::from_secs(1));
+        assert_eq!(p.cpu().domain().current_level(), 2);
+        assert_eq!(g.transitions(), 0);
+    }
+
+    #[test]
+    fn spin_wait_defeats_the_governor() {
+        // The paper's §VII-A observation: synchronized communication keeps
+        // utilization at 100 %, so ondemand never throttles — motivating
+        // the Fig. 6c emulation.
+        let mut p = Platform::default_testbed();
+        let mut g = OndemandGovernor::default();
+        for _ in 0..10 {
+            g.tick(&mut p, 1.0, SimTime::from_secs(1));
+        }
+        assert_eq!(p.cpu().domain().current_level(), 3);
+        assert_eq!(g.transitions(), 0);
+    }
+
+    #[test]
+    fn ticking_at_peak_with_high_util_is_a_noop() {
+        let mut p = Platform::default_testbed();
+        let mut g = OndemandGovernor::default();
+        g.tick(&mut p, 0.9, SimTime::from_secs(1));
+        assert_eq!(g.transitions(), 0, "already at peak");
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_panic() {
+        OndemandGovernor::new(0.3, 0.8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Static frequency oracles — how close does the WMA learner get?
+//!
+//! The paper positions the WMA scaler as a light-weight online heuristic
+//! and notes it "can be integrated with other sophisticated global optimal
+//! algorithms (e.g., \[9\]) … at the cost of more complicated implementation
+//! and higher runtime overheads" (§V-B). This module provides the upper
+//! bound those algorithms chase: exhaustive search over all N×M static
+//! (core, memory) frequency pairs, and the *regret* of the online scaler
+//! against it — the optimality-gap measurement the paper leaves implicit.
+
+use crate::baselines::{run_pinned, run_with_config};
+use crate::coordinator::GreenGpuConfig;
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One point of the exhaustive frequency search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OraclePoint {
+    /// Core level index.
+    pub core: usize,
+    /// Memory level index.
+    pub mem: usize,
+    /// GPU-side energy, joules.
+    pub gpu_energy_j: f64,
+    /// Execution time, seconds.
+    pub time_s: f64,
+}
+
+/// Result of an exhaustive static frequency search.
+#[derive(Debug, Clone)]
+pub struct FrequencyOracle {
+    /// All N×M points.
+    pub points: Vec<OraclePoint>,
+    /// Index of the selected optimum in `points`.
+    pub best: usize,
+    /// The slowdown budget used for the constrained optimum.
+    pub max_slowdown: f64,
+}
+
+impl FrequencyOracle {
+    /// The selected optimal point.
+    pub fn best_point(&self) -> &OraclePoint {
+        &self.points[self.best]
+    }
+
+    /// The peak-frequency reference point.
+    pub fn peak_point(&self) -> &OraclePoint {
+        self.points
+            .iter()
+            .max_by_key(|p| (p.core, p.mem))
+            .expect("non-empty search")
+    }
+}
+
+/// Exhaustively evaluates every static (core, memory) pair on a fresh
+/// workload from `make`, selecting the minimum GPU energy among points
+/// within `max_slowdown` of the peak-frequency run — the same
+/// "save energy with only negligible performance degradation" objective
+/// the paper's scaler targets.
+pub fn frequency_oracle<F>(mut make: F, levels: (usize, usize), max_slowdown: f64) -> FrequencyOracle
+where
+    F: FnMut() -> Box<dyn Workload>,
+{
+    assert!(max_slowdown >= 0.0);
+    let (n_core, n_mem) = levels;
+    let mut points = Vec::with_capacity(n_core * n_mem);
+    for core in 0..n_core {
+        for mem in 0..n_mem {
+            let mut wl = make();
+            let report = run_pinned(wl.as_mut(), core, mem, RunConfig::sweep());
+            points.push(OraclePoint {
+                core,
+                mem,
+                gpu_energy_j: report.gpu_energy_j,
+                time_s: report.total_time.as_secs_f64(),
+            });
+        }
+    }
+    let peak_time = points
+        .iter()
+        .find(|p| p.core == n_core - 1 && p.mem == n_mem - 1)
+        .expect("peak point present")
+        .time_s;
+    let budget = peak_time * (1.0 + max_slowdown);
+    let best = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.time_s <= budget)
+        .min_by(|a, b| a.1.gpu_energy_j.partial_cmp(&b.1.gpu_energy_j).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("peak point always satisfies the budget");
+    FrequencyOracle {
+        points,
+        best,
+        max_slowdown,
+    }
+}
+
+/// The online scaler's regret against the static oracle for one workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WmaRegret {
+    /// Oracle GPU energy, joules.
+    pub oracle_energy_j: f64,
+    /// Online WMA run GPU energy, joules.
+    pub wma_energy_j: f64,
+    /// Oracle time, seconds.
+    pub oracle_time_s: f64,
+    /// WMA time, seconds.
+    pub wma_time_s: f64,
+}
+
+impl WmaRegret {
+    /// Fractional energy regret (`0` = matches the oracle; negative means
+    /// the online run beat the *constrained* oracle by spending time).
+    pub fn energy_regret(&self) -> f64 {
+        self.wma_energy_j / self.oracle_energy_j - 1.0
+    }
+
+    /// Fractional time difference vs the oracle point.
+    pub fn time_delta(&self) -> f64 {
+        self.wma_time_s / self.oracle_time_s - 1.0
+    }
+}
+
+/// Measures the WMA scaler's regret against the constrained static oracle
+/// on fresh workloads from `make`.
+pub fn wma_regret<F>(mut make: F, max_slowdown: f64) -> WmaRegret
+where
+    F: FnMut() -> Box<dyn Workload>,
+{
+    let oracle = frequency_oracle(&mut make, (6, 6), max_slowdown);
+    let mut wl = make();
+    let online = run_with_config(wl.as_mut(), GreenGpuConfig::scaling_only(), RunConfig::sweep());
+    WmaRegret {
+        oracle_energy_j: oracle.best_point().gpu_energy_j,
+        wma_energy_j: online.gpu_energy_j,
+        oracle_time_s: oracle.best_point().time_s,
+        wma_time_s: online.total_time.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greengpu_workloads::kmeans::KMeans;
+    use greengpu_workloads::pathfinder::Pathfinder;
+    use greengpu_workloads::registry;
+
+    #[test]
+    fn oracle_covers_all_36_pairs() {
+        let oracle = frequency_oracle(|| Box::new(KMeans::paper(1)), (6, 6), 0.05);
+        assert_eq!(oracle.points.len(), 36);
+        let best = oracle.best_point();
+        assert!(best.gpu_energy_j > 0.0 && best.time_s > 0.0);
+    }
+
+    #[test]
+    fn oracle_beats_or_ties_peak_clocks() {
+        let oracle = frequency_oracle(|| Box::new(KMeans::paper(1)), (6, 6), 0.05);
+        assert!(oracle.best_point().gpu_energy_j <= oracle.peak_point().gpu_energy_j);
+    }
+
+    #[test]
+    fn oracle_respects_the_time_budget() {
+        let oracle = frequency_oracle(|| Box::new(Pathfinder::paper(1)), (6, 6), 0.05);
+        let budget = oracle.peak_point().time_s * 1.05;
+        assert!(oracle.best_point().time_s <= budget + 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_still_selects_something() {
+        let oracle = frequency_oracle(|| Box::new(KMeans::paper(1)), (6, 6), 0.0);
+        // The peak pair always qualifies.
+        assert!(oracle.best_point().time_s <= oracle.peak_point().time_s + 1e-9);
+    }
+
+    #[test]
+    fn oracle_for_low_utilization_workload_throttles_deep() {
+        // PF idles in host gaps; the oracle should find a point well below
+        // peak clocks.
+        let oracle = frequency_oracle(|| Box::new(Pathfinder::paper(1)), (6, 6), 0.05);
+        let best = oracle.best_point();
+        assert!(best.core < 5 || best.mem < 5, "oracle stayed at peak for PF");
+        let saving = 1.0 - best.gpu_energy_j / oracle.peak_point().gpu_energy_j;
+        assert!(saving > 0.10, "PF oracle saving {saving}");
+    }
+
+    #[test]
+    fn wma_regret_is_small_across_the_suite() {
+        // The headline validation of the online learner: within ~8 % energy
+        // of the constrained static oracle on every stationary workload.
+        for name in ["kmeans", "lud", "PF", "hotspot", "srad_v2"] {
+            let regret = wma_regret(|| registry::by_name(name, 3).expect("registered"), 0.05);
+            assert!(
+                regret.energy_regret() < 0.08,
+                "{name}: WMA regret {} vs oracle",
+                regret.energy_regret()
+            );
+        }
+    }
+}

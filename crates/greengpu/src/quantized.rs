@@ -1,0 +1,231 @@
+//! The 8-bit fixed-point WMA table — the paper's §VI hardware sketch.
+//!
+//! The paper argues the frequency-scaling tier is cheap enough to move
+//! on-chip: "Because the loss factor value is between 0 and 1, 8-bit
+//! precision is accurate enough for the purpose of picking up the largest
+//! weight. For our testbed with 6 core frequency levels and 6 memory
+//! levels, we only need a 36 bytes table (6x6x8)", with the fixed-α
+//! multiplies reduced to shift-add logic.
+//!
+//! [`QuantizedWma`] implements exactly that: `u8` weights, `u8` losses,
+//! integer multiply-shift updates. The unit tests check its decisions
+//! against the `f64` reference scaler.
+
+use crate::wma::{table1_loss, WmaParams};
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale: values in `[0, 1]` map to `[0, 255]`.
+const ONE: u16 = 255;
+
+/// The hardware-feasible 8-bit WMA table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedWma {
+    n_core: usize,
+    n_mem: usize,
+    /// 8-bit weights — 36 bytes for the paper's 6×6 testbed.
+    weights: Vec<u8>,
+    /// Pre-quantized parameters.
+    alpha_core_q: u16,
+    alpha_mem_q: u16,
+    phi_q: u16,
+    one_minus_beta_q: u16,
+    ucmean_q: Vec<u16>,
+    ummean_q: Vec<u16>,
+}
+
+fn quantize(x: f64) -> u16 {
+    debug_assert!((0.0..=1.0).contains(&x));
+    (x * f64::from(ONE)).round() as u16
+}
+
+/// Fixed-point multiply of two `[0,255]`-scaled values: `(a·b + 128) >> 8`
+/// — the shift-add structure the paper's adder citation supports.
+fn fxmul(a: u16, b: u16) -> u16 {
+    ((u32::from(a) * u32::from(b) + 128) >> 8) as u16
+}
+
+impl QuantizedWma {
+    /// Builds the table for `n_core × n_mem` levels.
+    pub fn new(n_core: usize, n_mem: usize, params: WmaParams) -> Self {
+        assert!(n_core >= 2 && n_mem >= 2);
+        params.validate();
+        let linmap_q = |n: usize| -> Vec<u16> {
+            (0..n).map(|i| quantize(i as f64 / (n - 1) as f64)).collect()
+        };
+        QuantizedWma {
+            n_core,
+            n_mem,
+            weights: vec![u8::MAX; n_core * n_mem],
+            alpha_core_q: quantize(params.alpha_core),
+            alpha_mem_q: quantize(params.alpha_mem),
+            phi_q: quantize(params.phi),
+            one_minus_beta_q: quantize(1.0 - params.beta),
+            ucmean_q: linmap_q(n_core),
+            ummean_q: linmap_q(n_mem),
+        }
+    }
+
+    /// Size of the weight storage in bytes (the paper's "36 bytes table").
+    pub fn table_bytes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight of pair `(i, j)` as raw 8-bit value.
+    pub fn weight(&self, i: usize, j: usize) -> u8 {
+        self.weights[i * self.n_mem + j]
+    }
+
+    fn level_loss_q(u_q: u16, umean_q: u16, alpha_q: u16) -> u16 {
+        let (le, lp) = table1_loss(f64::from(u_q), f64::from(umean_q));
+        // Integer form: le/lp are already in the 0-255 domain.
+        let le = le as u16;
+        let lp = lp as u16;
+        fxmul(alpha_q, le) + fxmul(ONE - alpha_q, lp)
+    }
+
+    /// One interval: quantizes the utilizations, updates all weights with
+    /// integer arithmetic, renormalizes so the max is 255, and returns the
+    /// argmax pair (ties toward lower levels).
+    pub fn observe(&mut self, u_core: f64, u_mem: f64) -> (usize, usize) {
+        let uc_q = quantize(u_core.clamp(0.0, 1.0));
+        let um_q = quantize(u_mem.clamp(0.0, 1.0));
+        let core_losses: Vec<u16> = (0..self.n_core)
+            .map(|i| Self::level_loss_q(uc_q, self.ucmean_q[i], self.alpha_core_q))
+            .collect();
+        let mem_losses: Vec<u16> = (0..self.n_mem)
+            .map(|j| Self::level_loss_q(um_q, self.ummean_q[j], self.alpha_mem_q))
+            .collect();
+        let mut max_w: u8 = 0;
+        for (i, &cl) in core_losses.iter().enumerate() {
+            for (j, &ml) in mem_losses.iter().enumerate() {
+                let total = fxmul(self.phi_q, cl) + fxmul(ONE - self.phi_q, ml);
+                let decay = ONE - fxmul(self.one_minus_beta_q, total.min(ONE));
+                let w = &mut self.weights[i * self.n_mem + j];
+                *w = fxmul(u16::from(*w), decay) as u8;
+                max_w = max_w.max(*w);
+            }
+        }
+        // Renormalize: scale so the max returns to 255 (integer rounding).
+        if max_w > 0 && max_w < u8::MAX {
+            let scale = (u32::from(ONE) << 8) / u32::from(max_w);
+            for w in &mut self.weights {
+                *w = (((u32::from(*w) * scale) >> 8) as u16).min(u16::from(u8::MAX)) as u8;
+            }
+        }
+        self.argmax()
+    }
+
+    /// Current argmax pair.
+    pub fn argmax(&self) -> (usize, usize) {
+        let mut best = (0, 0);
+        let mut best_w = 0u8;
+        let mut first = true;
+        for i in 0..self.n_core {
+            for j in 0..self.n_mem {
+                let w = self.weights[i * self.n_mem + j];
+                if first || w > best_w {
+                    best_w = w;
+                    best = (i, j);
+                    first = false;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wma::WmaScaler;
+    use greengpu_sim::Pcg32;
+
+    #[test]
+    fn table_is_36_bytes_for_the_testbed() {
+        let q = QuantizedWma::new(6, 6, WmaParams::default());
+        assert_eq!(q.table_bytes(), 36);
+    }
+
+    #[test]
+    fn extremes_match_float_scaler() {
+        let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+        let mut f = WmaScaler::new(6, 6, WmaParams::default());
+        for _ in 0..5 {
+            assert_eq!(q.observe(1.0, 1.0), f.observe(1.0, 1.0));
+        }
+        let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+        let mut f = WmaScaler::new(6, 6, WmaParams::default());
+        for _ in 0..5 {
+            assert_eq!(q.observe(0.0, 0.0), f.observe(0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn decisions_track_float_scaler_on_stationary_utilization() {
+        // 8-bit precision should land within one level of the reference on
+        // steady signatures.
+        for &(uc, um) in &[(0.6, 0.08), (0.33, 0.70), (0.85, 0.85), (0.15, 0.95)] {
+            let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+            let mut f = WmaScaler::new(6, 6, WmaParams::default());
+            let mut qp = (0, 0);
+            let mut fp = (0, 0);
+            for _ in 0..10 {
+                qp = q.observe(uc, um);
+                fp = f.observe(uc, um);
+            }
+            assert!(
+                qp.0.abs_diff(fp.0) <= 1 && qp.1.abs_diff(fp.1) <= 1,
+                "({uc},{um}): quantized {qp:?} vs float {fp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_track_float_scaler_on_noisy_traces() {
+        let mut rng = Pcg32::seeded(42);
+        let mut agree = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let base_c = rng.next_f64();
+            let base_m = rng.next_f64();
+            let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+            let mut f = WmaScaler::new(6, 6, WmaParams::default());
+            let mut qp = (0, 0);
+            let mut fp = (0, 0);
+            for _ in 0..30 {
+                let uc = (base_c + rng.uniform(-0.05, 0.05)).clamp(0.0, 1.0);
+                let um = (base_m + rng.uniform(-0.05, 0.05)).clamp(0.0, 1.0);
+                qp = q.observe(uc, um);
+                fp = f.observe(uc, um);
+            }
+            total += 2;
+            agree += usize::from(qp.0.abs_diff(fp.0) <= 1) + usize::from(qp.1.abs_diff(fp.1) <= 1);
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.9,
+            "quantized disagreed too often: {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn weights_never_all_collapse_to_zero() {
+        let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+        let mut rng = Pcg32::seeded(7);
+        for _ in 0..10_000 {
+            q.observe(rng.next_f64(), rng.next_f64());
+        }
+        let max = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| q.weight(i, j))
+            .max()
+            .unwrap();
+        assert!(max >= 128, "renormalization failed, max weight {max}");
+    }
+
+    #[test]
+    fn fxmul_is_a_unit_scaled_product() {
+        assert_eq!(fxmul(255, 255), 254); // (255·255+128)>>8 = 254 ≈ 1.0·1.0
+        assert_eq!(fxmul(0, 255), 0);
+        assert_eq!(fxmul(128, 128), 64); // ≈ 0.5·0.5
+    }
+}

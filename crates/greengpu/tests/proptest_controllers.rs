@@ -1,0 +1,135 @@
+//! Property-based tests for the GreenGPU controllers.
+
+use greengpu::division::{DivisionController, DivisionParams};
+use greengpu::quantized::QuantizedWma;
+use greengpu::wma::{table1_loss, WmaParams, WmaScaler};
+use greengpu_sim::Pcg32;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = WmaParams> {
+    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.01..0.99f64, 0.1..1.0f64).prop_map(
+        |(alpha_core, alpha_mem, phi, beta, history)| WmaParams {
+            alpha_core,
+            alpha_mem,
+            phi,
+            beta,
+            history,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn table1_losses_are_complementary_and_bounded(u in 0.0..1.0f64, umean in 0.0..1.0f64) {
+        let (le, lp) = table1_loss(u, umean);
+        // Exactly one side is charged.
+        prop_assert!(le == 0.0 || lp == 0.0);
+        prop_assert!(le >= 0.0 && lp >= 0.0);
+        prop_assert!((le + lp - (u - umean).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wma_is_stable_for_any_valid_params(params in arb_params(),
+                                          us in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..100)) {
+        let mut s = WmaScaler::new(6, 6, params);
+        for (uc, um) in us {
+            let (i, j) = s.observe(uc, um);
+            prop_assert!(i < 6 && j < 6);
+        }
+        // Weights survive normalization for any parameterization.
+        let max = (0..6).flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .fold(f64::MIN, f64::max);
+        prop_assert!((max - 1.0).abs() < 1e-9, "max weight {max}");
+    }
+
+    #[test]
+    fn wma_zero_loss_level_always_wins_eventually(level in 0usize..6) {
+        // Feeding exactly umean[level] must converge the corresponding
+        // domain to that level (its loss is zero, everyone else decays).
+        let u = level as f64 / 5.0;
+        let mut s = WmaScaler::new(6, 6, WmaParams::default());
+        let mut pair = (0, 0);
+        for _ in 0..40 {
+            pair = s.observe(u, u);
+        }
+        prop_assert_eq!(pair, (level, level));
+    }
+
+    #[test]
+    fn quantized_agrees_with_float_within_one_level(seed in any::<u64>(),
+                                                    base_c in 0.0..1.0f64, base_m in 0.0..1.0f64) {
+        let mut q = QuantizedWma::new(6, 6, WmaParams::default());
+        let mut f = WmaScaler::new(6, 6, WmaParams::default());
+        let mut rng = Pcg32::seeded(seed);
+        let mut qp = (0, 0);
+        let mut fp = (0, 0);
+        for _ in 0..25 {
+            let uc = (base_c + rng.uniform(-0.03, 0.03)).clamp(0.0, 1.0);
+            let um = (base_m + rng.uniform(-0.03, 0.03)).clamp(0.0, 1.0);
+            qp = q.observe(uc, um);
+            fp = f.observe(uc, um);
+        }
+        prop_assert!(qp.0.abs_diff(fp.0) <= 1, "core: quantized {qp:?} vs float {fp:?}");
+        prop_assert!(qp.1.abs_diff(fp.1) <= 1, "mem: quantized {qp:?} vs float {fp:?}");
+    }
+
+    #[test]
+    fn division_never_leaves_bounds_or_grid(updates in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..200),
+                                            initial_steps in 0usize..19) {
+        let mut ctl = DivisionController::new(initial_steps as f64 * 0.05, DivisionParams::default());
+        for (tc, tg) in updates {
+            let r = ctl.update(tc, tg);
+            prop_assert!((0.0..=0.90 + 1e-12).contains(&r));
+            let k = r / 0.05;
+            prop_assert!((k - k.round()).abs() < 1e-9, "share off grid: {r}");
+        }
+    }
+
+    #[test]
+    fn division_moves_toward_the_slower_side(tc in 0.01..100.0f64, tg in 0.01..100.0f64) {
+        prop_assume!((tc - tg).abs() > 1e-9);
+        let mut ctl = DivisionController::new(
+            0.45,
+            DivisionParams {
+                safeguard: false,
+                ..DivisionParams::default()
+            },
+        );
+        let before = ctl.share();
+        let after = ctl.update(tc, tg);
+        if tc > tg {
+            prop_assert!(after < before, "CPU slower but share rose");
+        } else {
+            prop_assert!(after > before, "GPU slower but share fell");
+        }
+    }
+
+    #[test]
+    fn safeguard_only_ever_holds_never_reverses(updates in proptest::collection::vec((0.0..10.0f64, 0.0..10.0f64), 1..100)) {
+        // With and without safeguard, the *direction* of any move matches
+        // the slower side; the safeguard can only convert moves into holds.
+        let mut with = DivisionController::new(0.45, DivisionParams::default());
+        let mut without = DivisionController::new(
+            0.45,
+            DivisionParams {
+                safeguard: false,
+                ..DivisionParams::default()
+            },
+        );
+        for &(tc, tg) in &updates {
+            let wb = with.share();
+            let wa = with.update(tc, tg);
+            if (wa - wb).abs() > 1e-12 {
+                // A move with the safeguard must match the unsafeguarded
+                // direction rule.
+                let expected_up = tc < tg;
+                prop_assert_eq!(wa > wb, expected_up);
+            }
+            without.update(tc, tg);
+        }
+        prop_assert!(with.moves() <= without.moves() + updates.len() as u64);
+    }
+}

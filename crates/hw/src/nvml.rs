@@ -1,0 +1,220 @@
+//! An NVML-flavored compatibility facade.
+//!
+//! The paper's tooling is `nvidia-smi` (reads) and `nvidia-settings`
+//! (writes) over the driver's management interface — the ancestor of
+//! today's NVML. Downstream code written against NVML's vocabulary
+//! (`utilization.gpu` / `utilization.memory` percentages, clock queries in
+//! MHz, application-clock setting) can drive the simulated card through
+//! this module unchanged, which is the porting surface a real GreenGPU
+//! deployment would use.
+//!
+//! The facade is deliberately thin: every call maps 1:1 onto the
+//! [`crate::smi::Smi`] sensor or the [`crate::platform::Platform`]
+//! actuation path, with NVML's percentage/enum conventions.
+
+use crate::platform::Platform;
+use crate::smi::Smi;
+use greengpu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// NVML-style utilization sample: integer percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationRates {
+    /// Percent of time the GPU cores were busy (`utilization.gpu`).
+    pub gpu: u32,
+    /// Percent of time the memory controller was busy
+    /// (`utilization.memory`).
+    pub memory: u32,
+}
+
+/// NVML clock domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockType {
+    /// Graphics (core) clock.
+    Graphics,
+    /// Memory clock.
+    Memory,
+}
+
+/// Errors in NVML style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NvmlError {
+    /// The requested clock value is not one of the supported levels.
+    InvalidClock,
+}
+
+impl std::fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmlError::InvalidClock => write!(f, "requested clock is not a supported level"),
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+/// A device handle over the simulated card — the `nvmlDevice_t` analog.
+///
+/// Holds its own polling sensor, so successive utilization queries report
+/// over disjoint windows exactly like repeated `nvidia-smi` invocations.
+///
+/// ```
+/// use greengpu_hw::nvml::{ClockType, NvmlDevice};
+/// use greengpu_hw::Platform;
+/// use greengpu_sim::SimTime;
+///
+/// let mut platform = Platform::best_performance_testbed();
+/// let dev = NvmlDevice::open();
+/// assert_eq!(dev.clock_info(&platform, ClockType::Memory), 900);
+/// dev.set_applications_clocks(&mut platform, SimTime::from_secs(1), 820, 408).unwrap();
+/// assert_eq!(dev.clock_info(&platform, ClockType::Graphics), 408);
+/// ```
+#[derive(Debug, Default)]
+pub struct NvmlDevice {
+    smi: Smi,
+}
+
+impl NvmlDevice {
+    /// Opens a handle (the `nvmlDeviceGetHandleByIndex(0)` analog).
+    pub fn open() -> Self {
+        NvmlDevice { smi: Smi::new() }
+    }
+
+    /// `nvmlDeviceGetUtilizationRates`: windowed utilizations as integer
+    /// percentages since the previous query.
+    pub fn utilization_rates(&mut self, platform: &Platform, now: SimTime) -> UtilizationRates {
+        let r = self.smi.poll_gpu(platform.gpu(), now);
+        UtilizationRates {
+            gpu: (r.u_core * 100.0).round() as u32,
+            memory: (r.u_mem * 100.0).round() as u32,
+        }
+    }
+
+    /// `nvmlDeviceGetClockInfo`: the current clock of a domain in MHz.
+    pub fn clock_info(&self, platform: &Platform, clock: ClockType) -> u32 {
+        let mhz = match clock {
+            ClockType::Graphics => platform.gpu().core().current_mhz(),
+            ClockType::Memory => platform.gpu().mem().current_mhz(),
+        };
+        mhz.round() as u32
+    }
+
+    /// `nvmlDeviceGetSupportedGraphicsClocks` / memory analog: the level
+    /// table in MHz, descending like NVML reports them.
+    pub fn supported_clocks(&self, platform: &Platform, clock: ClockType) -> Vec<u32> {
+        let spec = platform.gpu().spec();
+        let mut levels: Vec<u32> = match clock {
+            ClockType::Graphics => spec.core_levels_mhz.iter().map(|&m| m.round() as u32).collect(),
+            ClockType::Memory => spec.mem_levels_mhz.iter().map(|&m| m.round() as u32).collect(),
+        };
+        levels.reverse();
+        levels
+    }
+
+    /// `nvmlDeviceSetApplicationsClocks`: pins both domains to the given
+    /// MHz values (each must be a supported level — the
+    /// `nvidia-settings` coolbits path the paper uses).
+    pub fn set_applications_clocks(
+        &self,
+        platform: &mut Platform,
+        now: SimTime,
+        mem_mhz: u32,
+        graphics_mhz: u32,
+    ) -> Result<(), NvmlError> {
+        let spec = platform.gpu().spec();
+        let core_idx = spec
+            .core_levels_mhz
+            .iter()
+            .position(|&m| m.round() as u32 == graphics_mhz)
+            .ok_or(NvmlError::InvalidClock)?;
+        let mem_idx = spec
+            .mem_levels_mhz
+            .iter()
+            .position(|&m| m.round() as u32 == mem_mhz)
+            .ok_or(NvmlError::InvalidClock)?;
+        platform.set_gpu_levels(now, core_idx, mem_idx);
+        Ok(())
+    }
+
+    /// `nvmlDeviceGetPowerUsage`: instantaneous board power in milliwatts
+    /// (NVML's unit).
+    pub fn power_usage_mw(&self, platform: &Platform, now: SimTime) -> u32 {
+        (platform.gpu_meter().power_at(now) * 1000.0).round() as u32
+    }
+
+    /// `nvmlDeviceGetTotalEnergyConsumption`: energy since boot in
+    /// millijoules (NVML's unit).
+    pub fn total_energy_consumption_mj(&self, platform: &Platform, now: SimTime) -> u64 {
+        (platform.gpu_energy_j(SimTime::ZERO, now) * 1000.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_rates_report_percentages_over_windows() {
+        let mut p = Platform::best_performance_testbed();
+        p.set_gpu_activity(SimTime::ZERO, 0.87, 0.23);
+        let mut dev = NvmlDevice::open();
+        let u = dev.utilization_rates(&p, SimTime::from_secs(3));
+        assert_eq!(u.gpu, 87);
+        assert_eq!(u.memory, 23);
+        // Next window sees only new activity.
+        p.set_gpu_activity(SimTime::from_secs(3), 0.0, 0.0);
+        let u = dev.utilization_rates(&p, SimTime::from_secs(6));
+        assert_eq!(u.gpu, 0);
+    }
+
+    #[test]
+    fn clock_info_matches_domains() {
+        let p = Platform::best_performance_testbed();
+        let dev = NvmlDevice::open();
+        assert_eq!(dev.clock_info(&p, ClockType::Graphics), 576);
+        assert_eq!(dev.clock_info(&p, ClockType::Memory), 900);
+    }
+
+    #[test]
+    fn supported_clocks_descend_like_nvml() {
+        let p = Platform::default_testbed();
+        let dev = NvmlDevice::open();
+        let mem = dev.supported_clocks(&p, ClockType::Memory);
+        assert_eq!(mem, vec![900, 820, 740, 660, 580, 500]);
+        let gfx = dev.supported_clocks(&p, ClockType::Graphics);
+        assert_eq!(gfx.first(), Some(&576));
+        assert_eq!(gfx.last(), Some(&296));
+    }
+
+    #[test]
+    fn set_applications_clocks_round_trips() {
+        let mut p = Platform::best_performance_testbed();
+        let dev = NvmlDevice::open();
+        dev.set_applications_clocks(&mut p, SimTime::from_secs(1), 820, 408)
+            .expect("valid levels");
+        assert_eq!(dev.clock_info(&p, ClockType::Graphics), 408);
+        assert_eq!(dev.clock_info(&p, ClockType::Memory), 820);
+    }
+
+    #[test]
+    fn unsupported_clock_is_rejected() {
+        let mut p = Platform::default_testbed();
+        let dev = NvmlDevice::open();
+        let err = dev
+            .set_applications_clocks(&mut p, SimTime::ZERO, 850, 408)
+            .unwrap_err();
+        assert_eq!(err, NvmlError::InvalidClock);
+        assert!(err.to_string().contains("not a supported level"));
+    }
+
+    #[test]
+    fn power_and_energy_use_nvml_units() {
+        let mut p = Platform::best_performance_testbed();
+        p.set_gpu_activity(SimTime::ZERO, 1.0, 1.0);
+        let dev = NvmlDevice::open();
+        let mw = dev.power_usage_mw(&p, SimTime::from_secs(1));
+        assert_eq!(mw, 230_000, "peak board power in mW");
+        let mj = dev.total_energy_consumption_mj(&p, SimTime::from_secs(10));
+        assert_eq!(mj, 2_300_000, "10 s at 230 W in mJ");
+    }
+}

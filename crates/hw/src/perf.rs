@@ -1,0 +1,241 @@
+//! Roofline-with-overlap timing model.
+//!
+//! The scaling tier of GreenGPU only needs the *phenomenology* the paper's
+//! §III case study measures on real hardware:
+//!
+//! 1. throttling the under-utilized domain is (almost) free until that
+//!    domain becomes the bottleneck, and saves energy;
+//! 2. throttling the bottleneck domain stretches execution time roughly
+//!    proportionally to `1/f` and costs energy.
+//!
+//! Both fall out of a roofline model with partial compute/memory overlap:
+//! the kernel's compute work drains at a rate set by the core clock, its
+//! DRAM traffic drains at a rate set by the memory clock, the two overlap by
+//! a factor `ovl`, and the measured utilizations are the fraction of the
+//! busy period each side is active.
+
+use serde::{Deserialize, Serialize};
+
+/// The cost of a kernel (or kernel phase) on a device: scalar operations to
+/// execute and DRAM bytes to move.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkUnits {
+    /// Scalar operations (the roofline's compute axis).
+    pub ops: f64,
+    /// Bytes of DRAM traffic (the roofline's memory axis).
+    pub bytes: f64,
+}
+
+impl WorkUnits {
+    /// A zero-cost unit of work.
+    pub const ZERO: WorkUnits = WorkUnits { ops: 0.0, bytes: 0.0 };
+
+    /// Builds a cost from operations and bytes.
+    pub fn new(ops: f64, bytes: f64) -> Self {
+        debug_assert!(ops >= 0.0 && bytes >= 0.0, "work must be non-negative");
+        WorkUnits { ops, bytes }
+    }
+
+    /// True when there is nothing to do.
+    pub fn is_zero(&self) -> bool {
+        self.ops <= 0.0 && self.bytes <= 0.0
+    }
+
+    /// Scales both components, e.g. to take the remaining fraction of a
+    /// partially executed phase or a `1-r` slice of a divisible iteration.
+    pub fn scale(&self, k: f64) -> WorkUnits {
+        debug_assert!(k >= 0.0);
+        WorkUnits {
+            ops: self.ops * k,
+            bytes: self.bytes * k,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &WorkUnits) -> WorkUnits {
+        WorkUnits {
+            ops: self.ops + other.ops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// Arithmetic intensity (ops per byte); infinite for pure-compute work.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ops / self.bytes
+        }
+    }
+}
+
+/// Timing decomposition of a GPU kernel at fixed frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuTiming {
+    /// Total execution time in seconds.
+    pub total_s: f64,
+    /// Pure-compute time `Tc = ops / compute_rate`.
+    pub compute_s: f64,
+    /// Pure-memory time `Tm = bytes / mem_bandwidth`.
+    pub memory_s: f64,
+    /// Core utilization over the busy period (`Tc / T`), the model analog of
+    /// nvidia-smi's "GPU busy cycles / total cycles".
+    pub u_core: f64,
+    /// Memory utilization over the busy period (`Tm / T`), the analog of
+    /// "actual bandwidth / rated peak bandwidth".
+    pub u_mem: f64,
+}
+
+/// Computes the roofline-with-overlap timing of `work` given the device's
+/// drain rates.
+///
+/// * `ops_per_sec` — compute throughput at the current core frequency.
+/// * `bytes_per_sec` — DRAM bandwidth at the current memory frequency.
+/// * `overlap` — fraction of the shorter side hidden under the longer side,
+///   in `[0, 1]`. `1.0` is perfect overlap (`T = max`), `0.0` is fully
+///   serialized (`T = Tc + Tm`).
+pub fn gpu_timing(work: &WorkUnits, ops_per_sec: f64, bytes_per_sec: f64, overlap: f64) -> GpuTiming {
+    assert!(ops_per_sec > 0.0 && bytes_per_sec > 0.0, "rates must be positive");
+    assert!((0.0..=1.0).contains(&overlap), "overlap must be in [0,1]");
+    let tc = work.ops / ops_per_sec;
+    let tm = work.bytes / bytes_per_sec;
+    let total = tc.max(tm) + (1.0 - overlap) * tc.min(tm);
+    if total <= 0.0 {
+        return GpuTiming {
+            total_s: 0.0,
+            compute_s: 0.0,
+            memory_s: 0.0,
+            u_core: 0.0,
+            u_mem: 0.0,
+        };
+    }
+    GpuTiming {
+        total_s: total,
+        compute_s: tc,
+        memory_s: tm,
+        u_core: (tc / total).min(1.0),
+        u_mem: (tm / total).min(1.0),
+    }
+}
+
+/// CPU-side kernel time: `ops / (cores · ops_per_core_per_sec)`, with an
+/// optional memory-bandwidth floor (the CPU roofline).
+pub fn cpu_time(work: &WorkUnits, cores: usize, ops_per_core_per_sec: f64, mem_bytes_per_sec: f64) -> f64 {
+    assert!(cores > 0 && ops_per_core_per_sec > 0.0 && mem_bytes_per_sec > 0.0);
+    let tc = work.ops / (cores as f64 * ops_per_core_per_sec);
+    let tm = work.bytes / mem_bytes_per_sec;
+    tc.max(tm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_work_takes_zero_time() {
+        let t = gpu_timing(&WorkUnits::ZERO, 1e9, 1e9, 0.9);
+        assert_eq!(t.total_s, 0.0);
+        assert_eq!(t.u_core, 0.0);
+        assert_eq!(t.u_mem, 0.0);
+    }
+
+    #[test]
+    fn perfect_overlap_is_max_rule() {
+        let w = WorkUnits::new(2e9, 1e9);
+        let t = gpu_timing(&w, 1e9, 1e9, 1.0);
+        assert!((t.total_s - 2.0).abs() < 1e-12);
+        assert!((t.u_core - 1.0).abs() < 1e-12);
+        assert!((t.u_mem - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_is_sum_rule() {
+        let w = WorkUnits::new(2e9, 1e9);
+        let t = gpu_timing(&w, 1e9, 1e9, 0.0);
+        assert!((t.total_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_bound_kernel_is_insensitive_to_memory_clock() {
+        // Paper Fig. 1a: lowering memory frequency barely moves nbody's time.
+        let w = WorkUnits::new(100e9, 1e9); // intensity 100 ops/B: core-bound
+        let fast_mem = gpu_timing(&w, 1e9, 80e9, 0.85);
+        let slow_mem = gpu_timing(&w, 1e9, 45e9, 0.85);
+        let stretch = slow_mem.total_s / fast_mem.total_s;
+        assert!(stretch < 1.01, "core-bound stretch {stretch}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_stretches_with_memory_clock() {
+        // Paper Fig. 1a: lowering memory frequency hurts streamcluster.
+        let w = WorkUnits::new(1e9, 100e9);
+        let fast = gpu_timing(&w, 1e9, 80e9, 0.85);
+        let slow = gpu_timing(&w, 1e9, 40e9, 0.85);
+        // Bandwidth halves; the fixed compute tail damps the stretch a bit
+        // below 2× (tc=1, tm: 1.25→2.5, T: 1.40→2.65 ⇒ ~1.9×).
+        let stretch = slow.total_s / fast.total_s;
+        assert!((1.8..2.0).contains(&stretch), "memory-bound stretch {stretch}");
+    }
+
+    #[test]
+    fn total_time_monotone_in_each_rate() {
+        let w = WorkUnits::new(5e9, 3e9);
+        let base = gpu_timing(&w, 1e9, 1e9, 0.7).total_s;
+        assert!(gpu_timing(&w, 2e9, 1e9, 0.7).total_s <= base);
+        assert!(gpu_timing(&w, 1e9, 2e9, 0.7).total_s <= base);
+        assert!(gpu_timing(&w, 0.5e9, 1e9, 0.7).total_s >= base);
+    }
+
+    #[test]
+    fn utilizations_are_fractions_of_busy_time() {
+        let w = WorkUnits::new(4e9, 1e9);
+        let t = gpu_timing(&w, 1e9, 1e9, 0.5);
+        // tc=4, tm=1, T = 4 + 0.5*1 = 4.5
+        assert!((t.total_s - 4.5).abs() < 1e-12);
+        assert!((t.u_core - 4.0 / 4.5).abs() < 1e-12);
+        assert!((t.u_mem - 1.0 / 4.5).abs() < 1e-12);
+        assert!(t.u_core <= 1.0 && t.u_mem <= 1.0);
+    }
+
+    #[test]
+    fn cpu_time_scales_with_cores_and_frequency() {
+        let w = WorkUnits::new(10e9, 1e6);
+        let one = cpu_time(&w, 1, 5e9, 10e9);
+        let two = cpu_time(&w, 2, 5e9, 10e9);
+        assert!((one / two - 2.0).abs() < 1e-9);
+        let slow = cpu_time(&w, 1, 2.5e9, 10e9);
+        assert!((slow / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_time_hits_bandwidth_floor() {
+        let w = WorkUnits::new(1e6, 10e9); // trivially few ops, lots of bytes
+        let t = cpu_time(&w, 2, 5e9, 5e9);
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_units_helpers() {
+        let w = WorkUnits::new(10.0, 4.0);
+        assert!((w.intensity() - 2.5).abs() < 1e-12);
+        assert_eq!(WorkUnits::new(1.0, 0.0).intensity(), f64::INFINITY);
+        let s = w.scale(0.5);
+        assert_eq!(s, WorkUnits::new(5.0, 2.0));
+        let sum = w.add(&s);
+        assert_eq!(sum, WorkUnits::new(15.0, 6.0));
+        assert!(WorkUnits::ZERO.is_zero());
+        assert!(!w.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_panics() {
+        gpu_timing(&WorkUnits::new(1.0, 1.0), 0.0, 1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn bad_overlap_panics() {
+        gpu_timing(&WorkUnits::new(1.0, 1.0), 1.0, 1.0, 1.5);
+    }
+}

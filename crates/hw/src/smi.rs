@@ -1,0 +1,151 @@
+//! The `nvidia-smi`-like sensor facade.
+//!
+//! GreenGPU's frequency-scaling tier reads GPU core and memory utilization
+//! with `nvidia-smi` once per interval (3 s in the paper's trace). nvidia-smi
+//! reports utilizations averaged over its sampling window: core utilization
+//! is "GPU busy cycles / total cycles", memory utilization is "actual
+//! bandwidth / rated peak bandwidth" (§III-A). [`Smi`] reproduces that: each
+//! `poll` returns the time-weighted mean of the model's utilization traces
+//! since the previous poll.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use greengpu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One `nvidia-smi` style readout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmiReading {
+    /// Windowed GPU core utilization in `[0,1]`.
+    pub u_core: f64,
+    /// Windowed GPU memory utilization in `[0,1]`.
+    pub u_mem: f64,
+    /// Current core clock in MHz.
+    pub core_mhz: f64,
+    /// Current memory clock in MHz.
+    pub mem_mhz: f64,
+}
+
+/// One `/proc/stat`-style CPU readout for the ondemand governor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuReading {
+    /// Windowed aggregate CPU utilization in `[0,1]`.
+    pub util: f64,
+    /// Current P-state frequency in MHz.
+    pub mhz: f64,
+}
+
+/// A polling utilization sensor. Holds only the previous poll instant, so
+/// successive polls see disjoint windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Smi {
+    last_poll: SimTime,
+}
+
+impl Default for Smi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Smi {
+    /// Creates a sensor whose first window starts at t = 0.
+    pub fn new() -> Self {
+        Smi {
+            last_poll: SimTime::ZERO,
+        }
+    }
+
+    /// Reads GPU utilizations averaged over `[last_poll, now)` and advances
+    /// the window. A zero-length window returns the instantaneous values.
+    pub fn poll_gpu(&mut self, gpu: &GpuModel, now: SimTime) -> SmiReading {
+        let (u_core, u_mem) = if now > self.last_poll {
+            (
+                gpu.u_core_trace().mean(self.last_poll, now),
+                gpu.u_mem_trace().mean(self.last_poll, now),
+            )
+        } else {
+            (
+                gpu.u_core_trace().value_at(now),
+                gpu.u_mem_trace().value_at(now),
+            )
+        };
+        self.last_poll = now;
+        SmiReading {
+            u_core,
+            u_mem,
+            core_mhz: gpu.core().current_mhz(),
+            mem_mhz: gpu.mem().current_mhz(),
+        }
+    }
+
+    /// Reads CPU utilization averaged over `[last_poll, now)` and advances
+    /// the window.
+    pub fn poll_cpu(&mut self, cpu: &CpuModel, now: SimTime) -> CpuReading {
+        let util = if now > self.last_poll {
+            cpu.util_trace().mean(self.last_poll, now)
+        } else {
+            cpu.util_trace().value_at(now)
+        };
+        self.last_poll = now;
+        CpuReading {
+            util,
+            mhz: cpu.domain().current_mhz(),
+        }
+    }
+
+    /// The start of the next window.
+    pub fn window_start(&self) -> SimTime {
+        self.last_poll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::{geforce_8800_gtx, phenom_ii_x2};
+
+    #[test]
+    fn poll_averages_over_window() {
+        let mut gpu = GpuModel::new(geforce_8800_gtx(), 5, 5);
+        gpu.set_activity(SimTime::ZERO, 1.0, 0.4);
+        gpu.set_activity(SimTime::from_secs(1), 0.0, 0.0);
+        let mut smi = Smi::new();
+        let r = smi.poll_gpu(&gpu, SimTime::from_secs(2));
+        assert!((r.u_core - 0.5).abs() < 1e-9);
+        assert!((r.u_mem - 0.2).abs() < 1e-9);
+        assert_eq!(r.core_mhz, 576.0);
+        assert_eq!(r.mem_mhz, 900.0);
+    }
+
+    #[test]
+    fn successive_polls_use_disjoint_windows() {
+        let mut gpu = GpuModel::new(geforce_8800_gtx(), 5, 5);
+        gpu.set_activity(SimTime::ZERO, 1.0, 1.0);
+        let mut smi = Smi::new();
+        let _ = smi.poll_gpu(&gpu, SimTime::from_secs(1));
+        gpu.set_activity(SimTime::from_secs(1), 0.0, 0.0);
+        let r = smi.poll_gpu(&gpu, SimTime::from_secs(2));
+        assert!(r.u_core.abs() < 1e-9, "second window must not see first-window activity");
+    }
+
+    #[test]
+    fn zero_length_window_reads_instantaneous() {
+        let mut gpu = GpuModel::new(geforce_8800_gtx(), 5, 5);
+        gpu.set_activity(SimTime::ZERO, 0.7, 0.3);
+        let mut smi = Smi::new();
+        let r = smi.poll_gpu(&gpu, SimTime::ZERO);
+        assert!((r.u_core - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_poll_reads_util_and_freq() {
+        let mut cpu = CpuModel::new(phenom_ii_x2(), 3);
+        cpu.set_activity(SimTime::ZERO, 1.0, 2);
+        cpu.set_activity(SimTime::from_secs(3), 0.0, 2);
+        let mut smi = Smi::new();
+        let r = smi.poll_cpu(&cpu, SimTime::from_secs(4));
+        assert!((r.util - 0.75).abs() < 1e-9);
+        assert_eq!(r.mhz, 2800.0);
+    }
+}

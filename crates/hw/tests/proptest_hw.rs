@@ -1,0 +1,130 @@
+//! Property-based tests for the platform models.
+
+use greengpu_hw::calib::{geforce_8800_gtx, phenom_ii_x2};
+use greengpu_hw::{cpu_time, gpu_timing, Platform, Smi, WorkUnits};
+use greengpu_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roofline_total_bounded_by_sum_and_max(ops in 1.0..1e14f64, bytes in 1.0..1e13f64,
+                                             overlap in 0.0..1.0f64) {
+        let w = WorkUnits::new(ops, bytes);
+        let t = gpu_timing(&w, 1e11, 1e10, overlap);
+        let tc = ops / 1e11;
+        let tm = bytes / 1e10;
+        prop_assert!(t.total_s >= tc.max(tm) - 1e-12, "below max rule");
+        prop_assert!(t.total_s <= tc + tm + 1e-12, "above sum rule");
+        prop_assert!((0.0..=1.0).contains(&t.u_core));
+        prop_assert!((0.0..=1.0).contains(&t.u_mem));
+        // Utilizations cover the busy time: the bottleneck side is fully
+        // utilized under perfect overlap.
+        if overlap == 1.0 {
+            prop_assert!((t.u_core.max(t.u_mem) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roofline_scales_inversely_with_rates(ops in 1e6..1e14f64, bytes in 1e6..1e13f64,
+                                            k in 1.1..10.0f64) {
+        let w = WorkUnits::new(ops, bytes);
+        let slow = gpu_timing(&w, 1e11, 1e10, 0.85);
+        let fast = gpu_timing(&w, 1e11 * k, 1e10 * k, 0.85);
+        // Scaling both rates by k scales time by exactly 1/k.
+        prop_assert!((fast.total_s * k - slow.total_s).abs() < slow.total_s * 1e-9);
+    }
+
+    #[test]
+    fn gpu_power_is_monotone_in_every_argument(f1 in 0.3..1.0f64, f2 in 0.3..1.0f64,
+                                               a1 in 0.0..1.0f64, a2 in 0.0..1.0f64) {
+        let spec = geforce_8800_gtx();
+        let base = spec.power_w(f1, f2, a1, a2);
+        prop_assert!(spec.power_w((f1 + 0.1).min(1.0), f2, a1, a2) >= base);
+        prop_assert!(spec.power_w(f1, (f2 + 0.1).min(1.0), a1, a2) >= base);
+        prop_assert!(spec.power_w(f1, f2, (a1 + 0.1).min(1.0), a2) >= base);
+        prop_assert!(spec.power_w(f1, f2, a1, (a2 + 0.1).min(1.0)) >= base);
+        prop_assert!(base >= spec.p_static_w);
+        prop_assert!(base <= spec.peak_power_w() + 1e-9);
+    }
+
+    #[test]
+    fn cpu_power_envelope_holds(level in 0usize..4, util in 0.0..1.0f64) {
+        let spec = phenom_ii_x2();
+        let p = spec.power_w(level, util, 2);
+        prop_assert!(p >= spec.p_box_w);
+        prop_assert!(p <= spec.peak_power_w() + 1e-9);
+        // DVFS monotonicity in the P-state.
+        if level + 1 < 4 {
+            prop_assert!(spec.power_w(level + 1, util, 2) >= p);
+        }
+    }
+
+    #[test]
+    fn cpu_time_monotone_in_cores_and_rate(ops in 1e6..1e13f64, cores in 1usize..8) {
+        let w = WorkUnits::new(ops, 0.0);
+        let t1 = cpu_time(&w, cores, 1e9, 1e12);
+        let t2 = cpu_time(&w, cores + 1, 1e9, 1e12);
+        prop_assert!(t2 <= t1 + 1e-12);
+        let t3 = cpu_time(&w, cores, 2e9, 1e12);
+        prop_assert!(t3 <= t1 + 1e-12);
+    }
+
+    #[test]
+    fn platform_energy_is_time_monotone(activity in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..20)) {
+        let mut p = Platform::best_performance_testbed();
+        for (i, &(uc, um)) in activity.iter().enumerate() {
+            p.set_gpu_activity(SimTime::from_secs(i as u64), uc, um);
+        }
+        let n = activity.len() as u64;
+        let mut last = 0.0;
+        for s in 1..=n + 5 {
+            let e = p.total_energy_j(SimTime::ZERO, SimTime::from_secs(s));
+            prop_assert!(e >= last, "energy decreased over time");
+            prop_assert!(e > 0.0);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn smi_windows_partition_exactly(utils in proptest::collection::vec(0.0..1.0f64, 2..20)) {
+        // Mean over the union of adjacent windows equals the time-weighted
+        // mean of the window means.
+        let mut p = Platform::best_performance_testbed();
+        for (i, &u) in utils.iter().enumerate() {
+            p.set_gpu_activity(SimTime::from_secs(i as u64), u, u);
+        }
+        let end = utils.len() as u64;
+        let mut smi = Smi::new();
+        let mid = end / 2;
+        let r1 = smi.poll_gpu(p.gpu(), SimTime::from_secs(mid));
+        let r2 = smi.poll_gpu(p.gpu(), SimTime::from_secs(end));
+        let stitched = (r1.u_core * mid as f64 + r2.u_core * (end - mid) as f64) / end as f64;
+        let whole = p.gpu().u_core_trace().mean(SimTime::ZERO, SimTime::from_secs(end));
+        prop_assert!((stitched - whole).abs() < 1e-9, "windows don't partition: {stitched} vs {whole}");
+    }
+
+    #[test]
+    fn frequency_levels_round_trip(core in 0usize..6, mem in 0usize..6) {
+        let mut p = Platform::default_testbed();
+        p.set_gpu_levels(SimTime::from_secs(1), core, mem);
+        prop_assert_eq!(p.gpu().core().current_level(), core);
+        prop_assert_eq!(p.gpu().mem().current_level(), mem);
+        let spec = geforce_8800_gtx();
+        prop_assert_eq!(p.gpu().core().current_mhz(), spec.core_levels_mhz[core]);
+        prop_assert_eq!(p.gpu().mem().current_mhz(), spec.mem_levels_mhz[mem]);
+    }
+
+    #[test]
+    fn gpu_dynamic_energy_never_exceeds_total(uc in 0.0..1.0f64, um in 0.0..1.0f64,
+                                              secs in 1u64..100) {
+        let mut p = Platform::best_performance_testbed();
+        p.set_gpu_activity(SimTime::ZERO, uc, um);
+        let end = SimTime::from_secs(secs);
+        let total = p.gpu_energy_j(SimTime::ZERO, end);
+        let dynamic = p.gpu_dynamic_energy_j(SimTime::ZERO, end);
+        prop_assert!(dynamic >= -1e-9, "dynamic energy negative: {dynamic}");
+        prop_assert!(dynamic <= total + 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fig. 5 — runtime trace of the frequency-scaling tier on streamcluster.
+//!
+//! The paper's trace: core and memory utilizations with the frequencies
+//! the WMA scaler enforces (3 s interval, starting from the driver-default
+//! lowest clocks), and the power draw against the *best-performance*
+//! baseline. The memory clock converges to 820 MHz; the core clock tracks
+//! the utilization ramps.
+
+use super::ExperimentOutput;
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::{RunConfig, RunReport};
+use greengpu_sim::{table::fnum, SimDuration, SimTime, Table};
+use greengpu_workloads::streamcluster::StreamCluster;
+
+/// Sampling period of the rendered trace (the meters' 1 Hz, decimated for
+/// the markdown table; the CSV keeps every sample).
+const TRACE_PERIOD_S: u64 = 3;
+
+/// Runs the Fig. 5 trace.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let ours = run_with_config(
+        &mut StreamCluster::paper(seed),
+        GreenGpuConfig::scaling_only(),
+        RunConfig::sweep(),
+    );
+    let base = run_best_performance_with(&mut StreamCluster::paper(seed), RunConfig::sweep());
+
+    let table = trace_table(&ours, &base);
+    let final_mem = ours.platform.gpu().mem().current_mhz();
+    let mem_mhz_trace = ours.platform.gpu().mem().trace();
+    let settled_mem = mem_mhz_trace.value_at(ours.total_time.into_time());
+    let time_overhead = ours.total_time.as_secs_f64() / base.total_time.as_secs_f64() - 1.0;
+    let energy_saving = 1.0 - ours.gpu_energy_j / base.gpu_energy_j;
+
+    ExperimentOutput {
+        id: "fig5",
+        title: "Frequency scaling trace on streamcluster (ours vs best-performance)",
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "Memory clock settles at {settled_mem} MHz (paper: converges to 820 MHz, below the 900 MHz peak). Final level: {final_mem} MHz."
+            ),
+            format!(
+                "GPU energy saving vs best-performance: {:.2}% with {:.2}% execution-time delta (paper: lower average power at similar execution time).",
+                energy_saving * 100.0,
+                time_overhead * 100.0
+            ),
+        ],
+    }
+}
+
+/// Extension trait: SimDuration → SimTime at the same offset from zero.
+trait IntoTime {
+    fn into_time(self) -> SimTime;
+}
+impl IntoTime for SimDuration {
+    fn into_time(self) -> SimTime {
+        SimTime::ZERO + self
+    }
+}
+
+fn trace_table(ours: &RunReport, base: &RunReport) -> Table {
+    let mut t = Table::new(
+        "Fig. 5 — utilizations, enforced frequencies, and power over time",
+        &[
+            "t (s)",
+            "u_core",
+            "core MHz",
+            "u_mem",
+            "mem MHz",
+            "P ours (W)",
+            "P best-perf (W)",
+        ],
+    );
+    let gpu = ours.platform.gpu();
+    let end_s = ours.total_time.as_secs_f64().min(120.0) as u64;
+    let mut s = 0;
+    while s <= end_s {
+        let at = SimTime::from_secs(s);
+        let window = SimTime::from_secs(s.saturating_sub(TRACE_PERIOD_S));
+        t.row(&[
+            s.to_string(),
+            fnum(gpu.u_core_trace().mean(window, at.max(SimTime::from_secs(1))), 2),
+            fnum(gpu.core().trace().value_at(at), 0),
+            fnum(gpu.u_mem_trace().mean(window, at.max(SimTime::from_secs(1))), 2),
+            fnum(gpu.mem().trace().value_at(at), 0),
+            fnum(ours.platform.gpu_meter().power_at(at), 1),
+            fnum(base.platform.gpu_meter().power_at(at), 1),
+        ]);
+        s += TRACE_PERIOD_S;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_clock_converges_to_820() {
+        let ours = run_with_config(
+            &mut StreamCluster::paper(3),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+        );
+        // The paper's headline trace claim: the scaler settles SC's memory
+        // at 820 MHz (one level below peak).
+        let end = SimTime::ZERO + ours.total_time;
+        let half = SimTime::from_micros(end.as_micros() / 2);
+        let settled = ours.platform.gpu().mem().trace().mean(half, end);
+        assert!(
+            (settled - 820.0).abs() < 25.0,
+            "memory settled at {settled} MHz, expected ~820"
+        );
+    }
+
+    #[test]
+    fn core_clock_settles_near_410() {
+        // §III-A / Fig. 1d: SC's core sweet spot is ~410 MHz; the scaler
+        // should find the 408 MHz level.
+        let ours = run_with_config(
+            &mut StreamCluster::paper(3),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+        );
+        let end = SimTime::ZERO + ours.total_time;
+        let half = SimTime::from_micros(end.as_micros() / 2);
+        let settled = ours.platform.gpu().core().trace().mean(half, end);
+        assert!(
+            (settled - 408.0).abs() < 60.0,
+            "core settled at {settled} MHz, expected ~408"
+        );
+    }
+
+    #[test]
+    fn frequencies_start_at_driver_default_lowest() {
+        let ours = run_with_config(
+            &mut StreamCluster::paper(3),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+        );
+        assert_eq!(ours.platform.gpu().core().trace().value_at(SimTime::ZERO), 296.0);
+        assert_eq!(ours.platform.gpu().mem().trace().value_at(SimTime::ZERO), 500.0);
+    }
+
+    #[test]
+    fn average_power_is_below_best_performance() {
+        let ours = run_with_config(
+            &mut StreamCluster::paper(4),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+        );
+        let base = run_best_performance_with(&mut StreamCluster::paper(4), RunConfig::sweep());
+        let p_ours = ours.gpu_energy_j / ours.total_time.as_secs_f64();
+        let p_base = base.gpu_energy_j / base.total_time.as_secs_f64();
+        assert!(p_ours < p_base, "ours {p_ours} W vs base {p_base} W");
+    }
+
+    #[test]
+    fn trace_table_renders_rows() {
+        let out = run(5);
+        assert!(out.tables[0].len() >= 10, "trace too short");
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 7 — workload-division traces for kmeans and hotspot.
+//!
+//! The division tier alone (frequency scaling disabled, clocks at peak),
+//! starting from the paper's 30 % initial CPU share: per-iteration CPU
+//! share, `tc` and `tg`. The paper's traces converge in ~4 iterations —
+//! kmeans to 20/80 CPU/GPU, hotspot to 50/50.
+
+use super::ExperimentOutput;
+use greengpu::baselines::run_with_config;
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::{RunConfig, RunReport};
+use greengpu_sim::{table::fnum, Table};
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+use greengpu_workloads::Workload;
+
+/// Runs the division-only trace for one workload.
+pub fn trace(workload: &mut dyn Workload) -> RunReport {
+    run_with_config(workload, GreenGpuConfig::division_only(), RunConfig::sweep())
+}
+
+fn trace_table(title: &str, report: &RunReport) -> Table {
+    let mut t = Table::new(title, &["iteration", "CPU share", "tc (s)", "tg (s)"]);
+    for it in &report.iterations {
+        t.row(&[
+            (it.index + 1).to_string(),
+            format!("{}%", fnum(it.cpu_share * 100.0, 0)),
+            fnum(it.tc_s, 1),
+            fnum(it.tg_s, 1),
+        ]);
+    }
+    t
+}
+
+/// Runs Fig. 7 for both workloads.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let km = trace(&mut KMeans::paper(seed));
+    let hs = trace(&mut Hotspot::paper(seed));
+    let t_km = trace_table("Fig. 7a — kmeans division trace (initial 30% CPU)", &km);
+    let t_hs = trace_table("Fig. 7b — hotspot division trace (initial 30% CPU)", &hs);
+
+    let km_final = km.iterations.last().unwrap().cpu_share;
+    let hs_final = hs.iterations.last().unwrap().cpu_share;
+    ExperimentOutput {
+        id: "fig7",
+        title: "Workload division adjusts the CPU/GPU allocation to balance completion times",
+        tables: vec![t_km, t_hs],
+        notes: vec![
+            format!(
+                "kmeans converges to {}/{} CPU/GPU (paper: 20/80, energy-optimal static 15/85).",
+                fnum(km_final * 100.0, 0),
+                fnum((1.0 - km_final) * 100.0, 0)
+            ),
+            format!(
+                "hotspot converges to {}/{} CPU/GPU (paper: exactly 50/50).",
+                fnum(hs_final * 100.0, 0),
+                fnum((1.0 - hs_final) * 100.0, 0)
+            ),
+            "tc and tg approach each other over the first ~4 iterations, minimizing idle-wait energy.".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_converges_to_twenty_eighty() {
+        let report = trace(&mut KMeans::paper(7));
+        let last = report.iterations.last().unwrap();
+        assert!(
+            (last.cpu_share - 0.20).abs() < 1e-9,
+            "kmeans settled at {}",
+            last.cpu_share
+        );
+    }
+
+    #[test]
+    fn hotspot_converges_to_fifty_fifty() {
+        let report = trace(&mut Hotspot::paper(7));
+        let last = report.iterations.last().unwrap();
+        assert!(
+            (last.cpu_share - 0.50).abs() < 1e-9,
+            "hotspot settled at {}",
+            last.cpu_share
+        );
+    }
+
+    #[test]
+    fn execution_times_balance_after_convergence() {
+        let report = trace(&mut Hotspot::paper(7));
+        let last = report.iterations.last().unwrap();
+        let imbalance = (last.tc_s - last.tg_s).abs() / last.tc_s.max(last.tg_s);
+        assert!(imbalance < 0.15, "post-convergence imbalance {imbalance}");
+    }
+
+    #[test]
+    fn convergence_happens_within_five_iterations() {
+        // Paper: "the execution times on both sides are roughly the same
+        // after 4 iterations" from the 30% start.
+        let report = trace(&mut Hotspot::paper(7));
+        let settled = report.iterations.last().unwrap().cpu_share;
+        let reached = report
+            .iterations
+            .iter()
+            .position(|it| (it.cpu_share - settled).abs() < 1e-9)
+            .unwrap();
+        assert!(reached <= 5, "took {reached} iterations to reach the final ratio");
+    }
+
+    #[test]
+    fn share_moves_toward_slower_side_each_step() {
+        let report = trace(&mut KMeans::paper(8));
+        for w in report.iterations.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            let dr = next.cpu_share - prev.cpu_share;
+            if dr > 0.0 {
+                assert!(prev.tc_s <= prev.tg_s, "share rose though CPU was slower");
+            } else if dr < 0.0 {
+                assert!(prev.tc_s >= prev.tg_s, "share fell though GPU was slower");
+            }
+        }
+    }
+}

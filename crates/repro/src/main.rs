@@ -1,0 +1,85 @@
+//! `repro` — regenerate the GreenGPU paper's tables and figures.
+//!
+//! ```text
+//! repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]
+//!
+//!   ids: table1 table2 fig1 fig2 fig5 fig6 fig7 fig8 static_search
+//! ```
+//!
+//! Prints markdown to stdout; `--csv <dir>` additionally writes each table
+//! as CSV for plotting.
+
+use greengpu_repro::experiments::{run_by_id, ALL_IDS, DEFAULT_SEED};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    seed: u64,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        seed: DEFAULT_SEED,
+        csv_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--experiment" | "-e" => {
+                args.experiment = it.next().ok_or("--experiment needs a value")?;
+            }
+            "--seed" | "-s" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--csv" => {
+                args.csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]");
+                println!("experiments: {}", ALL_IDS.join(" "));
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ids: Vec<&str> = if args.experiment == "all" {
+        ALL_IDS.to_vec()
+    } else {
+        vec![args.experiment.as_str()]
+    };
+
+    println!("# GreenGPU reproduction — experiment output (seed {})\n", args.seed);
+    for id in ids {
+        let Some(output) = run_by_id(id, args.seed) else {
+            eprintln!("error: unknown experiment '{id}' (known: {})", ALL_IDS.join(" "));
+            return ExitCode::FAILURE;
+        };
+        print!("{}", output.to_markdown());
+        if let Some(dir) = &args.csv_dir {
+            if let Err(e) = output.write_csvs(dir) {
+                eprintln!("error writing CSVs to {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

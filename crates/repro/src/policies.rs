@@ -1,0 +1,117 @@
+//! Policy dispatch shared by the `greengpu-run` CLI and tests.
+
+use greengpu::baselines::{run_best_performance_with, run_pinned, run_static_division, run_with_config};
+use greengpu::{DivisionAlgo, GovernorKind, GreenGpuConfig};
+use greengpu_runtime::{RunConfig, RunReport};
+use greengpu_workloads::Workload;
+
+/// Runs `workload` under a policy string:
+/// `greengpu | division | scaling | default | static:<pct> | pinned:<core>,<mem>`.
+pub fn run_policy(
+    workload: &mut dyn Workload,
+    policy: &str,
+    governor: GovernorKind,
+    division_algo: DivisionAlgo,
+    run_cfg: RunConfig,
+) -> Result<RunReport, String> {
+    let cfg_base = GreenGpuConfig {
+        governor,
+        division_algo,
+        ..GreenGpuConfig::holistic()
+    };
+    let report = match policy {
+        "greengpu" => run_with_config(workload, cfg_base, run_cfg),
+        "division" => run_with_config(
+            workload,
+            GreenGpuConfig {
+                gpu_scaling: false,
+                cpu_scaling: false,
+                ..cfg_base
+            },
+            run_cfg,
+        ),
+        "scaling" => run_with_config(
+            workload,
+            GreenGpuConfig {
+                division: false,
+                initial_share: 0.0,
+                ..cfg_base
+            },
+            run_cfg,
+        ),
+        "default" => run_best_performance_with(workload, run_cfg),
+        p if p.starts_with("static:") => {
+            let pct: f64 = p["static:".len()..]
+                .parse()
+                .map_err(|e| format!("bad static share: {e}"))?;
+            if !(0.0..=90.0).contains(&pct) {
+                return Err(format!("static share {pct}% outside 0..=90"));
+            }
+            run_static_division(workload, pct / 100.0, run_cfg)
+        }
+        p if p.starts_with("pinned:") => {
+            let rest = &p["pinned:".len()..];
+            let (c, m) = rest
+                .split_once(',')
+                .ok_or("pinned policy needs core,mem level indices")?;
+            let core: usize = c.parse().map_err(|e| format!("bad core level: {e}"))?;
+            let mem: usize = m.parse().map_err(|e| format!("bad mem level: {e}"))?;
+            if core > 5 || mem > 5 {
+                return Err("levels are 0..=5".to_string());
+            }
+            run_pinned(workload, core, mem, run_cfg)
+        }
+        other => return Err(format!("unknown policy \'{other}\'")),
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greengpu_workloads::kmeans::KMeans;
+
+    fn run(policy: &str) -> Result<RunReport, String> {
+        run_policy(
+            &mut KMeans::small(1),
+            policy,
+            GovernorKind::Ondemand,
+            DivisionAlgo::Stepwise,
+            RunConfig::sweep(),
+        )
+    }
+
+    #[test]
+    fn all_named_policies_run() {
+        for p in ["greengpu", "division", "scaling", "default"] {
+            let report = run(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert!(report.total_energy_j() > 0.0, "{p}");
+        }
+    }
+
+    #[test]
+    fn parameterized_policies_parse_and_run() {
+        assert!(run("static:25").is_ok());
+        assert!(run("pinned:3,4").is_ok());
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected_with_messages() {
+        let err = |p: &str| match run(p) {
+            Err(e) => e,
+            Ok(_) => panic!("{p} unexpectedly succeeded"),
+        };
+        assert!(err("bogus").contains("unknown policy"));
+        assert!(err("static:abc").contains("bad static share"));
+        assert!(err("static:95").contains("outside"));
+        assert!(err("pinned:9,9").contains("levels are"));
+        assert!(err("pinned:3").contains("core,mem"));
+    }
+
+    #[test]
+    fn policy_ordering_matches_the_paper() {
+        let green = run("greengpu").unwrap().total_energy_j();
+        let default = run("default").unwrap().total_energy_j();
+        assert!(green < default);
+    }
+}

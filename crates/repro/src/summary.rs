@@ -1,0 +1,103 @@
+//! Serializable run summaries for the CLI's `--json` output.
+
+use greengpu_runtime::{IterationRecord, RunReport};
+use greengpu_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A machine-readable snapshot of a run: totals, final clocks, and the
+/// per-iteration rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Total virtual time, seconds.
+    pub total_time_s: f64,
+    /// GPU-side energy (Meter 2), joules.
+    pub gpu_energy_j: f64,
+    /// CPU-side energy (Meter 1), joules.
+    pub cpu_energy_j: f64,
+    /// Whole-system energy, joules.
+    pub total_energy_j: f64,
+    /// Mean system power, watts.
+    pub mean_power_w: f64,
+    /// Final GPU core clock, MHz.
+    pub final_core_mhz: f64,
+    /// Final GPU memory clock, MHz.
+    pub final_mem_mhz: f64,
+    /// Final CPU P-state frequency, MHz.
+    pub final_cpu_mhz: f64,
+    /// Functional result digest (0 in sweep mode).
+    pub digest: f64,
+    /// Seconds of CPU spin-wait.
+    pub spin_s: f64,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// 1 Hz GPU power samples (what Meter 2 would log), truncated to the
+    /// first `max_samples`.
+    pub gpu_power_1hz_w: Vec<f64>,
+}
+
+/// Cap on exported 1 Hz samples (long runs stay manageable).
+pub const MAX_POWER_SAMPLES: usize = 3600;
+
+impl ReportSummary {
+    /// Builds a summary from a run report.
+    pub fn from_report(workload: &str, policy: &str, seed: u64, report: &RunReport) -> Self {
+        let secs = report.total_time.as_secs_f64().ceil() as usize;
+        let n = secs.min(MAX_POWER_SAMPLES);
+        let log = report
+            .platform
+            .gpu_meter()
+            .sample_log(SimTime::ZERO, greengpu_sim::SimDuration::from_secs(1), n);
+        ReportSummary {
+            workload: workload.to_string(),
+            policy: policy.to_string(),
+            seed,
+            total_time_s: report.total_time.as_secs_f64(),
+            gpu_energy_j: report.gpu_energy_j,
+            cpu_energy_j: report.cpu_energy_j,
+            total_energy_j: report.total_energy_j(),
+            mean_power_w: report.mean_power_w(),
+            final_core_mhz: report.platform.gpu().core().current_mhz(),
+            final_mem_mhz: report.platform.gpu().mem().current_mhz(),
+            final_cpu_mhz: report.platform.cpu().domain().current_mhz(),
+            digest: report.digest,
+            spin_s: report.spin_seconds(),
+            iterations: report.iterations.clone(),
+            gpu_power_1hz_w: log.values().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greengpu::baselines::run_best_performance;
+    use greengpu_workloads::kmeans::KMeans;
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let report = run_best_performance(&mut KMeans::small(1));
+        let summary = ReportSummary::from_report("kmeans", "default", 1, &report);
+        let json = serde_json::to_string(&summary).expect("serialize");
+        let back: ReportSummary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.workload, "kmeans");
+        assert_eq!(back.iterations.len(), summary.iterations.len());
+        // JSON float formatting round-trips within one ULP.
+        let rel = (back.total_energy_j - summary.total_energy_j).abs() / summary.total_energy_j;
+        assert!(rel < 1e-12, "energy drifted by {rel}");
+    }
+
+    #[test]
+    fn power_samples_are_bounded_and_positive() {
+        let report = run_best_performance(&mut KMeans::small(2));
+        let summary = ReportSummary::from_report("kmeans", "default", 2, &report);
+        assert!(!summary.gpu_power_1hz_w.is_empty());
+        assert!(summary.gpu_power_1hz_w.len() <= MAX_POWER_SAMPLES);
+        assert!(summary.gpu_power_1hz_w.iter().all(|&w| w > 0.0));
+    }
+}

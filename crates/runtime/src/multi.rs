@@ -1,0 +1,686 @@
+//! Multi-GPU extension.
+//!
+//! The paper's runtime structure already anticipates several accelerators:
+//! "multiple pthreads are launched in the main function. Some pthreads are
+//! in charge of CUDA execution (*one pthread for one GPU*)" (§VI). This
+//! module generalizes the division tier across a CPU plus any number of
+//! GPUs — possibly heterogeneous ones — while reusing the same device
+//! models, phase cost model, and WMA scaling per card.
+//!
+//! The division generalization keeps the paper's spirit: shares live on
+//! the 5 % integer grid, and each iteration one step of work moves from
+//! the slowest device to the fastest, so all devices approach a common
+//! finish time. Functional results are unaffected by *which* device
+//! computes a chunk (the workloads' split/merge is associative), so the
+//! engine executes the kernels functionally through the existing
+//! single-split path.
+
+use crate::config::{CommMode, RunConfig};
+use greengpu_hw::{CpuModel, CpuSpec, GpuModel, GpuSpec, PowerMeter, Smi};
+use greengpu_sim::{SimDuration, SimTime};
+use greengpu_workloads::{phase_cpu_time_s, phase_gpu_timing, GpuPhase, Workload};
+
+/// Remaining-time snap threshold (see the single-GPU engine).
+const EPS_S: f64 = 1e-7;
+
+/// Share grid: 5 % units, like the paper's division step.
+pub const SHARE_UNITS: u32 = 20;
+
+/// A multi-accelerator testbed: one CPU plus `gpus.len()` cards, each with
+/// its own supply meter.
+pub struct MultiPlatform {
+    cpu: CpuModel,
+    cpu_meter: PowerMeter,
+    gpus: Vec<GpuModel>,
+    gpu_meters: Vec<PowerMeter>,
+}
+
+impl MultiPlatform {
+    /// Builds a platform from GPU specs (all cards start at peak clocks)
+    /// and a CPU spec at its peak P-state.
+    pub fn new(gpu_specs: Vec<GpuSpec>, cpu_spec: CpuSpec) -> Self {
+        assert!(!gpu_specs.is_empty(), "need at least one GPU");
+        let gpus: Vec<GpuModel> = gpu_specs
+            .into_iter()
+            .map(|spec| {
+                let (c, m) = (spec.core_levels_mhz.len() - 1, spec.mem_levels_mhz.len() - 1);
+                GpuModel::new(spec, c, m)
+            })
+            .collect();
+        let gpu_meters = (0..gpus.len())
+            .map(|i| PowerMeter::new(format!("GPU{i} supply")))
+            .collect();
+        let cpu_lvl = cpu_spec.levels_mhz.len() - 1;
+        let mut p = MultiPlatform {
+            cpu: CpuModel::new(cpu_spec, cpu_lvl),
+            cpu_meter: PowerMeter::new("box / CPU side"),
+            gpus,
+            gpu_meters,
+        };
+        p.refresh(SimTime::ZERO);
+        p
+    }
+
+    /// A homogeneous testbed of `n` identical default cards.
+    pub fn homogeneous(n: usize) -> Self {
+        MultiPlatform::new(
+            (0..n).map(|_| greengpu_hw::calib::geforce_8800_gtx()).collect(),
+            greengpu_hw::calib::phenom_ii_x2(),
+        )
+    }
+
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// GPU `i`.
+    pub fn gpu(&self, i: usize) -> &GpuModel {
+        &self.gpus[i]
+    }
+
+    /// The CPU model.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    fn refresh(&mut self, at: SimTime) {
+        for (gpu, meter) in self.gpus.iter().zip(&mut self.gpu_meters) {
+            meter.record(at, gpu.current_power_w());
+        }
+        self.cpu_meter.record(at, self.cpu.current_power_w());
+    }
+
+    fn set_gpu_activity(&mut self, at: SimTime, i: usize, u_core: f64, u_mem: f64) {
+        self.gpus[i].set_activity(at, u_core, u_mem);
+        self.refresh(at);
+    }
+
+    fn set_gpu_levels(&mut self, at: SimTime, i: usize, core: usize, mem: usize) {
+        self.gpus[i].set_levels(at, core, mem);
+        self.refresh(at);
+    }
+
+    fn set_cpu_activity_split(&mut self, at: SimTime, sensor: f64, power: f64, cores: usize) {
+        self.cpu.set_activity_split(at, sensor, power, cores);
+        self.refresh(at);
+    }
+
+    /// Energy of GPU `i` over a window, joules.
+    pub fn gpu_energy_j(&self, i: usize, from: SimTime, to: SimTime) -> f64 {
+        self.gpu_meters[i].energy_j(from, to)
+    }
+
+    /// CPU-side energy over a window, joules.
+    pub fn cpu_energy_j(&self, from: SimTime, to: SimTime) -> f64 {
+        self.cpu_meter.energy_j(from, to)
+    }
+
+    /// Whole-node energy over a window, joules.
+    pub fn total_energy_j(&self, from: SimTime, to: SimTime) -> f64 {
+        let gpus: f64 = (0..self.gpus.len()).map(|i| self.gpu_energy_j(i, from, to)).sum();
+        gpus + self.cpu_energy_j(from, to)
+    }
+}
+
+/// Per-iteration record of a multi-device run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiIteration {
+    /// Iteration index.
+    pub index: usize,
+    /// Work shares: `[cpu, gpu0, gpu1, …]` (each a multiple of 5 %).
+    pub shares: Vec<f64>,
+    /// Completion time of each device's chunk, seconds (same order).
+    pub times_s: Vec<f64>,
+    /// Iteration start.
+    pub start: SimTime,
+    /// Iteration end (all devices done).
+    pub end: SimTime,
+}
+
+/// Result of a multi-device run.
+pub struct MultiReport {
+    /// Total virtual wall time.
+    pub total_time: SimDuration,
+    /// Whole-node energy, joules.
+    pub total_energy_j: f64,
+    /// Per-iteration rows.
+    pub iterations: Vec<MultiIteration>,
+    /// Functional digest (when enabled).
+    pub digest: f64,
+    /// Final platform with traces.
+    pub platform: MultiPlatform,
+}
+
+/// Generalized division state: integer 5 %-units per device,
+/// `[cpu, gpu0, …]`, summing to [`SHARE_UNITS`].
+#[derive(Debug, Clone)]
+pub struct MultiDivision {
+    units: Vec<u32>,
+    /// Last observed seconds-per-unit for each device (None until the
+    /// device has held work), for extrapolating idle devices.
+    unit_cost: Vec<Option<f64>>,
+}
+
+impl MultiDivision {
+    /// Starts from an explicit unit allocation (must sum to
+    /// [`SHARE_UNITS`]).
+    pub fn new(units: Vec<u32>) -> Self {
+        assert!(units.len() >= 2, "need CPU plus at least one GPU");
+        assert_eq!(units.iter().sum::<u32>(), SHARE_UNITS, "units must sum to {SHARE_UNITS}");
+        let unit_cost = vec![None; units.len()];
+        MultiDivision { units, unit_cost }
+    }
+
+    /// An even split across the GPUs with no CPU work.
+    pub fn gpus_even(n_gpus: usize) -> Self {
+        let mut units = vec![0u32; n_gpus + 1];
+        let per = SHARE_UNITS / n_gpus as u32;
+        let mut rem = SHARE_UNITS - per * n_gpus as u32;
+        for u in units.iter_mut().skip(1) {
+            *u = per + u32::from(rem > 0);
+            rem = rem.saturating_sub(1);
+        }
+        MultiDivision::new(units)
+    }
+
+    /// Current shares as fractions.
+    pub fn shares(&self) -> Vec<f64> {
+        self.units.iter().map(|&u| f64::from(u) / f64::from(SHARE_UNITS)).collect()
+    }
+
+    /// One balancing step: take one unit from the slowest device and give
+    /// it to whichever other device minimizes the predicted worst-case
+    /// completion time; hold when no move strictly improves it (the
+    /// single-GPU oscillation safeguard, generalized to N devices).
+    pub fn update(&mut self, times_s: &[f64]) -> Vec<f64> {
+        assert_eq!(times_s.len(), self.units.len());
+        // Remember observed per-unit costs for idle-device extrapolation.
+        for (i, &t) in times_s.iter().enumerate() {
+            if self.units[i] > 0 {
+                self.unit_cost[i] = Some(t / self.units[i] as f64);
+            }
+        }
+        // Slowest donor must actually hold work.
+        let donor = (0..self.units.len())
+            .filter(|&i| self.units[i] > 0)
+            .max_by(|&a, &b| times_s[a].partial_cmp(&times_s[b]).expect("finite"))
+            .expect("some device holds work");
+        let current_worst = times_s[donor];
+        // Linear per-unit extrapolation; an idle device uses its last
+        // observed per-unit cost, or (optimistically, first time) the
+        // donor's.
+        let pred = |i: usize, du: i64| -> f64 {
+            let u = self.units[i] as i64;
+            if u == 0 {
+                let per_unit = self.unit_cost[i].unwrap_or(times_s[donor] / self.units[donor] as f64);
+                return per_unit * du.max(0) as f64;
+            }
+            times_s[i] * (u + du) as f64 / u as f64
+        };
+        let donor_after = pred(donor, -1);
+        let best = (0..self.units.len())
+            .filter(|&j| j != donor)
+            .map(|j| (j, donor_after.max(pred(j, 1))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        if let Some((receiver, predicted_worst)) = best {
+            if predicted_worst < current_worst * (1.0 - 1e-9) {
+                self.units[donor] -= 1;
+                self.units[receiver] += 1;
+            }
+        }
+        self.shares()
+    }
+}
+
+/// Configuration of a multi-device run.
+pub struct MultiConfig {
+    /// Underlying run config (comm mode, functional, spin power).
+    pub run: RunConfig,
+    /// Frequency-scaling interval for the per-GPU WMA loops; `None`
+    /// disables scaling (clocks stay at peak).
+    pub dvfs_period: Option<SimDuration>,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        MultiConfig {
+            run: RunConfig::sweep(),
+            dvfs_period: None,
+        }
+    }
+}
+
+/// A per-GPU WMA hook: the engine calls this at each DVFS tick for each
+/// card. Implemented by `greengpu`'s scaler; a no-op closure disables
+/// scaling.
+pub trait MultiScaler {
+    /// Observe GPU `i`'s windowed utilizations and return the levels to
+    /// enforce.
+    fn observe(&mut self, gpu_index: usize, u_core: f64, u_mem: f64) -> (usize, usize);
+}
+
+/// No-op scaler (keeps current clocks).
+pub struct NoScaler;
+
+impl MultiScaler for NoScaler {
+    fn observe(&mut self, _gpu_index: usize, u_core: f64, _u_mem: f64) -> (usize, usize) {
+        let _ = u_core;
+        (usize::MAX, usize::MAX) // sentinel: engine skips actuation
+    }
+}
+
+/// Runs `workload` across the platform, balancing shares each iteration.
+///
+/// The CPU takes `shares[0]`, GPU `i` takes `shares[i+1]`; all GPU chunks
+/// execute the same phase sequence scaled by their share.
+pub fn run_multi(
+    mut platform: MultiPlatform,
+    workload: &mut dyn Workload,
+    mut division: MultiDivision,
+    config: MultiConfig,
+    scaler: &mut dyn MultiScaler,
+) -> MultiReport {
+    let n_gpus = platform.gpu_count();
+    let mut t = SimTime::ZERO;
+    let mut iterations = Vec::with_capacity(workload.iterations());
+    let mut smis: Vec<Smi> = (0..n_gpus).map(|_| Smi::new()).collect();
+    let mut next_dvfs = config.dvfs_period.map(|p| SimTime::ZERO + p);
+
+    for k in 0..workload.iterations() {
+        let shares = division.shares();
+        let phases = workload.phases(k);
+        // Device work: CPU slice list + per-GPU phase lists.
+        let cpu_slices: Vec<_> = phases
+            .iter()
+            .map(|p| p.cpu.scale(shares[0]))
+            .filter(|c| c.ops > 0.0 || c.bytes > 0.0)
+            .collect();
+        let mut gpu_phases: Vec<Vec<GpuPhase>> = Vec::with_capacity(n_gpus);
+        for g in 0..n_gpus {
+            gpu_phases.push(
+                phases
+                    .iter()
+                    .map(|p| p.gpu.scale(shares[g + 1]))
+                    .filter(|p| p.ops > 0.0 || p.bytes > 0.0 || p.host_floor_s > 0.0)
+                    .collect(),
+            );
+        }
+        // Progress state: (segment index, completed fraction, busy seconds).
+        let mut gpu_state: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n_gpus];
+        let mut cpu_state = (0usize, 0.0f64, 0.0f64);
+        let iter_start = t;
+
+        loop {
+            // DVFS ticks.
+            if let (Some(period), Some(next)) = (config.dvfs_period, next_dvfs) {
+                if t >= next {
+                    for (g, smi) in smis.iter_mut().enumerate() {
+                        let reading = smi.poll_gpu(platform.gpu(g), t);
+                        let (c, m) = scaler.observe(g, reading.u_core, reading.u_mem);
+                        if c != usize::MAX {
+                            platform.set_gpu_levels(t, g, c, m);
+                        }
+                    }
+                    next_dvfs = Some(next + period);
+                }
+            }
+
+            // Refresh activities.
+            for g in 0..n_gpus {
+                match gpu_phases[g].get(gpu_state[g].0) {
+                    Some(phase) => {
+                        let timing = phase_gpu_timing(
+                            phase,
+                            platform.gpu(g).spec(),
+                            platform.gpu(g).core().current_mhz(),
+                            platform.gpu(g).mem().current_mhz(),
+                        );
+                        platform.set_gpu_activity(t, g, timing.u_core, timing.u_mem);
+                    }
+                    None => platform.set_gpu_activity(t, g, 0.0, 0.0),
+                }
+            }
+            let cpu_done = cpu_state.0 >= cpu_slices.len();
+            let gpus_done = (0..n_gpus).all(|g| gpu_state[g].0 >= gpu_phases[g].len());
+            let n_cores = platform.cpu().spec().n_cores;
+            if !cpu_done {
+                platform.set_cpu_activity_split(t, 1.0, 1.0, n_cores);
+            } else if !gpus_done {
+                match config.run.comm_mode {
+                    CommMode::SynchronizedSpin => {
+                        platform.set_cpu_activity_split(t, 1.0, config.run.spin_power_util, n_cores)
+                    }
+                    CommMode::Async => {
+                        platform.set_cpu_activity_split(t, config.run.idle_cpu_util, config.run.idle_cpu_util, n_cores)
+                    }
+                }
+            } else {
+                platform.set_cpu_activity_split(t, 0.0, 0.0, 0);
+                break;
+            }
+
+            // Plan the next event.
+            let mut dt = f64::INFINITY;
+            let mut durations: Vec<Option<f64>> = Vec::with_capacity(n_gpus + 1);
+            for g in 0..n_gpus {
+                let d = gpu_phases[g].get(gpu_state[g].0).map(|phase| {
+                    phase_gpu_timing(
+                        phase,
+                        platform.gpu(g).spec(),
+                        platform.gpu(g).core().current_mhz(),
+                        platform.gpu(g).mem().current_mhz(),
+                    )
+                    .wall_s
+                });
+                if let Some(d) = d {
+                    dt = dt.min((1.0 - gpu_state[g].1) * d);
+                }
+                durations.push(d);
+            }
+            let cpu_dur = cpu_slices.get(cpu_state.0).map(|s| {
+                phase_cpu_time_s(s, platform.cpu().spec(), platform.cpu().domain().current_mhz())
+            });
+            if let Some(d) = cpu_dur {
+                dt = dt.min((1.0 - cpu_state.1) * d);
+            }
+            if let Some(next) = next_dvfs {
+                dt = dt.min(next.saturating_since(t).as_secs_f64());
+            }
+            assert!(dt.is_finite(), "no pending event");
+            let dt_q = SimDuration::from_secs_f64(dt).max(SimDuration::from_micros(1));
+            let dt_s = dt_q.as_secs_f64();
+
+            // Advance.
+            for g in 0..n_gpus {
+                if let Some(d) = durations[g] {
+                    let st = &mut gpu_state[g];
+                    st.2 += dt_s;
+                    st.1 += if d <= EPS_S { 1.0 } else { dt_s / d };
+                    if st.1 >= 1.0 - EPS_S {
+                        st.0 += 1;
+                        st.1 = 0.0;
+                    }
+                }
+            }
+            if let Some(d) = cpu_dur {
+                cpu_state.2 += dt_s;
+                cpu_state.1 += if d <= EPS_S { 1.0 } else { dt_s / d };
+                if cpu_state.1 >= 1.0 - EPS_S {
+                    cpu_state.0 += 1;
+                    cpu_state.1 = 0.0;
+                }
+            }
+            t += dt_q;
+        }
+
+        if config.run.functional {
+            workload.execute(k, shares[0]);
+        }
+        let mut times = vec![cpu_state.2];
+        times.extend(gpu_state.iter().map(|s| s.2));
+        iterations.push(MultiIteration {
+            index: k,
+            shares: shares.clone(),
+            times_s: times.clone(),
+            start: iter_start,
+            end: t,
+        });
+        division.update(&times);
+    }
+
+    let digest = if config.run.functional { workload.digest() } else { 0.0 };
+    MultiReport {
+        total_time: t - SimTime::ZERO,
+        total_energy_j: platform.total_energy_j(SimTime::ZERO, t),
+        iterations,
+        digest,
+        platform,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greengpu_workloads::kmeans::KMeans;
+    use greengpu_workloads::nbody::NBody;
+
+    fn run_kmeans(n_gpus: usize) -> MultiReport {
+        let platform = MultiPlatform::homogeneous(n_gpus);
+        let mut wl = KMeans::paper(1);
+        let division = MultiDivision::gpus_even(n_gpus);
+        run_multi(platform, &mut wl, division, MultiConfig::default(), &mut NoScaler)
+    }
+
+    #[test]
+    fn shares_always_partition_the_work() {
+        let report = run_kmeans(2);
+        for it in &report.iterations {
+            let sum: f64 = it.shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "shares sum {sum}");
+            assert!(it.shares.iter().all(|&s| s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn two_gpus_finish_faster_than_one() {
+        let one = run_kmeans(1);
+        let two = run_kmeans(2);
+        let speedup = one.total_time.as_secs_f64() / two.total_time.as_secs_f64();
+        assert!(speedup > 1.5, "2-GPU speedup {speedup}");
+    }
+
+    #[test]
+    fn homogeneous_gpus_converge_to_symmetric_shares() {
+        let report = run_kmeans(2);
+        let last = report.iterations.last().unwrap();
+        let (g1, g2) = (last.shares[1], last.shares[2]);
+        assert!(
+            (g1 - g2).abs() <= 0.05 + 1e-9,
+            "asymmetric steady state: {g1} vs {g2}"
+        );
+        // The CPU ends up with a small but nonzero share, as in the
+        // single-GPU case (its balance point shrinks with more GPUs).
+        assert!(last.shares[0] <= 0.20);
+    }
+
+    #[test]
+    fn heterogeneous_gpus_get_proportional_shares() {
+        // Card 1 is a down-clocked variant (roughly 70 % of the default's
+        // clocks). nbody's wall time is roofline-bound (thin host floor),
+        // so the slower card must converge to a visibly smaller share.
+        let mut slow = greengpu_hw::calib::geforce_8800_gtx();
+        slow.core_levels_mhz = slow.core_levels_mhz.iter().map(|f| f * 0.7).collect();
+        slow.mem_levels_mhz = slow.mem_levels_mhz.iter().map(|f| f * 0.7).collect();
+        slow.name = "down-clocked".to_string();
+        let platform = MultiPlatform::new(
+            vec![greengpu_hw::calib::geforce_8800_gtx(), slow],
+            greengpu_hw::calib::phenom_ii_x2(),
+        );
+        let mut wl = NBody::paper(1);
+        let report = run_multi(
+            platform,
+            &mut wl,
+            MultiDivision::gpus_even(2),
+            MultiConfig::default(),
+            &mut NoScaler,
+        );
+        let last = report.iterations.last().unwrap();
+        assert!(
+            last.shares[1] > last.shares[2] + 0.05,
+            "fast card should take visibly more: {:?}",
+            last.shares
+        );
+        // Completion times approach each other.
+        let times = &last.times_s;
+        let worst = times.iter().cloned().fold(f64::MIN, f64::max);
+        let best_busy = times
+            .iter()
+            .cloned()
+            .filter(|&t| t > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst / best_busy < 1.6, "imbalance {}", worst / best_busy);
+    }
+
+    #[test]
+    fn host_bound_workload_is_insensitive_to_card_speed() {
+        // kmeans on this testbed is host-pipeline-bound: a down-clocked
+        // card finishes in the same wall time, so the balancer correctly
+        // leaves the shares symmetric.
+        let mut slow = greengpu_hw::calib::geforce_8800_gtx();
+        slow.core_levels_mhz = slow.core_levels_mhz.iter().map(|f| f * 0.7).collect();
+        slow.mem_levels_mhz = slow.mem_levels_mhz.iter().map(|f| f * 0.7).collect();
+        let platform = MultiPlatform::new(
+            vec![greengpu_hw::calib::geforce_8800_gtx(), slow],
+            greengpu_hw::calib::phenom_ii_x2(),
+        );
+        let report = run_multi(
+            platform,
+            &mut KMeans::paper(1),
+            MultiDivision::gpus_even(2),
+            MultiConfig::default(),
+            &mut NoScaler,
+        );
+        let last = report.iterations.last().unwrap();
+        assert!(
+            (last.shares[1] - last.shares[2]).abs() <= 0.10 + 1e-9,
+            "host-bound shares should stay near-symmetric: {:?}",
+            last.shares
+        );
+    }
+
+    #[test]
+    fn functional_digest_matches_single_device_run() {
+        let platform = MultiPlatform::homogeneous(2);
+        let mut wl = KMeans::small(3);
+        let cfg = MultiConfig {
+            run: RunConfig::default(),
+            ..MultiConfig::default()
+        };
+        let division = MultiDivision::new(vec![4, 8, 8]);
+        let report = run_multi(platform, &mut wl, division, cfg, &mut NoScaler);
+        // Reference: the same split fractions on the single-device path.
+        let mut reference = KMeans::small(3);
+        for (k, it) in report.iterations.iter().enumerate() {
+            reference.execute(k, it.shares[0]);
+        }
+        let rel = ((report.digest - reference.digest()) / reference.digest()).abs();
+        assert!(rel < 1e-12, "digest drifted {rel}");
+    }
+
+    #[test]
+    fn division_update_moves_work_to_the_fastest() {
+        let mut d = MultiDivision::new(vec![2, 9, 9]);
+        // GPU1 is much slower than GPU0.
+        let shares = d.update(&[1.0, 1.0, 3.0]);
+        assert!(shares[2] < 9.0 / 20.0, "slow GPU should shed work: {shares:?}");
+    }
+
+    #[test]
+    fn idle_devices_cannot_donate() {
+        let mut d = MultiDivision::new(vec![0, 10, 10]);
+        // CPU has no work and reports zero time — it must not go negative.
+        let shares = d.update(&[0.0, 5.0, 5.1]);
+        assert!(shares[0] >= 0.0);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "units must sum")]
+    fn bad_unit_sum_panics() {
+        MultiDivision::new(vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gpus_even_distributes_all_units() {
+        for n in 1..5 {
+            let d = MultiDivision::gpus_even(n);
+            let shares = d.shares();
+            assert_eq!(shares.len(), n + 1);
+            assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(shares[0], 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_proptests {
+    use super::*;
+    use greengpu_workloads::kmeans::KMeans;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn division_units_always_partition(times in proptest::collection::vec(0.0..100.0f64, 3..6),
+                                           rounds in 1usize..50) {
+            let n = times.len();
+            let mut d = MultiDivision::gpus_even(n - 1);
+            for _ in 0..rounds {
+                let shares = d.update(&times);
+                prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(shares.iter().all(|&s| (0.0..=1.0).contains(&s)));
+            }
+        }
+
+        #[test]
+        fn balancer_settles_on_linear_devices(speeds in proptest::collection::vec(0.2..5.0f64, 2..5)) {
+            // Linear testbed: device i takes share/speed seconds. The
+            // balancer must reach a fixed point within 3·SHARE_UNITS
+            // rounds and the worst/best busy-time ratio must be bounded.
+            let n = speeds.len();
+            let mut d = MultiDivision::gpus_even(n - 1);
+            let times = |shares: &[f64]| -> Vec<f64> {
+                shares.iter().zip(&speeds).map(|(s, v)| s / v).collect()
+            };
+            let mut shares = d.shares();
+            let mut last = shares.clone();
+            let mut stable = 0;
+            for _ in 0..(3 * SHARE_UNITS as usize) {
+                shares = d.update(&times(&shares));
+                if shares == last {
+                    stable += 1;
+                    if stable >= 3 {
+                        break;
+                    }
+                } else {
+                    stable = 0;
+                }
+                last = shares.clone();
+            }
+            prop_assert!(stable >= 3, "never settled: {shares:?}");
+            // At the fixed point, the busiest device exceeds an ideal
+            // balanced allocation by at most ~2 share units of its time.
+            let t = times(&shares);
+            let worst = t.iter().cloned().fold(f64::MIN, f64::max);
+            let total_speed: f64 = speeds.iter().sum();
+            let ideal = 1.0 / total_speed;
+            prop_assert!(worst <= ideal + 2.0 / (SHARE_UNITS as f64 * speeds.iter().cloned().fold(f64::MAX, f64::min)),
+                "worst {worst} vs ideal {ideal} with speeds {speeds:?}");
+        }
+
+        #[test]
+        fn multi_runs_conserve_energy_accounting(n_gpus in 1usize..4, cpu_units in 0u32..8) {
+            let gpu_units = SHARE_UNITS - cpu_units;
+            let mut units = vec![cpu_units];
+            let per = gpu_units / n_gpus as u32;
+            for g in 0..n_gpus {
+                units.push(if g == 0 { gpu_units - per * (n_gpus as u32 - 1) } else { per });
+            }
+            let division = MultiDivision::new(units);
+            let mut wl = KMeans::small(5);
+            let report = run_multi(
+                MultiPlatform::homogeneous(n_gpus),
+                &mut wl,
+                division,
+                MultiConfig::default(),
+                &mut NoScaler,
+            );
+            let end = SimTime::ZERO + report.total_time;
+            let meters = report.platform.total_energy_j(SimTime::ZERO, end);
+            prop_assert!((report.total_energy_j - meters).abs() < 1e-6);
+            prop_assert!(report.total_time.as_secs_f64() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The pthread analog.
+//!
+//! The paper's implementation (§VI) launches pthreads from `main`: one
+//! thread drives the CUDA device while the others execute the CPU kernel on
+//! the host cores, and the two sides' partial results are merged at the
+//! iteration barrier. This module reproduces that structure literally with
+//! crossbeam scoped threads, so examples and tests can run real split
+//! executions concurrently (functional correctness is wall-clock-parallel
+//! even though *simulated* time comes from the cost model).
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Wall-clock telemetry collected from the worker threads.
+#[derive(Debug, Default)]
+pub struct SplitTelemetry {
+    events: Mutex<Vec<(String, f64)>>,
+}
+
+impl SplitTelemetry {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        SplitTelemetry::default()
+    }
+
+    /// Records a labeled wall-clock duration (seconds).
+    pub fn record(&self, label: &str, seconds: f64) {
+        self.events.lock().push((label.to_string(), seconds));
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<(String, f64)> {
+        self.events.lock().clone()
+    }
+}
+
+/// Runs the CPU-side and GPU-side closures on two concurrent threads (the
+/// pthread structure), recording each side's wall-clock time, and returns
+/// both results.
+///
+/// # Example
+/// ```
+/// use greengpu_runtime::parallel::{run_split, SplitTelemetry};
+///
+/// let telemetry = SplitTelemetry::new();
+/// let (a, b) = run_split(&telemetry, || 2 + 2, || 3 * 3);
+/// assert_eq!((a, b), (4, 9));
+/// assert_eq!(telemetry.events().len(), 2);
+/// ```
+pub fn run_split<A, B, FA, FB>(telemetry: &SplitTelemetry, cpu_side: FA, gpu_side: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let cpu_handle = scope.spawn(|_| {
+            let t0 = Instant::now();
+            let out = cpu_side();
+            telemetry.record("cpu", t0.elapsed().as_secs_f64());
+            out
+        });
+        let t0 = Instant::now();
+        let gpu_out = gpu_side();
+        telemetry.record("gpu", t0.elapsed().as_secs_f64());
+        let cpu_out = cpu_handle.join().expect("cpu-side thread panicked");
+        (cpu_out, gpu_out)
+    })
+    .expect("scoped threads")
+}
+
+/// Splits `items` into a CPU chunk of `round(n·cpu_share)` items and a GPU
+/// chunk with the rest — the index arithmetic every divisible workload
+/// uses.
+pub fn split_index(n: usize, cpu_share: f64) -> usize {
+    ((n as f64) * cpu_share.clamp(0.0, 1.0)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_runs_both_sides() {
+        let telemetry = SplitTelemetry::new();
+        let data: Vec<u64> = (0..10_000).collect();
+        let split = split_index(data.len(), 0.3);
+        let (cpu_sum, gpu_sum) = run_split(
+            &telemetry,
+            || data[..split].iter().sum::<u64>(),
+            || data[split..].iter().sum::<u64>(),
+        );
+        assert_eq!(cpu_sum + gpu_sum, data.iter().sum::<u64>());
+        let labels: Vec<String> = telemetry.events().into_iter().map(|(l, _)| l).collect();
+        assert!(labels.contains(&"cpu".to_string()) && labels.contains(&"gpu".to_string()));
+    }
+
+    #[test]
+    fn split_index_boundaries() {
+        assert_eq!(split_index(100, 0.0), 0);
+        assert_eq!(split_index(100, 1.0), 100);
+        assert_eq!(split_index(100, 0.5), 50);
+        assert_eq!(split_index(100, -2.0), 0);
+        assert_eq!(split_index(100, 7.0), 100);
+    }
+
+    #[test]
+    fn telemetry_durations_are_positive() {
+        let telemetry = SplitTelemetry::new();
+        run_split(&telemetry, || std::hint::black_box(1 + 1), || std::hint::black_box(2 + 2));
+        for (_, secs) in telemetry.events() {
+            assert!(secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn merged_result_is_split_invariant() {
+        let data: Vec<f64> = (0..5_000).map(|i| (i as f64).sqrt()).collect();
+        let reference: f64 = data.iter().sum();
+        for share in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let telemetry = SplitTelemetry::new();
+            let split = split_index(data.len(), share);
+            let (a, b) = run_split(
+                &telemetry,
+                || data[..split].iter().sum::<f64>(),
+                || data[split..].iter().sum::<f64>(),
+            );
+            assert!(((a + b) - reference).abs() < 1e-9);
+        }
+    }
+}

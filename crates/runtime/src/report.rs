@@ -1,0 +1,197 @@
+//! Run results.
+
+use greengpu_hw::Platform;
+use greengpu_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration measurements (one row of the Fig. 7 / Fig. 8 traces).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub index: usize,
+    /// CPU share `r` used.
+    pub cpu_share: f64,
+    /// CPU chunk execution time, seconds (`tc`).
+    pub tc_s: f64,
+    /// GPU chunk execution time, seconds (`tg`).
+    pub tg_s: f64,
+    /// Iteration start on the virtual clock.
+    pub start: SimTime,
+    /// Iteration end (both sides finished).
+    pub end: SimTime,
+    /// Whole-system energy consumed during the iteration, joules.
+    pub energy_j: f64,
+}
+
+impl IterationRecord {
+    /// Wall time of the iteration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+}
+
+/// The result of one simulated run.
+pub struct RunReport {
+    /// Total virtual wall time.
+    pub total_time: SimDuration,
+    /// Meter 2 (GPU card) energy, joules.
+    pub gpu_energy_j: f64,
+    /// Meter 1 (box / CPU side) energy, joules.
+    pub cpu_energy_j: f64,
+    /// Per-iteration rows.
+    pub iterations: Vec<IterationRecord>,
+    /// Functional result digest (0 when functional execution is disabled).
+    pub digest: f64,
+    /// Seconds the GPU side spent with work in flight.
+    pub gpu_busy_s: f64,
+    /// Seconds the CPU side spent computing its chunks.
+    pub cpu_busy_s: f64,
+    /// Intervals during which the CPU was spin-waiting on the GPU
+    /// (synchronized-communication mode) — the Fig. 6c emulation replaces
+    /// the CPU energy in these windows.
+    pub spin_intervals: Vec<(SimTime, SimTime)>,
+    /// The final platform, with all frequency/utilization/power traces.
+    pub platform: Platform,
+}
+
+impl RunReport {
+    /// Whole-system energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.gpu_energy_j + self.cpu_energy_j
+    }
+
+    /// Mean system power over the run, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        let t = self.total_time.as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / t
+        }
+    }
+
+    /// Total seconds spent spin-waiting.
+    pub fn spin_seconds(&self) -> f64 {
+        self.spin_intervals.iter().map(|&(a, b)| (b - a).as_secs_f64()).sum()
+    }
+
+    /// Actual CPU-side energy burned inside the spin-wait intervals, joules.
+    pub fn spin_energy_j(&self) -> f64 {
+        self.spin_intervals
+            .iter()
+            .map(|&(a, b)| self.platform.cpu_meter().energy_j(a, b))
+            .sum()
+    }
+
+    /// The paper's Fig. 6c emulation: whole-system energy with the CPU's
+    /// spin-wait energy replaced by the CPU parked at its lowest frequency
+    /// level ("we replace the CPU energy with the average CPU energy at the
+    /// lowest frequency level").
+    pub fn emulated_cpu_throttle_energy_j(&self) -> f64 {
+        let parked_w = self.platform.cpu().lowest_level_idle_power_w();
+        self.total_energy_j() - self.spin_energy_j() + self.spin_seconds() * parked_w
+    }
+
+    /// GPU energy with the idle floor removed — the paper's Fig. 6b
+    /// "dynamic energy" (idle power at the given reference levels times the
+    /// run duration is subtracted).
+    pub fn gpu_dynamic_energy_j(&self, idle_power_w: f64) -> f64 {
+        self.gpu_energy_j - idle_power_w * self.total_time.as_secs_f64()
+    }
+
+    /// Energy-delay product (J·s) — the standard efficiency metric when
+    /// both energy and performance matter, which is GreenGPU's stated
+    /// objective ("save energy with only negligible performance
+    /// degradation").
+    pub fn edp(&self) -> f64 {
+        self.total_energy_j() * self.total_time.as_secs_f64()
+    }
+
+    /// Energy-delay² product (J·s²) — weighs performance more heavily.
+    pub fn ed2p(&self) -> f64 {
+        self.edp() * self.total_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(start_s: u64, end_s: u64) -> IterationRecord {
+        IterationRecord {
+            index: 0,
+            cpu_share: 0.2,
+            tc_s: 1.0,
+            tg_s: 2.0,
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(end_s),
+            energy_j: 100.0,
+        }
+    }
+
+    #[test]
+    fn iteration_duration() {
+        assert_eq!(record(2, 5).duration_s(), 3.0);
+    }
+
+    #[test]
+    fn report_energy_accounting() {
+        let report = RunReport {
+            total_time: SimDuration::from_secs(10),
+            gpu_energy_j: 700.0,
+            cpu_energy_j: 300.0,
+            iterations: vec![record(0, 10)],
+            digest: 0.0,
+            gpu_busy_s: 8.0,
+            cpu_busy_s: 2.0,
+            spin_intervals: vec![],
+            platform: Platform::default_testbed(),
+        };
+        assert_eq!(report.total_energy_j(), 1000.0);
+        assert!((report.mean_power_w() - 100.0).abs() < 1e-12);
+        assert_eq!(report.spin_seconds(), 0.0);
+        assert_eq!(report.spin_energy_j(), 0.0);
+        // Without spin, the emulation changes nothing.
+        assert_eq!(report.emulated_cpu_throttle_energy_j(), 1000.0);
+        // Dynamic energy subtracts the idle floor.
+        assert!((report.gpu_dynamic_energy_j(50.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_metrics_compose() {
+        let report = RunReport {
+            total_time: SimDuration::from_secs(10),
+            gpu_energy_j: 700.0,
+            cpu_energy_j: 300.0,
+            iterations: vec![],
+            digest: 0.0,
+            gpu_busy_s: 0.0,
+            cpu_busy_s: 0.0,
+            spin_intervals: vec![],
+            platform: Platform::default_testbed(),
+        };
+        assert_eq!(report.edp(), 10_000.0);
+        assert_eq!(report.ed2p(), 100_000.0);
+    }
+
+    #[test]
+    fn spin_emulation_replaces_energy() {
+        let mut platform = Platform::default_testbed();
+        platform.set_cpu_activity(SimTime::ZERO, 1.0, 2);
+        let report = RunReport {
+            total_time: SimDuration::from_secs(10),
+            gpu_energy_j: 0.0,
+            cpu_energy_j: platform.cpu_energy_j(SimTime::ZERO, SimTime::from_secs(10)),
+            iterations: vec![],
+            digest: 0.0,
+            gpu_busy_s: 0.0,
+            cpu_busy_s: 0.0,
+            spin_intervals: vec![(SimTime::from_secs(2), SimTime::from_secs(6))],
+            platform,
+        };
+        let emulated = report.emulated_cpu_throttle_energy_j();
+        assert!(emulated < report.total_energy_j(), "parking the CPU must save energy");
+        let spin_s = report.spin_seconds();
+        assert_eq!(spin_s, 4.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! A stable discrete-event queue.
+//!
+//! Events are ordered by [`SimTime`]; ties are broken by insertion order
+//! (FIFO), which keeps simulations deterministic regardless of how the
+//! underlying heap rebalances. The queue also supports cancellation by
+//! handle, which the platform model uses to re-plan kernel-completion events
+//! when a frequency changes mid-flight.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle identifying a scheduled event; used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// ```
+/// use greengpu_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(5), "later");
+/// q.schedule(SimTime::from_micros(1), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    cancelled: Vec<u64>,
+    live: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Events scheduled for the same
+    /// instant pop in the order they were scheduled.
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.contains(&handle.0) {
+            return false;
+        }
+        // Only mark live events; popped events have already left the heap but
+        // we cannot cheaply distinguish them, so verify lazily on pop. We keep
+        // an explicit live count accurate by scanning the heap is too slow, so
+        // instead record the mark and fix `live` when the entry surfaces.
+        self.cancelled.push(handle.0);
+        true
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if let Some(pos) = self.cancelled.iter().position(|&s| s == entry.seq) {
+                self.cancelled.swap_remove(pos);
+                self.live -= 1;
+                continue;
+            }
+            self.live -= 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, skipping cancelled entries.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if let Some(pos) = self.cancelled.iter().position(|&s| s == entry.seq) {
+                self.cancelled.swap_remove(pos);
+                self.heap.pop();
+                self.live -= 1;
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    ///
+    /// Cancelled events that have not yet surfaced are excluded.
+    pub fn len(&self) -> usize {
+        self.live - self.cancelled.len()
+    }
+
+    /// True when no pending events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_micros(1), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(5), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "b")));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(SimTime::from_micros(5), 2);
+        q.schedule(SimTime::from_micros(4), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

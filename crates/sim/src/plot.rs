@@ -1,0 +1,158 @@
+//! Terminal plotting for traces.
+//!
+//! The repro harness emits tables and CSVs; for interactive exploration
+//! (the `trace_explorer` example) this module renders step traces and
+//! sample series as compact ASCII charts — sparklines for one-row
+//! summaries and multi-row band charts for Fig. 5-style time series.
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::StepTrace;
+
+/// The eight block glyphs used for sparklines, in ascending fill order.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders values as a one-line sparkline. Empty input gives an empty
+/// string; a constant series renders mid-height.
+///
+/// ```
+/// use greengpu_sim::plot::sparkline;
+/// assert_eq!(sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if span <= 0.0 {
+                3
+            } else {
+                (((v - lo) / span) * 7.0).round() as usize
+            };
+            SPARKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Samples a step trace into `width` buckets over `[from, to)` (bucket
+/// value = time-weighted mean) and renders a sparkline.
+pub fn trace_sparkline(trace: &StepTrace, from: SimTime, to: SimTime, width: usize) -> String {
+    sparkline(&bucketize(trace, from, to, width))
+}
+
+/// Time-weighted bucket means of a step trace.
+pub fn bucketize(trace: &StepTrace, from: SimTime, to: SimTime, width: usize) -> Vec<f64> {
+    assert!(width > 0, "need at least one bucket");
+    let total = to.saturating_since(from).as_micros();
+    if total == 0 {
+        return vec![trace.value_at(from); width];
+    }
+    (0..width)
+        .map(|i| {
+            let a = from + SimDuration::from_micros(total * i as u64 / width as u64);
+            let b = from + SimDuration::from_micros(total * (i as u64 + 1) / width as u64);
+            if b > a {
+                trace.mean(a, b)
+            } else {
+                trace.value_at(a)
+            }
+        })
+        .collect()
+}
+
+/// A multi-row ASCII band chart of one signal: `rows` text lines of
+/// `width` columns, highest band first, plus a labeled footer.
+pub fn band_chart(label: &str, values: &[f64], rows: usize) -> String {
+    assert!(rows >= 2, "need at least two rows");
+    if values.is_empty() {
+        return format!("{label}: (no data)\n");
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = String::new();
+    for row in (0..rows).rev() {
+        let threshold = lo + span * (row as f64 + 0.5) / rows as f64;
+        let line: String = values
+            .iter()
+            .map(|&v| if v >= threshold { '█' } else { ' ' })
+            .collect();
+        let edge = lo + span * (row as f64 + 1.0) / rows as f64;
+        out.push_str(&format!("{edge:>9.2} |{line}|\n"));
+    }
+    out.push_str(&format!("{lo:>9.2} +{}+ {label}\n", "-".repeat(values.len())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes_to_extreme_glyphs() {
+        let s = sparkline(&[0.0, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_series_is_flat_midline() {
+        let s = sparkline(&[5.0; 10]);
+        assert!(s.chars().all(|c| c == '▄'));
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn sparkline_empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn bucketize_recovers_step_structure() {
+        let mut tr = StepTrace::with_initial(0.0);
+        tr.set(SimTime::from_secs(5), 10.0);
+        let buckets = bucketize(&tr, SimTime::ZERO, SimTime::from_secs(10), 10);
+        assert_eq!(buckets.len(), 10);
+        assert!(buckets[0].abs() < 1e-9);
+        assert!((buckets[9] - 10.0).abs() < 1e-9);
+        // Transition bucket boundary: bucket 5 starts exactly at t=5s.
+        assert!((buckets[5] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketize_degenerate_window() {
+        let tr = StepTrace::with_initial(3.0);
+        let buckets = bucketize(&tr, SimTime::from_secs(1), SimTime::from_secs(1), 4);
+        assert_eq!(buckets, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn trace_sparkline_renders_width_glyphs() {
+        let mut tr = StepTrace::with_initial(0.0);
+        tr.set(SimTime::from_secs(2), 1.0);
+        let s = trace_sparkline(&tr, SimTime::ZERO, SimTime::from_secs(4), 16);
+        assert_eq!(s.chars().count(), 16);
+    }
+
+    #[test]
+    fn band_chart_shape() {
+        let chart = band_chart("power", &[1.0, 2.0, 3.0, 2.0, 1.0], 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5, "4 bands + footer");
+        assert!(lines[4].contains("power"));
+        // The peak column must be filled in the top band.
+        assert!(lines[0].contains('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_width_panics() {
+        let tr = StepTrace::with_initial(1.0);
+        bucketize(&tr, SimTime::ZERO, SimTime::from_secs(1), 0);
+    }
+}

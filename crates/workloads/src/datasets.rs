@@ -1,0 +1,287 @@
+//! Synthetic dataset generators.
+//!
+//! The paper's inputs are real benchmark datasets (Rodinia's kdd_cup
+//! features for kmeans, its thermal floorplans for hotspot, …) that are
+//! not shipped here; these generators produce inputs with the same
+//! *statistical structure*, so the kernels exercise realistic code paths:
+//! clustered feature vectors with noise dimensions, R-MAT power-law
+//! graphs, floorplan-style power maps with hot functional units, and
+//! multiplicative-speckle images.
+
+use greengpu_sim::Pcg32;
+
+/// Clustered feature vectors in the style of kdd_cup: `k` well-separated
+/// anchors, unit-variance intra-cluster noise, and a fraction of pure
+/// noise dimensions that carry no cluster signal (as real feature sets
+/// do).
+///
+/// Returns `(points, true_assignment)` with `points.len() == n * d`.
+pub fn clustered_features(rng: &mut Pcg32, n: usize, d: usize, k: usize, noise_dims: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(k >= 1 && d > noise_dims, "need at least one informative dimension");
+    let signal_dims = d - noise_dims;
+    let mut anchors = vec![0.0f64; k * signal_dims];
+    for a in anchors.iter_mut() {
+        *a = rng.uniform(-10.0, 10.0);
+    }
+    let mut points = vec![0.0f64; n * d];
+    let mut labels = vec![0usize; n];
+    for i in 0..n {
+        let c = rng.index(k);
+        labels[i] = c;
+        for j in 0..signal_dims {
+            points[i * d + j] = anchors[c * signal_dims + j] + rng.normal();
+        }
+        for j in signal_dims..d {
+            points[i * d + j] = rng.normal() * 3.0; // uninformative spread
+        }
+    }
+    (points, labels)
+}
+
+/// R-MAT graph generator (Chakrabarti et al.): recursively biased edge
+/// placement yields the power-law degree distributions real graphs have —
+/// far more representative for bfs than uniform edges.
+///
+/// `scale` gives `2^scale` vertices; returns `edge_factor · 2^scale`
+/// undirected edges as endpoint pairs (self-loops filtered, duplicates
+/// kept, as in Graph500).
+pub fn rmat_edges(rng: &mut Pcg32, scale: u32, edge_factor: usize) -> Vec<(u32, u32)> {
+    assert!((1..=24).contains(&scale), "scale out of supported range");
+    // Canonical Graph500 partition probabilities.
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let n_edges = edge_factor << scale;
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            let r = rng.next_f64();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Converts an edge list to undirected CSR over `n` vertices, adding a
+/// ring so every vertex is reachable (the workloads' connectivity
+/// invariant).
+pub fn edges_to_csr(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let next = (v + 1) % n as u32;
+        adjacency[v as usize].push(next);
+        adjacency[next as usize].push(v);
+    }
+    for &(u, v) in edges {
+        let (u, v) = (u as usize % n, v as usize % n);
+        adjacency[u].push(v as u32);
+        adjacency[v].push(u as u32);
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    offsets.push(0u32);
+    for neighbors in &adjacency {
+        adj.extend_from_slice(neighbors);
+        offsets.push(adj.len() as u32);
+    }
+    (offsets, adj)
+}
+
+/// Floorplan-style power map for hotspot: rectangular functional-unit
+/// blocks, a few of which are hot (ALU/FPU class), over a low ambient
+/// leakage floor — the structure of Rodinia's thermal inputs.
+pub fn floorplan_power_map(rng: &mut Pcg32, rows: usize, cols: usize, hot_blocks: usize) -> Vec<f64> {
+    let mut map = vec![0.0f64; rows * cols];
+    for p in map.iter_mut() {
+        *p = rng.uniform(0.0, 0.3); // leakage floor
+    }
+    for _ in 0..hot_blocks {
+        let h = (rows / 8).max(1) + rng.index((rows / 4).max(1));
+        let w = (cols / 8).max(1) + rng.index((cols / 4).max(1));
+        let r0 = rng.index(rows.saturating_sub(h).max(1));
+        let c0 = rng.index(cols.saturating_sub(w).max(1));
+        let density = rng.uniform(4.0, 9.0);
+        for r in r0..(r0 + h).min(rows) {
+            for c in c0..(c0 + w).min(cols) {
+                map[r * cols + c] = density;
+            }
+        }
+    }
+    map
+}
+
+/// Multiplicative-speckle image in the SRAD paper's model: a smooth
+/// underlying reflectivity corrupted by unit-mean speckle noise of the
+/// given coefficient of variation.
+pub fn speckled_image(rng: &mut Pcg32, rows: usize, cols: usize, speckle_cv: f64) -> Vec<f64> {
+    let mut img = vec![0.0f64; rows * cols];
+    for (idx, px) in img.iter_mut().enumerate() {
+        let (r, c) = (idx / cols, idx % cols);
+        // Smooth base: a couple of low-frequency modes.
+        let base = 100.0
+            + 30.0 * ((r as f64 / rows as f64) * std::f64::consts::PI).sin()
+            + 20.0 * ((c as f64 / cols as f64) * 2.0 * std::f64::consts::PI).cos();
+        let noise = (1.0 + speckle_cv * rng.normal()).max(0.05);
+        *px = base * noise;
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_features_have_separable_structure() {
+        let mut rng = Pcg32::seeded(1);
+        let (points, labels) = clustered_features(&mut rng, 600, 10, 3, 2);
+        assert_eq!(points.len(), 6000);
+        // Within-cluster distance (signal dims) must be far below
+        // between-cluster distance on average.
+        let centroid = |c: usize| -> Vec<f64> {
+            let members: Vec<usize> = (0..600).filter(|&i| labels[i] == c).collect();
+            let mut m = [0.0; 8];
+            for &i in &members {
+                for j in 0..8 {
+                    m[j] += points[i * 10 + j];
+                }
+            }
+            m.iter().map(|x| x / members.len() as f64).collect()
+        };
+        let c0 = centroid(0);
+        let c1 = centroid(1);
+        let between: f64 = c0.iter().zip(&c1).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(between > 3.0, "anchors not separated: {between}");
+    }
+
+    #[test]
+    fn noise_dimensions_carry_no_cluster_signal() {
+        let mut rng = Pcg32::seeded(2);
+        let (points, labels) = clustered_features(&mut rng, 2000, 6, 2, 2);
+        // Mean of a noise dim per cluster ≈ equal.
+        let mean_of = |c: usize, j: usize| -> f64 {
+            let members: Vec<usize> = (0..2000).filter(|&i| labels[i] == c).collect();
+            members.iter().map(|&i| points[i * 6 + j]).sum::<f64>() / members.len() as f64
+        };
+        let diff = (mean_of(0, 5) - mean_of(1, 5)).abs();
+        assert!(diff < 0.5, "noise dim separates clusters: {diff}");
+    }
+
+    #[test]
+    fn rmat_degrees_are_heavy_tailed() {
+        let mut rng = Pcg32::seeded(3);
+        let scale = 10;
+        let n = 1usize << scale;
+        let edges = rmat_edges(&mut rng, scale, 8);
+        assert_eq!(edges.len(), 8 * n);
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let max = *degree.iter().max().unwrap() as f64;
+        let mean = degree.iter().map(|&d| f64::from(d)).sum::<f64>() / n as f64;
+        // Power-law-ish: the hub dwarfs the mean (uniform graphs give
+        // max/mean ≈ 2-3; R-MAT ≥ 10 at this scale).
+        assert!(max / mean > 8.0, "degree tail too light: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn rmat_has_no_self_loops() {
+        let mut rng = Pcg32::seeded(4);
+        for (u, v) in rmat_edges(&mut rng, 8, 4) {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn csr_is_symmetric_and_connected() {
+        let mut rng = Pcg32::seeded(5);
+        let n = 256;
+        let edges = rmat_edges(&mut rng, 8, 4);
+        let (offsets, adj) = edges_to_csr(n, &edges);
+        assert_eq!(offsets.len(), n + 1);
+        // Symmetry: every (v,u) has a matching (u,v).
+        let mut pair_count = std::collections::HashMap::new();
+        for v in 0..n {
+            for &u in &adj[offsets[v] as usize..offsets[v + 1] as usize] {
+                *pair_count.entry((v as u32, u)).or_insert(0i64) += 1;
+            }
+        }
+        for (&(a, b), &cnt) in &pair_count {
+            assert_eq!(cnt, pair_count[&(b, a)], "asymmetric edge ({a},{b})");
+        }
+        // Connectivity via the ring: BFS reaches everything.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &u in &adj[offsets[v] as usize..offsets[v + 1] as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u as usize);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn floorplan_map_has_hot_blocks_over_a_floor() {
+        let mut rng = Pcg32::seeded(6);
+        let map = floorplan_power_map(&mut rng, 64, 64, 4);
+        let hot = map.iter().filter(|&&p| p > 3.0).count();
+        let cold = map.iter().filter(|&&p| p <= 0.3).count();
+        assert!(hot > 16, "no hot region: {hot} cells");
+        assert!(cold > map.len() / 4, "floor missing: {cold} cells");
+        assert!(map.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn speckle_statistics_match_the_model() {
+        let mut rng = Pcg32::seeded(7);
+        let cv = 0.25;
+        let img = speckled_image(&mut rng, 128, 128, cv);
+        assert!(img.iter().all(|&p| p > 0.0));
+        // The measured coefficient of variation should be near the target
+        // (the smooth base adds a little).
+        let n = img.len() as f64;
+        let mean = img.iter().sum::<f64>() / n;
+        let var = img.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let measured_cv = var.sqrt() / mean;
+        assert!(
+            (measured_cv - cv).abs() < 0.12,
+            "cv {measured_cv} vs target {cv}"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let run = || {
+            let mut rng = Pcg32::seeded(9);
+            let (p, _) = clustered_features(&mut rng, 50, 4, 2, 1);
+            let e = rmat_edges(&mut rng, 6, 2);
+            let f = floorplan_power_map(&mut rng, 16, 16, 2);
+            let s = speckled_image(&mut rng, 16, 16, 0.2);
+            (p, e, f, s)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
+    }
+}

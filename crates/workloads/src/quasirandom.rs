@@ -1,0 +1,282 @@
+//! `QG` — quasirandom sequence generator (CUDA SDK "quasirandomGenerator").
+//!
+//! Table II: 600 iterations over 16 777 216 points, "utilizations highly
+//! fluctuate" — the generator alternates between a compute-heavy
+//! direction-vector accumulation phase and a bandwidth-heavy scramble/write
+//! phase, and the phase mix itself varies between iterations. Together with
+//! streamcluster it is the paper's stress test for the WMA scaler's
+//! adaptivity.
+//!
+//! Points are independent, so QG is divisible by index range.
+
+use crate::model::host_floor_for_gap_fraction;
+use crate::traits::{CpuSlice, GpuPhase, PhaseCost, UtilClass, Workload, WorkloadProfile};
+use greengpu_hw::calib::geforce_8800_gtx;
+
+/// Number of Sobol-style dimensions generated.
+pub const DIMS: usize = 4;
+const BITS: usize = 32;
+
+/// Quasirandom-generator workload instance.
+pub struct QuasirandomGen {
+    profile: WorkloadProfile,
+    n_func: usize,
+    /// Direction vectors per dimension.
+    dirs: [[u32; BITS]; DIMS],
+    /// Sum of all generated samples (the merged reduction output).
+    acc: f64,
+    cost_points: f64,
+    iters: usize,
+}
+
+impl QuasirandomGen {
+    /// Paper preset: 16 777 216 points charged to costs, 600-iteration
+    /// enlargement folded into 12 iterations.
+    pub fn paper(_seed: u64) -> Self {
+        QuasirandomGen::with_params(65_536, 16_777_216.0, 12)
+    }
+
+    /// Small preset for fast tests.
+    pub fn small(_seed: u64) -> Self {
+        QuasirandomGen::with_params(1024, 4.0e6, 4)
+    }
+
+    /// Fully parameterized constructor. The sequence itself is
+    /// deterministic (no RNG): direction vectors follow the classic
+    /// Sobol/Niederreiter construction for the first dimensions.
+    pub fn with_params(n_func: usize, cost_points: f64, iters: usize) -> Self {
+        QuasirandomGen {
+            profile: WorkloadProfile {
+                name: "QG",
+                enlargement: format!("600 iterations; {} points", cost_points as u64),
+                description: "Utilizations highly fluctuate",
+                core_class: UtilClass::Fluctuating,
+                mem_class: UtilClass::Fluctuating,
+                divisible: true,
+            },
+            n_func,
+            dirs: build_directions(),
+            acc: 0.0,
+            cost_points,
+            iters,
+        }
+    }
+
+    /// Generates sample `i` of dimension `dim` in `[0, 1)` using the
+    /// Gray-code Sobol construction.
+    pub fn sample(&self, dim: usize, i: u64) -> f64 {
+        let gray = i ^ (i >> 1);
+        let mut x = 0u32;
+        for (bit, &v) in self.dirs[dim].iter().enumerate() {
+            if (gray >> bit) & 1 == 1 {
+                x ^= v;
+            }
+        }
+        f64::from(x) / (u64::from(u32::MAX) + 1) as f64
+    }
+
+    /// Sum of samples over index range `[lo, hi)`, all dimensions.
+    fn sum_range(&self, offset: u64, lo: usize, hi: usize) -> f64 {
+        let mut s = 0.0;
+        for i in lo..hi {
+            let idx = offset + i as u64;
+            for dim in 0..DIMS {
+                s += self.sample(dim, idx);
+            }
+        }
+        s
+    }
+}
+
+/// Direction vectors: dimension 0 is Van der Corput (v_k = 2^(31-k));
+/// higher dimensions use small primitive polynomials (Joe–Kuo style seeds).
+fn build_directions() -> [[u32; BITS]; DIMS] {
+    let mut dirs = [[0u32; BITS]; DIMS];
+    // Dimension 0: plain radical inverse.
+    for (k, d) in dirs[0].iter_mut().enumerate() {
+        *d = 1u32 << (31 - k);
+    }
+    // Dimensions 1..: primitive polynomial recurrences (degree s, coeff a,
+    // initial m values) from the standard Sobol tables.
+    let params: [(&[u32], u32); 3] = [(&[1], 0), (&[1, 3], 1), (&[1, 3, 1], 1)];
+    for (dim, &(m_init, a)) in params.iter().enumerate() {
+        let d = dim + 1;
+        let s = m_init.len();
+        let mut m: Vec<u32> = m_init.to_vec();
+        for k in s..BITS {
+            let mut new_m = m[k - s] ^ (m[k - s] << s);
+            for j in 1..s {
+                if (a >> (s - 1 - j)) & 1 == 1 {
+                    new_m ^= m[k - j] << j;
+                }
+            }
+            m.push(new_m);
+        }
+        for k in 0..BITS {
+            dirs[d][k] = m[k] << (31 - k);
+        }
+    }
+    dirs
+}
+
+impl Workload for QuasirandomGen {
+    fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    fn phases(&self, iter: usize) -> Vec<PhaseCost> {
+        let spec = geforce_8800_gtx();
+        let pts = self.cost_points;
+        // The 600-iteration enlargement is folded into alternating
+        // iteration flavors — generation-heavy (XOR/shift arithmetic
+        // dominates) and scramble-heavy (streaming stores dominate). The
+        // swing repeats every two iterations (~tens of seconds), which is
+        // the fluctuation the 3 s scaling interval must track.
+        if iter.is_multiple_of(2) {
+            // Generation-heavy: arithmetic intensity ~3.3 ops/B; the WMA
+            // fixed point is core level 4 (520 MHz) / memory level 3
+            // (740 MHz), both inside the host-pipeline slack.
+            let ops = pts * 30.0 * 4_200.0;
+            let mut gen = GpuPhase::new("generate-heavy", ops, ops / 3.3, 0.60, 0.50, 0.0);
+            gen.host_floor_s = host_floor_for_gap_fraction(&gen, &spec, 0.22);
+            let cpu = CpuSlice {
+                ops: ops * 0.8,
+                bytes: ops / 20.0,
+                eff: 0.70,
+            };
+            vec![PhaseCost { gpu: gen, cpu }]
+        } else {
+            // Scramble/write-heavy: intensity ~0.72 ops/B; fixed point is
+            // core level 2 (408 MHz) / memory level 4 (820 MHz).
+            let bytes = pts * 8.0 * 9_700.0;
+            let ops = bytes * 0.717;
+            let mut write = GpuPhase::new("scramble-heavy", ops, bytes, 0.60, 0.50, 0.0);
+            write.host_floor_s = host_floor_for_gap_fraction(&write, &spec, 0.25);
+            let cpu = CpuSlice {
+                ops,
+                bytes: bytes / 4.0,
+                eff: 0.70,
+            };
+            vec![PhaseCost { gpu: write, cpu }]
+        }
+    }
+
+    fn execute(&mut self, iter: usize, cpu_share: f64) -> f64 {
+        let offset = (iter * self.n_func) as u64;
+        let split = ((self.n_func as f64) * cpu_share.clamp(0.0, 1.0)).round() as usize;
+        // CPU side generates [0, split), GPU side [split, n); the reduction
+        // merge is a plain sum.
+        let s = self.sum_range(offset, 0, split) + self.sum_range(offset, split, self.n_func);
+        self.acc += s;
+        s
+    }
+
+    fn digest(&self) -> f64 {
+        self.acc
+    }
+
+    fn reset(&mut self) {
+        self.acc = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::iteration_utilization;
+    use crate::traits::check_phase;
+
+    #[test]
+    fn samples_are_in_unit_interval() {
+        let qg = QuasirandomGen::small(0);
+        for dim in 0..DIMS {
+            for i in 0..1000u64 {
+                let x = qg.sample(dim, i);
+                assert!((0.0..1.0).contains(&x), "sample {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_beats_uniform_spacing_error() {
+        // The first 2^k Sobol points in dim 0 hit every dyadic interval
+        // exactly once: their mean converges to 0.5 much faster than
+        // random. Check the mean over 4096 points is within 1e-3.
+        let qg = QuasirandomGen::small(0);
+        let n = 4096u64;
+        for dim in 0..DIMS {
+            let mean: f64 = (0..n).map(|i| qg.sample(dim, i)).sum::<f64>() / n as f64;
+            assert!((mean - 0.5).abs() < 1e-3, "dim {dim} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dim0_first_points_are_van_der_corput() {
+        let qg = QuasirandomGen::small(0);
+        assert_eq!(qg.sample(0, 0), 0.0);
+        assert!((qg.sample(0, 1) - 0.5).abs() < 1e-12);
+        // Gray-code ordering: i=2 → gray 3 → 0.75, i=3 → gray 2 → 0.25.
+        assert!((qg.sample(0, 2) - 0.75).abs() < 1e-12);
+        assert!((qg.sample(0, 3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_is_invariant() {
+        let mut digests = Vec::new();
+        for &r in &[0.0, 0.25, 0.5, 1.0] {
+            let mut qg = QuasirandomGen::small(0);
+            for i in 0..qg.iterations() {
+                qg.execute(i, r);
+            }
+            digests.push(qg.digest());
+        }
+        for w in digests.windows(2) {
+            assert!((w[0] - w[1]).abs() / w[0] < 1e-12, "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_accumulator() {
+        let mut qg = QuasirandomGen::small(0);
+        qg.execute(0, 0.0);
+        assert!(qg.digest() > 0.0);
+        qg.reset();
+        assert_eq!(qg.digest(), 0.0);
+    }
+
+    #[test]
+    fn phases_are_valid_and_fluctuate() {
+        let qg = QuasirandomGen::paper(0);
+        let spec = geforce_8800_gtx();
+        for iter in 0..2 {
+            for p in qg.phases(iter) {
+                check_phase(&p);
+            }
+        }
+        let (c0, m0) = iteration_utilization(&qg.phases(0), &spec, 576.0, 900.0);
+        let (c1, m1) = iteration_utilization(&qg.phases(1), &spec, 576.0, 900.0);
+        assert!(
+            (c0 - c1).abs() > 0.2 && (m0 - m1).abs() > 0.15,
+            "no fluctuation: ({c0},{m0}) vs ({c1},{m1})"
+        );
+    }
+
+    #[test]
+    fn iteration_flavors_lean_opposite_ways() {
+        // Generation-heavy iterations are core-dominant; scramble-heavy
+        // iterations are memory-dominant — the signature that exercises
+        // the coordinated WMA table.
+        let qg = QuasirandomGen::paper(0);
+        let spec = geforce_8800_gtx();
+        let (c0, m0) = iteration_utilization(&qg.phases(0), &spec, 576.0, 900.0);
+        let (c1, m1) = iteration_utilization(&qg.phases(1), &spec, 576.0, 900.0);
+        assert!(c0 > m0, "even iteration should lean core: ({c0}, {m0})");
+        assert!(m1 > c1, "odd iteration should lean memory: ({c1}, {m1})");
+        assert!((0.55..0.85).contains(&c0), "even u_core {c0}");
+        assert!((0.6..0.8).contains(&m1), "odd u_mem {m1}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests over the workload suite: split-invariance for any
+//! ratio, determinism, and cost-model validity for every iteration.
+
+use greengpu_workloads::registry;
+use greengpu_workloads::traits::check_phase;
+use proptest::prelude::*;
+
+/// The divisible workloads (small presets run in microseconds).
+const DIVISIBLE: [&str; 6] = ["kmeans", "hotspot", "nbody", "QG", "streamcluster", "srad_v2"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_split_ratio_preserves_results(which in 0usize..6, share in 0.0..1.0f64, seed in 1u64..50) {
+        let name = DIVISIBLE[which];
+        let mut split = registry::by_name_small(name, seed).expect("registered");
+        let mut whole = registry::by_name_small(name, seed).expect("registered");
+        let iters = split.iterations().min(3);
+        for i in 0..iters {
+            split.execute(i, share);
+            whole.execute(i, 0.0);
+        }
+        let (a, b) = (split.digest(), whole.digest());
+        let rel = (a - b).abs() / b.abs().max(1e-12);
+        prop_assert!(rel < 1e-9, "{name} @ share {share}: {a} vs {b}");
+    }
+
+    #[test]
+    fn phases_are_valid_for_every_iteration(which in 0usize..9, seed in 1u64..20) {
+        let name = registry::TABLE2_NAMES[which];
+        let wl = registry::by_name_small(name, seed).expect("registered");
+        for i in 0..wl.iterations() {
+            for p in wl.phases(i) {
+                check_phase(&p);
+                prop_assert!(p.gpu.ops > 0.0 || p.gpu.bytes > 0.0 || p.gpu.host_floor_s > 0.0,
+                    "{name} iteration {i} has an empty GPU phase");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_always_restores_the_initial_state(which in 0usize..9, share in 0.0..1.0f64) {
+        let name = registry::TABLE2_NAMES[which];
+        let mut wl = registry::by_name_small(name, 7).expect("registered");
+        let iters = wl.iterations().min(2);
+        let mut first = Vec::new();
+        for i in 0..iters {
+            first.push(wl.execute(i, share));
+        }
+        wl.reset();
+        for (i, &expected) in first.iter().enumerate() {
+            let again = wl.execute(i, share);
+            prop_assert_eq!(again, expected, "{} iteration {} diverged after reset", name, i);
+        }
+    }
+
+    #[test]
+    fn digests_are_finite_and_stable(which in 0usize..9, seed in 1u64..20) {
+        let name = registry::TABLE2_NAMES[which];
+        let mut wl = registry::by_name_small(name, seed).expect("registered");
+        for i in 0..wl.iterations().min(2) {
+            let d = wl.execute(i, 0.5);
+            prop_assert!(d.is_finite(), "{name}: digest {d}");
+        }
+        prop_assert!(wl.digest().is_finite());
+    }
+
+    #[test]
+    fn scaling_a_phase_scales_costs_linearly(which in 0usize..9, share in 0.01..1.0f64) {
+        let name = registry::TABLE2_NAMES[which];
+        let wl = registry::by_name_small(name, 3).expect("registered");
+        for p in wl.phases(0) {
+            let scaled = p.gpu.scale(share);
+            prop_assert!((scaled.ops - p.gpu.ops * share).abs() <= p.gpu.ops * 1e-12);
+            prop_assert!((scaled.bytes - p.gpu.bytes * share).abs() <= p.gpu.bytes * 1e-12);
+            prop_assert!((scaled.host_floor_s - p.gpu.host_floor_s * share).abs() <= p.gpu.host_floor_s * 1e-12 + 1e-15);
+            let c = p.cpu.scale(share);
+            prop_assert!((c.ops - p.cpu.ops * share).abs() <= p.cpu.ops * 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cluster energy audit: estimate what GreenGPU would save across a
+//! full mixed-workload node — the paper's motivating scenario (Tianhe-1A's
+//! $2.7 M annual electricity bill).
+//!
+//! Runs every Table II workload under four policies and prints a
+//! fleet-level report: per-workload savings and the aggregate picture for
+//! a node that cycles through the whole suite.
+//!
+//! ```text
+//! cargo run --release --example cluster_energy_audit
+//! ```
+
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::registry;
+
+struct AuditRow {
+    name: &'static str,
+    default_j: f64,
+    scaling_j: f64,
+    division_j: f64,
+    green_j: f64,
+    divisible: bool,
+}
+
+impl AuditRow {
+    /// The cheapest policy for this workload.
+    fn best(&self) -> (&'static str, f64) {
+        let mut best = ("default", self.default_j);
+        for (name, j) in [
+            ("scaling", self.scaling_j),
+            ("division", self.division_j),
+            ("GreenGPU", self.green_j),
+        ] {
+            if j < best.1 {
+                best = (name, j);
+            }
+        }
+        best
+    }
+}
+
+fn main() {
+    println!("GreenGPU cluster energy audit — full Table II suite, four policies\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}  {:>8}",
+        "workload", "default (J)", "scaling (J)", "division (J)", "GreenGPU (J)", "saving"
+    );
+
+    let seed = 7;
+    let mut rows = Vec::new();
+    for name in registry::TABLE2_NAMES {
+        let run = |cfg: Option<GreenGpuConfig>| {
+            let mut wl = registry::by_name(name, seed).expect("registered");
+            match cfg {
+                None => run_best_performance_with(wl.as_mut(), RunConfig::sweep()),
+                Some(c) => run_with_config(wl.as_mut(), c, RunConfig::sweep()),
+            }
+        };
+        let default = run(None);
+        let scaling = run(Some(GreenGpuConfig::scaling_only()));
+        let division = run(Some(GreenGpuConfig::division_only()));
+        let green = run(Some(GreenGpuConfig::holistic()));
+        let divisible = registry::by_name(name, seed).unwrap().profile().divisible;
+        let row = AuditRow {
+            name,
+            default_j: default.total_energy_j(),
+            scaling_j: scaling.total_energy_j(),
+            division_j: division.total_energy_j(),
+            green_j: green.total_energy_j(),
+            divisible,
+        };
+        let (best_name, _) = row.best();
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0}  {:>7.2}%  best: {}{}",
+            row.name,
+            row.default_j,
+            row.scaling_j,
+            row.division_j,
+            row.green_j,
+            (1.0 - row.green_j / row.default_j) * 100.0,
+            best_name,
+            if row.divisible { "" } else { " (not divisible)" },
+        );
+        rows.push(row);
+    }
+
+    let total = |f: fn(&AuditRow) -> f64| rows.iter().map(f).sum::<f64>();
+    let (d, s, v, g) = (
+        total(|r| r.default_j),
+        total(|r| r.scaling_j),
+        total(|r| r.division_j),
+        total(|r| r.green_j),
+    );
+    println!("\nnode total for one pass over the suite:");
+    println!("  default          {d:>12.0} J");
+    println!("  scaling-only     {s:>12.0} J  ({:.2}% saved)", (1.0 - s / d) * 100.0);
+    println!("  division-only    {v:>12.0} J  ({:.2}% saved)", (1.0 - v / d) * 100.0);
+    println!("  GreenGPU         {g:>12.0} J  ({:.2}% saved)", (1.0 - g / d) * 100.0);
+    let p: f64 = rows.iter().map(|r| r.best().1).sum();
+    println!(
+        "  policy-aware     {p:>12.0} J  ({:.2}% saved — pick the best policy per workload)",
+        (1.0 - p / d) * 100.0
+    );
+    println!();
+    println!("Note: workloads with many short iterations (nbody, QG, srad_v2) lose to the");
+    println!("division tier's convergence overhead — consistent with the paper deploying");
+    println!("division only on iteration-heavy kmeans and hotspot.");
+
+    // Scale to the fleet: a 1 000-node cluster running this mix around the
+    // clock at $0.10/kWh.
+    let node_w_default = d / rows.len() as f64; // rough, per-suite-pass joules
+    let _ = node_w_default;
+    let saving_j = d - g;
+    let suite_passes_per_day = 86_400.0 / (d / 300.0); // assume ~300 W node draw
+    let kwh_saved_per_node_day = saving_j * suite_passes_per_day / 3.6e6;
+    println!(
+        "\nat this mix, a 1000-node cluster saves ≈ {:.0} kWh/day (≈ ${:.0}/year at $0.10/kWh)",
+        kwh_saved_per_node_day * 1000.0,
+        kwh_saved_per_node_day * 1000.0 * 365.0 * 0.10
+    );
+}

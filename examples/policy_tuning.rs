@@ -1,0 +1,79 @@
+//! Policy tuning: sweep the WMA's α/φ/β knobs on a fluctuating workload
+//! and report the energy/performance trade-off each setting lands on —
+//! the experimental procedure the paper uses to derive α_c = 0.15,
+//! α_m = 0.02, φ = 0.3, β = 0.2 (§V-A: "derived from experiments").
+//!
+//! ```text
+//! cargo run --release --example policy_tuning
+//! ```
+
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::wma::WmaParams;
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::streamcluster::StreamCluster;
+
+fn evaluate(params: WmaParams) -> (f64, f64) {
+    let seed = 3;
+    let base = run_best_performance_with(&mut StreamCluster::paper(seed), RunConfig::sweep());
+    let cfg = GreenGpuConfig {
+        wma_params: params,
+        ..GreenGpuConfig::scaling_only()
+    };
+    let ours = run_with_config(&mut StreamCluster::paper(seed), cfg, RunConfig::sweep());
+    let saving = (1.0 - ours.gpu_energy_j / base.gpu_energy_j) * 100.0;
+    let slowdown = (ours.total_time.as_secs_f64() / base.total_time.as_secs_f64() - 1.0) * 100.0;
+    (saving, slowdown)
+}
+
+fn main() {
+    println!("GreenGPU policy tuning — WMA parameter sweep on streamcluster\n");
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "parameters", "GPU saving", "slowdown"
+    );
+
+    let show = |label: &str, p: WmaParams| {
+        let (saving, slowdown) = evaluate(p);
+        println!("{label:<34} {saving:>13.2}% {slowdown:>11.2}%");
+    };
+
+    show("paper defaults", WmaParams::default());
+
+    println!("\nα_core (performance↔energy bias, core domain):");
+    for alpha_core in [0.02, 0.15, 0.40, 0.80] {
+        show(
+            &format!("  alpha_core = {alpha_core}"),
+            WmaParams { alpha_core, ..WmaParams::default() },
+        );
+    }
+
+    println!("\nα_mem (memory domain):");
+    for alpha_mem in [0.02, 0.15, 0.40] {
+        show(
+            &format!("  alpha_mem = {alpha_mem}"),
+            WmaParams { alpha_mem, ..WmaParams::default() },
+        );
+    }
+
+    println!("\nφ (core/memory loss balance):");
+    for phi in [0.1, 0.3, 0.7, 0.9] {
+        show(&format!("  phi = {phi}"), WmaParams { phi, ..WmaParams::default() });
+    }
+
+    println!("\nβ (per-interval penalty damping):");
+    for beta in [0.05, 0.2, 0.5, 0.9] {
+        show(&format!("  beta = {beta}"), WmaParams { beta, ..WmaParams::default() });
+    }
+
+    println!("\nhistory λ (effective memory of the weight table):");
+    for history in [0.5, 0.8, 0.95, 1.0] {
+        show(
+            &format!("  history = {history}"),
+            WmaParams { history, ..WmaParams::default() },
+        );
+    }
+
+    println!("\nReading: larger α chases energy harder (more throttling, more slowdown);");
+    println!("λ = 1.0 is verbatim Eq. 4 — sluggish on fluctuating workloads like this one.");
+}

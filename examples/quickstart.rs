@@ -1,0 +1,41 @@
+//! Quickstart: run a workload under GreenGPU and compare against the
+//! Rodinia default (all work on the GPU, peak clocks).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use greengpu::baselines;
+use greengpu_suite::{division_trace, saving_pct, summarize_run};
+use greengpu_workloads::kmeans::KMeans;
+
+fn main() {
+    println!("GreenGPU quickstart — kmeans (paper preset, 988 040 points)\n");
+
+    // The Rodinia default: everything on the GPU, both domains at peak.
+    let default = baselines::run_best_performance(&mut KMeans::paper(42));
+    // The full two-tier GreenGPU controller.
+    let green = baselines::run_greengpu(&mut KMeans::paper(42));
+
+    println!("{}", summarize_run("default (all-GPU, peak)", &default));
+    println!("{}", summarize_run("GreenGPU (two tiers)", &green));
+    println!("\nenergy saving: {:.2}%", saving_pct(&default, &green));
+
+    println!("\ndivision trace (tier 1 converging from the 30% start):");
+    print!("{}", division_trace(&green));
+
+    let gpu = green.platform.gpu();
+    println!(
+        "final GPU clocks chosen by tier 2: core {} MHz, memory {} MHz",
+        gpu.core().current_mhz(),
+        gpu.mem().current_mhz()
+    );
+
+    // The functional result is identical under both policies — energy
+    // management never changes the computation.
+    assert!(
+        ((green.digest - default.digest) / default.digest).abs() < 1e-9,
+        "policies must not change numerical results"
+    );
+    println!("\nfunctional digest matches the unmanaged run ✓");
+}

@@ -1,0 +1,65 @@
+//! Trace explorer: render the Fig. 5 experiment — the frequency-scaling
+//! tier running streamcluster — as terminal charts, and poke the same
+//! run through the NVML-style facade.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! ```
+
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_hw::nvml::{ClockType, NvmlDevice};
+use greengpu_runtime::RunConfig;
+use greengpu_sim::plot::{band_chart, bucketize, trace_sparkline};
+use greengpu_sim::SimTime;
+use greengpu_workloads::streamcluster::StreamCluster;
+
+const WIDTH: usize = 72;
+
+fn main() {
+    println!("GreenGPU trace explorer — streamcluster under the frequency-scaling tier\n");
+
+    let ours = run_with_config(
+        &mut StreamCluster::paper(5),
+        GreenGpuConfig::scaling_only(),
+        RunConfig::sweep(),
+    );
+    let base = run_best_performance_with(&mut StreamCluster::paper(5), RunConfig::sweep());
+
+    let end = SimTime::ZERO + ours.total_time;
+    let gpu = ours.platform.gpu();
+
+    println!("window: 0 .. {:.0} s, {} buckets\n", end.as_secs_f64(), WIDTH);
+    println!("core util  {}", trace_sparkline(gpu.u_core_trace(), SimTime::ZERO, end, WIDTH));
+    println!("core MHz   {}", trace_sparkline(gpu.core().trace(), SimTime::ZERO, end, WIDTH));
+    println!("mem util   {}", trace_sparkline(gpu.u_mem_trace(), SimTime::ZERO, end, WIDTH));
+    println!("mem MHz    {}", trace_sparkline(gpu.mem().trace(), SimTime::ZERO, end, WIDTH));
+    println!();
+
+    let power = bucketize(ours.platform.gpu_meter().trace(), SimTime::ZERO, end, WIDTH);
+    println!("{}", band_chart("GPU power under GreenGPU scaling (W)", &power, 6));
+    let base_end = SimTime::ZERO + base.total_time;
+    let base_power = bucketize(base.platform.gpu_meter().trace(), SimTime::ZERO, base_end, WIDTH);
+    println!("{}", band_chart("GPU power under best-performance (W)", &base_power, 6));
+
+    // The same trace through the NVML vocabulary a deployment would use.
+    let mut dev = NvmlDevice::open();
+    println!("NVML view at t = 60 s:");
+    let u = dev.utilization_rates(&ours.platform, SimTime::from_secs(60));
+    println!("  utilization.gpu    = {:>3} %", u.gpu);
+    println!("  utilization.memory = {:>3} %", u.memory);
+    println!(
+        "  clocks.gr / clocks.mem = {} / {} MHz",
+        dev.clock_info(&ours.platform, ClockType::Graphics),
+        dev.clock_info(&ours.platform, ClockType::Memory),
+    );
+    println!(
+        "  power.draw = {:.1} W, total energy = {:.1} kJ",
+        dev.power_usage_mw(&ours.platform, SimTime::from_secs(60)) as f64 / 1000.0,
+        dev.total_energy_consumption_mj(&ours.platform, end) as f64 / 1e6,
+    );
+
+    let saving = (1.0 - ours.gpu_energy_j / base.gpu_energy_j) * 100.0;
+    let dt = (ours.total_time.as_secs_f64() / base.total_time.as_secs_f64() - 1.0) * 100.0;
+    println!("\nGPU energy saving vs best-performance: {saving:.2}% at {dt:+.2}% execution time");
+}

@@ -1,0 +1,70 @@
+//! # greengpu-suite — workspace-level helpers
+//!
+//! Small conveniences shared by the runnable examples and the cross-crate
+//! integration tests: run-report summaries and policy comparison helpers.
+//! The real library surface lives in the member crates (start at
+//! [`greengpu`]).
+
+use greengpu_runtime::RunReport;
+
+/// A one-line summary of a run for example output.
+pub fn summarize_run(label: &str, report: &RunReport) -> String {
+    format!(
+        "{label:<22} {:>9.1} s  {:>10.0} J total ({:>8.0} J GPU / {:>8.0} J CPU-side), mean {:>6.1} W",
+        report.total_time.as_secs_f64(),
+        report.total_energy_j(),
+        report.gpu_energy_j,
+        report.cpu_energy_j,
+        report.mean_power_w(),
+    )
+}
+
+/// Percent saving of `ours` relative to `baseline` total energy.
+pub fn saving_pct(baseline: &RunReport, ours: &RunReport) -> f64 {
+    (1.0 - ours.total_energy_j() / baseline.total_energy_j()) * 100.0
+}
+
+/// Renders a compact per-iteration division trace (iteration, share, tc,
+/// tg) for example output.
+pub fn division_trace(report: &RunReport) -> String {
+    let mut out = String::from("  iter  share     tc(s)     tg(s)\n");
+    for it in &report.iterations {
+        out.push_str(&format!(
+            "  {:>4}  {:>4.0}%  {:>8.1}  {:>8.1}\n",
+            it.index + 1,
+            it.cpu_share * 100.0,
+            it.tc_s,
+            it.tg_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greengpu::baselines::run_best_performance;
+    use greengpu_workloads::kmeans::KMeans;
+
+    #[test]
+    fn summary_contains_key_quantities() {
+        let report = run_best_performance(&mut KMeans::small(1));
+        let s = summarize_run("test", &report);
+        assert!(s.contains("J total"));
+        assert!(s.contains("W"));
+    }
+
+    #[test]
+    fn saving_pct_signs() {
+        let a = run_best_performance(&mut KMeans::small(1));
+        let b = run_best_performance(&mut KMeans::small(1));
+        assert!(saving_pct(&a, &b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_trace_lists_iterations() {
+        let report = run_best_performance(&mut KMeans::small(1));
+        let t = division_trace(&report);
+        assert_eq!(t.lines().count(), 1 + report.iterations.len());
+    }
+}

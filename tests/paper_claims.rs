@@ -1,0 +1,85 @@
+//! End-to-end checks of the paper's headline numbers (the EXPERIMENTS.md
+//! claims), at integration level with paper-preset workloads.
+
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+
+fn energy(cfg: Option<GreenGpuConfig>, wl: &mut dyn greengpu_workloads::Workload) -> f64 {
+    match cfg {
+        None => run_best_performance_with(wl, RunConfig::sweep()).total_energy_j(),
+        Some(c) => run_with_config(wl, c, RunConfig::sweep()).total_energy_j(),
+    }
+}
+
+#[test]
+fn headline_21_percent_class_saving_vs_default() {
+    // Paper: "GreenGPU can achieve on average 21.04% energy saving for
+    // kmeans and hotspot" compared to the Rodinia default.
+    let seed = 2012;
+    let mut savings = Vec::new();
+    for make in [
+        &(|s| Box::new(Hotspot::paper(s)) as Box<dyn greengpu_workloads::Workload>) as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>,
+        &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>),
+    ] {
+        let base = energy(None, make(seed).as_mut());
+        let green = energy(Some(GreenGpuConfig::holistic()), make(seed).as_mut());
+        savings.push(1.0 - green / base);
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        (0.12..0.40).contains(&avg),
+        "headline saving {avg} outside the paper's class (21.04%)"
+    );
+}
+
+#[test]
+fn fig8_savings_over_single_tiers_have_paper_ordering() {
+    // hotspot: GreenGPU > Division > Frequency-scaling (paper: +7.88% and
+    // +28.76% over them respectively).
+    let seed = 31;
+    let green = energy(Some(GreenGpuConfig::holistic()), &mut Hotspot::paper(seed));
+    let division = energy(Some(GreenGpuConfig::division_only()), &mut Hotspot::paper(seed));
+    let scaling = energy(Some(GreenGpuConfig::scaling_only()), &mut Hotspot::paper(seed));
+    let vs_division = 1.0 - green / division;
+    let vs_scaling = 1.0 - green / scaling;
+    assert!((0.005..0.20).contains(&vs_division), "vs division {vs_division}");
+    assert!((0.10..0.60).contains(&vs_scaling), "vs scaling {vs_scaling}");
+    assert!(vs_scaling > vs_division, "division must contribute more than scaling");
+}
+
+#[test]
+fn holistic_time_overhead_is_percent_scale() {
+    // Paper: the holistic solution runs 1.7% longer than division-only.
+    let seed = 17;
+    let green = run_with_config(&mut KMeans::paper(seed), GreenGpuConfig::holistic(), RunConfig::sweep());
+    let division = run_with_config(&mut KMeans::paper(seed), GreenGpuConfig::division_only(), RunConfig::sweep());
+    let overhead = green.total_time.as_secs_f64() / division.total_time.as_secs_f64() - 1.0;
+    assert!(overhead.abs() < 0.05, "time overhead {overhead}");
+}
+
+#[test]
+fn division_only_execution_overhead_vs_optimal_is_single_digit() {
+    // Paper §VII-B: "our solution only has 5.45% longer execution time
+    // than the optimal division".
+    let seed = 4;
+    let dynamic = run_with_config(&mut Hotspot::paper(seed), GreenGpuConfig::division_only(), RunConfig::sweep());
+    // Optimal static division for hotspot is 50/50 (converged value).
+    let optimal = greengpu::baselines::run_static_division(&mut Hotspot::paper(seed), 0.50, RunConfig::sweep());
+    let overhead = dynamic.total_time.as_secs_f64() / optimal.total_time.as_secs_f64() - 1.0;
+    assert!((0.0..0.10).contains(&overhead), "overhead {overhead}");
+}
+
+#[test]
+fn greengpu_wins_on_energy_delay_product_too() {
+    // GreenGPU's objective is energy with negligible performance loss; on
+    // the division workloads it improves the energy-delay product as well
+    // (time actually *drops* thanks to the balanced split).
+    let seed = 5;
+    let base = run_best_performance_with(&mut Hotspot::paper(seed), RunConfig::sweep());
+    let green = run_with_config(&mut Hotspot::paper(seed), GreenGpuConfig::holistic(), RunConfig::sweep());
+    assert!(green.edp() < base.edp(), "EDP: green {} vs base {}", green.edp(), base.edp());
+    assert!(green.ed2p() < base.ed2p());
+}

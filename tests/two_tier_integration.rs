@@ -1,0 +1,155 @@
+//! Cross-crate integration: the two-tier controller driving the full
+//! simulated testbed on real workloads, checked against the paper's
+//! qualitative claims.
+
+use greengpu::baselines::{
+    run_best_performance, run_best_performance_with, run_division_only, run_greengpu, run_scaling_only,
+    run_with_config,
+};
+use greengpu::GreenGpuConfig;
+use greengpu_runtime::{CommMode, RunConfig};
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+use greengpu_workloads::registry;
+use greengpu_workloads::streamcluster::StreamCluster;
+
+#[test]
+fn greengpu_never_changes_functional_results() {
+    // Energy management must be functionally transparent for every
+    // divisible workload: same digests as the unmanaged run.
+    for name in ["kmeans", "hotspot", "nbody", "QG", "streamcluster", "srad_v2"] {
+        let mut unmanaged = registry::by_name_small(name, 5).expect("registered");
+        let mut managed = registry::by_name_small(name, 5).expect("registered");
+        let base = run_best_performance(unmanaged.as_mut());
+        let green = run_greengpu(managed.as_mut());
+        let rel = ((green.digest - base.digest) / base.digest.abs().max(1e-12)).abs();
+        assert!(rel < 1e-9, "{name}: digest drifted by {rel}");
+    }
+}
+
+#[test]
+fn holistic_beats_default_across_division_workloads() {
+    for name in ["kmeans", "hotspot", "streamcluster"] {
+        let mut a = registry::by_name_small(name, 6).unwrap();
+        let mut b = registry::by_name_small(name, 6).unwrap();
+        let green = run_greengpu(a.as_mut()).total_energy_j();
+        let base = run_best_performance(b.as_mut()).total_energy_j();
+        assert!(green < base, "{name}: green {green} >= base {base}");
+    }
+}
+
+#[test]
+fn tier_composition_is_consistent() {
+    // GreenGPU (both tiers) must beat or match each single tier on the
+    // paper's two division workloads.
+    for seed in [1, 9] {
+        let green = run_greengpu(&mut Hotspot::paper(seed)).total_energy_j();
+        let division = run_division_only(&mut Hotspot::paper(seed)).total_energy_j();
+        let scaling = run_scaling_only(&mut Hotspot::paper(seed)).total_energy_j();
+        assert!(green <= division * 1.001, "seed {seed}: green {green} vs division {division}");
+        assert!(green <= scaling * 1.001, "seed {seed}: green {green} vs scaling {scaling}");
+    }
+}
+
+#[test]
+fn division_share_stays_on_the_step_grid() {
+    let report = run_division_only(&mut KMeans::paper(2));
+    for it in &report.iterations {
+        let steps = it.cpu_share / 0.05;
+        assert!(
+            (steps - steps.round()).abs() < 1e-9,
+            "share {} off the 5% grid",
+            it.cpu_share
+        );
+        assert!((0.0..=0.90).contains(&it.cpu_share));
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent_between_report_and_meters() {
+    let report = run_greengpu(&mut KMeans::small(4));
+    let end = greengpu_sim::SimTime::ZERO + report.total_time;
+    let meter_total = report.platform.total_energy_j(greengpu_sim::SimTime::ZERO, end);
+    assert!((report.total_energy_j() - meter_total).abs() < 1e-6);
+    // Per-iteration energies partition the whole run (iterations are
+    // back-to-back).
+    let sum: f64 = report.iterations.iter().map(|i| i.energy_j).sum();
+    assert!(
+        (sum - meter_total).abs() / meter_total < 1e-9,
+        "iteration energies {sum} != meter total {meter_total}"
+    );
+}
+
+#[test]
+fn async_comm_mode_lets_ondemand_throttle_the_cpu() {
+    // In synchronized-spin mode the governor is defeated (paper §VII-A);
+    // with async communication the waiting CPU falls below the down
+    // threshold and steps down.
+    let spin = run_with_config(
+        &mut StreamCluster::paper(8),
+        GreenGpuConfig::scaling_only(),
+        RunConfig::sweep(),
+    );
+    assert_eq!(
+        spin.platform.cpu().domain().current_level(),
+        3,
+        "spin mode must keep the CPU at the peak P-state"
+    );
+
+    let mut async_cfg = RunConfig::sweep();
+    async_cfg.comm_mode = CommMode::Async;
+    let idle = run_with_config(&mut StreamCluster::paper(8), GreenGpuConfig::scaling_only(), async_cfg);
+    assert!(
+        idle.platform.cpu().domain().current_level() < 3,
+        "async mode should let ondemand throttle"
+    );
+    assert!(
+        idle.cpu_energy_j < spin.cpu_energy_j,
+        "async CPU energy {} should undercut spin {}",
+        idle.cpu_energy_j,
+        spin.cpu_energy_j
+    );
+}
+
+#[test]
+fn wall_time_equals_slower_side_every_iteration() {
+    let report = run_division_only(&mut Hotspot::paper(3));
+    for it in &report.iterations {
+        let wall = it.duration_s();
+        let slower = it.tc_s.max(it.tg_s);
+        assert!(
+            (wall - slower).abs() < 1e-3,
+            "iteration {}: wall {wall} vs slower side {slower}",
+            it.index
+        );
+    }
+}
+
+#[test]
+fn non_divisible_workloads_ignore_the_division_tier() {
+    let mut wl = registry::by_name_small("bfs", 1).unwrap();
+    let report = run_greengpu(wl.as_mut());
+    for it in &report.iterations {
+        assert_eq!(it.cpu_share, 0.0, "bfs must never receive CPU work");
+        assert_eq!(it.tc_s, 0.0);
+    }
+}
+
+#[test]
+fn full_suite_runs_under_every_policy_without_panic() {
+    for name in registry::TABLE2_NAMES {
+        for cfg in [
+            GreenGpuConfig::holistic(),
+            GreenGpuConfig::division_only(),
+            GreenGpuConfig::scaling_only(),
+        ] {
+            let mut wl = registry::by_name_small(name, 3).unwrap();
+            let report = run_with_config(wl.as_mut(), cfg, RunConfig::sweep());
+            assert!(report.total_energy_j() > 0.0, "{name}: zero energy");
+            assert!(report.total_time.as_secs_f64() > 0.0);
+        }
+        let mut wl = registry::by_name_small(name, 3).unwrap();
+        let report = run_best_performance_with(wl.as_mut(), RunConfig::sweep());
+        assert!(report.total_energy_j() > 0.0);
+    }
+}
