@@ -10,10 +10,9 @@
 use greengpu_runtime::RunReport;
 use greengpu_sim::{SimDuration, SimTime, StepTrace};
 use greengpu_workloads::UtilClass;
-use serde::{Deserialize, Serialize};
 
 /// Windowed statistics of one utilization signal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilStats {
     /// Time-weighted mean utilization.
     pub mean: f64,
@@ -25,7 +24,7 @@ pub struct UtilStats {
 }
 
 /// The measured Table II row of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredProfile {
     /// GPU core utilization statistics.
     pub core: UtilStats,

@@ -14,10 +14,9 @@ use crate::coordinator::GreenGpuConfig;
 use crate::wma::WmaParams;
 use greengpu_runtime::RunConfig;
 use greengpu_workloads::Workload;
-use serde::{Deserialize, Serialize};
 
 /// The search grid. Defaults bracket the paper's manual values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuneGrid {
     /// Candidate `α_core` values.
     pub alpha_core: Vec<f64>,
@@ -38,7 +37,7 @@ impl Default for TuneGrid {
 }
 
 /// One evaluated candidate.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TunePoint {
     /// The parameters evaluated (β and λ stay at their defaults — they
     /// shape adaptation speed, not the steady-state levels).
@@ -50,7 +49,7 @@ pub struct TunePoint {
 }
 
 /// Result of a tuning run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuneResult {
     /// Every evaluated point.
     pub points: Vec<TunePoint>,

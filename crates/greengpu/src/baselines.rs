@@ -10,7 +10,7 @@
 //!   sweep and the §VII-B exhaustive search are built from these).
 
 use crate::coordinator::{GreenGpuConfig, GreenGpuController};
-use greengpu_hw::Platform;
+use greengpu_hw::{FaultPlan, Platform};
 use greengpu_runtime::{FixedController, HeteroRuntime, RunConfig, RunReport};
 use greengpu_workloads::Workload;
 
@@ -86,6 +86,48 @@ pub fn run_on_platform(
     let n_mem = platform.gpu().spec().mem_levels_mhz.len();
     let mut controller = GreenGpuController::new(cfg, n_core, n_mem);
     HeteroRuntime::new(platform, run_config).run(workload, &mut controller)
+}
+
+/// A faulted run's report plus the controller's robustness statistics.
+pub struct FaultedOutcome {
+    /// The run report (ground-truth energy — meter faults distort only
+    /// the observed series, never the accounting).
+    pub report: RunReport,
+    /// Whether the best-performance fallback engaged during the run.
+    pub fallback_engaged: bool,
+    /// Actuations whose read-back never verified.
+    pub actuation_failures: u64,
+    /// Sensor readings rejected as non-finite.
+    pub sensor_rejects: u64,
+    /// Total faults injected across all channels.
+    pub injections: usize,
+}
+
+/// Runs a GreenGPU configuration behind the seeded fault injectors of
+/// `plan`. Platform choice matches [`run_with_config`], so a clean plan
+/// reproduces that function byte-for-byte.
+pub fn run_greengpu_faulted(
+    workload: &mut dyn Workload,
+    cfg: GreenGpuConfig,
+    run_config: RunConfig,
+    plan: &FaultPlan,
+) -> FaultedOutcome {
+    let platform = if cfg.gpu_scaling {
+        Platform::default_testbed()
+    } else {
+        Platform::best_performance_testbed()
+    };
+    let n_core = platform.gpu().spec().core_levels_mhz.len();
+    let n_mem = platform.gpu().spec().mem_levels_mhz.len();
+    let mut controller = GreenGpuController::faulted(cfg, n_core, n_mem, plan);
+    let report = HeteroRuntime::new(platform, run_config).run(workload, &mut controller);
+    FaultedOutcome {
+        report,
+        fallback_engaged: controller.fallback_engaged(),
+        actuation_failures: controller.actuation_failures(),
+        sensor_rejects: controller.sensor_rejects(),
+        injections: controller.injection_count(),
+    }
 }
 
 /// One row of a static-division search.

@@ -10,13 +10,15 @@
 use crate::division::{DivisionController, DivisionParams, ModelBasedDivision};
 use crate::governors::CpuGovernor;
 use crate::wma::{WmaParams, WmaScaler};
-use greengpu_hw::{Platform, Smi};
+use greengpu_hw::{
+    CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator, Platform,
+    SensorSource,
+};
 use greengpu_runtime::{Controller, IterationInfo};
 use greengpu_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which division algorithm tier 1 runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivisionAlgo {
     /// The paper's one-step-per-iteration heuristic with the oscillation
     /// safeguard (§V-B).
@@ -28,7 +30,7 @@ pub enum DivisionAlgo {
 }
 
 /// Which CPU governor tier 2 runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GovernorKind {
     /// The paper's choice: the Linux ondemand governor.
     Ondemand,
@@ -54,8 +56,29 @@ impl GovernorKind {
     }
 }
 
+/// Hardening knobs: how the controller reacts to sensor garbage and
+/// failed actuations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessParams {
+    /// Read-back verification retries per actuation before it counts as
+    /// failed.
+    pub max_retries: u32,
+    /// Consecutive failed actuations before the controller falls back to
+    /// best-performance (peak clocks, division frozen).
+    pub fallback_after: u32,
+}
+
+impl Default for RobustnessParams {
+    fn default() -> Self {
+        RobustnessParams {
+            max_retries: 2,
+            fallback_after: 5,
+        }
+    }
+}
+
 /// Which tiers are enabled — the axes of the paper's §VII comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GreenGpuConfig {
     /// Tier-1 workload division on/off.
     pub division: bool,
@@ -75,6 +98,8 @@ pub struct GreenGpuConfig {
     pub division_algo: DivisionAlgo,
     /// CPU governor (the paper uses ondemand).
     pub governor: GovernorKind,
+    /// Sensor/actuation hardening knobs.
+    pub robustness: RobustnessParams,
 }
 
 impl Default for GreenGpuConfig {
@@ -89,6 +114,7 @@ impl Default for GreenGpuConfig {
             wma_params: WmaParams::default(),
             division_algo: DivisionAlgo::Stepwise,
             governor: GovernorKind::Ondemand,
+            robustness: RobustnessParams::default(),
         }
     }
 }
@@ -133,21 +159,65 @@ impl DivisionImpl {
             DivisionImpl::ModelBased(c) => c.update(tc, tg),
         }
     }
+
+    fn share(&self) -> f64 {
+        match self {
+            DivisionImpl::Stepwise(c) => c.share(),
+            DivisionImpl::ModelBased(c) => c.share(),
+        }
+    }
 }
 
 /// The assembled two-tier controller.
+///
+/// Sensing and actuation go through the [`SensorSource`]/[`FreqActuator`]
+/// seam, so the same controller runs against the clean testbed or a
+/// fault-injected one. The controller is hardened against bad providers:
+/// non-finite utilizations are rejected (holding the last-known-good
+/// sample), out-of-range ones are clamped, division updates ignore
+/// degenerate iteration times, and every actuation is verified by
+/// read-back with bounded retry — after
+/// [`RobustnessParams::fallback_after`] consecutive verification failures
+/// the controller permanently falls back to best-performance (peak
+/// clocks, division frozen) so a broken actuation path degrades to the
+/// paper's default baseline instead of stranding low clocks.
 pub struct GreenGpuController {
     config: GreenGpuConfig,
     wma: WmaScaler,
     governor: CpuGovernor,
     division: DivisionImpl,
-    gpu_smi: Smi,
-    cpu_smi: Smi,
+    sensors: Box<dyn SensorSource>,
+    actuator: Box<dyn FreqActuator>,
+    last_good_gpu: Option<(f64, f64)>,
+    last_good_cpu: Option<f64>,
+    consecutive_failures: u32,
+    fallback: bool,
+    sensor_rejects: u64,
+    actuation_failures: u64,
+    actuation_retries: u64,
 }
 
 impl GreenGpuController {
-    /// Builds a controller for a platform with `n_core`×`n_mem` GPU levels.
+    /// Builds a controller for a platform with `n_core`×`n_mem` GPU levels
+    /// on clean (fault-free) sensors and actuation.
     pub fn new(config: GreenGpuConfig, n_core_levels: usize, n_mem_levels: usize) -> Self {
+        GreenGpuController::with_providers(
+            config,
+            n_core_levels,
+            n_mem_levels,
+            Box::new(CleanSensors::new()),
+            Box::new(DirectActuator),
+        )
+    }
+
+    /// Builds a controller over explicit sensor/actuator providers.
+    pub fn with_providers(
+        config: GreenGpuConfig,
+        n_core_levels: usize,
+        n_mem_levels: usize,
+        sensors: Box<dyn SensorSource>,
+        actuator: Box<dyn FreqActuator>,
+    ) -> Self {
         let division = match config.division_algo {
             DivisionAlgo::Stepwise => {
                 DivisionImpl::Stepwise(DivisionController::new(config.initial_share, config.division_params))
@@ -160,15 +230,44 @@ impl GreenGpuController {
             wma: WmaScaler::new(n_core_levels, n_mem_levels, config.wma_params),
             governor: config.governor.build(),
             division,
-            gpu_smi: Smi::new(),
-            cpu_smi: Smi::new(),
+            sensors,
+            actuator,
+            last_good_gpu: None,
+            last_good_cpu: None,
+            consecutive_failures: 0,
+            fallback: false,
+            sensor_rejects: 0,
+            actuation_failures: 0,
+            actuation_retries: 0,
             config,
         }
+    }
+
+    /// Builds a controller whose sensors and actuation are wrapped in the
+    /// seeded fault injectors configured by `plan`.
+    pub fn faulted(
+        config: GreenGpuConfig,
+        n_core_levels: usize,
+        n_mem_levels: usize,
+        plan: &FaultPlan,
+    ) -> Self {
+        GreenGpuController::with_providers(
+            config,
+            n_core_levels,
+            n_mem_levels,
+            Box::new(FaultySensor::new(plan)),
+            Box::new(FaultyActuator::new(plan)),
+        )
     }
 
     /// Builds a controller for the default 6×6 testbed.
     pub fn for_testbed(config: GreenGpuConfig) -> Self {
         GreenGpuController::new(config, 6, 6)
+    }
+
+    /// Builds a fault-injected controller for the default 6×6 testbed.
+    pub fn for_testbed_faulted(config: GreenGpuConfig, plan: &FaultPlan) -> Self {
+        GreenGpuController::faulted(config, 6, 6, plan)
     }
 
     /// The WMA scaler (inspection/tests).
@@ -188,6 +287,85 @@ impl GreenGpuController {
     /// The CPU governor (inspection/tests).
     pub fn governor(&self) -> &CpuGovernor {
         &self.governor
+    }
+
+    /// Whether the best-performance fallback has engaged.
+    pub fn fallback_engaged(&self) -> bool {
+        self.fallback
+    }
+
+    /// Readings rejected as non-finite (held at last-known-good).
+    pub fn sensor_rejects(&self) -> u64 {
+        self.sensor_rejects
+    }
+
+    /// Actuations whose read-back never verified (after retries).
+    pub fn actuation_failures(&self) -> u64 {
+        self.actuation_failures
+    }
+
+    /// Total read-back verification retries issued.
+    pub fn actuation_retries(&self) -> u64 {
+        self.actuation_retries
+    }
+
+    /// Total faults injected by the providers (0 on clean providers).
+    pub fn injection_count(&self) -> usize {
+        self.sensors.injection_log().len() + self.actuator.injection_log().len()
+    }
+
+    /// The division tier's current CPU share.
+    pub fn division_share(&self) -> f64 {
+        self.division.share()
+    }
+
+    /// Issues a GPU reclock through the actuator and verifies it by
+    /// read-back, retrying up to the configured bound; a persistent
+    /// mismatch counts toward the fallback threshold.
+    fn actuate_gpu_verified(&mut self, platform: &mut Platform, now: SimTime, core: usize, mem: usize) {
+        let mut attempts = 0;
+        loop {
+            self.actuator.set_gpu_levels(platform, now, core, mem);
+            let applied = platform.gpu().core().current_level() == core
+                && platform.gpu().mem().current_level() == mem;
+            if applied {
+                self.consecutive_failures = 0;
+                return;
+            }
+            if attempts >= self.config.robustness.max_retries {
+                break;
+            }
+            attempts += 1;
+            self.actuation_retries += 1;
+        }
+        self.record_actuation_failure();
+    }
+
+    /// Issues a CPU P-state change through the actuator with the same
+    /// read-back verification.
+    fn actuate_cpu_verified(&mut self, platform: &mut Platform, now: SimTime, level: usize) {
+        let mut attempts = 0;
+        loop {
+            self.actuator.set_cpu_level(platform, now, level);
+            if platform.cpu().domain().current_level() == level {
+                self.consecutive_failures = 0;
+                return;
+            }
+            if attempts >= self.config.robustness.max_retries {
+                break;
+            }
+            attempts += 1;
+            self.actuation_retries += 1;
+        }
+        self.record_actuation_failure();
+    }
+
+    fn record_actuation_failure(&mut self) {
+        self.actuation_failures += 1;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.config.robustness.fallback_after {
+            self.fallback = true;
+        }
     }
 }
 
@@ -209,23 +387,62 @@ impl Controller for GreenGpuController {
     }
 
     fn on_dvfs_tick(&mut self, platform: &mut Platform, now: SimTime) {
-        if self.config.gpu_scaling {
-            let reading = self.gpu_smi.poll_gpu(platform.gpu(), now);
-            let (core_lvl, mem_lvl) = self.wma.observe(reading.u_core, reading.u_mem);
-            platform.set_gpu_levels(now, core_lvl, mem_lvl);
+        if self.fallback {
+            // Best-performance fallback: keep commanding peak clocks in
+            // case the actuation path recovers intermittently; decisions
+            // no longer consume (possibly garbage) sensor data.
+            let core_peak = platform.gpu().core().peak_level();
+            let mem_peak = platform.gpu().mem().peak_level();
+            self.actuator.set_gpu_levels(platform, now, core_peak, mem_peak);
+            let cpu_peak = platform.cpu().domain().peak_level();
+            self.actuator.set_cpu_level(platform, now, cpu_peak);
+            return;
         }
-        if self.config.cpu_scaling {
-            let reading = self.cpu_smi.poll_cpu(platform.cpu(), now);
-            self.governor.tick(platform, reading.util, now);
+        if self.config.gpu_scaling {
+            let reading = self.sensors.poll_gpu(platform.gpu(), now);
+            let utils = if reading.u_core.is_finite() && reading.u_mem.is_finite() {
+                let good = (reading.u_core.clamp(0.0, 1.0), reading.u_mem.clamp(0.0, 1.0));
+                self.last_good_gpu = Some(good);
+                Some(good)
+            } else {
+                // Lost poll: hold the last-known-good window if any.
+                self.sensor_rejects += 1;
+                self.last_good_gpu
+            };
+            if let Some((u_core, u_mem)) = utils {
+                let (core_lvl, mem_lvl) = self.wma.observe(u_core, u_mem);
+                self.actuate_gpu_verified(platform, now, core_lvl, mem_lvl);
+            }
+        }
+        if self.config.cpu_scaling && !self.fallback {
+            let reading = self.sensors.poll_cpu(platform.cpu(), now);
+            let util = if reading.util.is_finite() {
+                let good = reading.util.clamp(0.0, 1.0);
+                self.last_good_cpu = Some(good);
+                Some(good)
+            } else {
+                self.sensor_rejects += 1;
+                self.last_good_cpu
+            };
+            if let Some(util) = util {
+                if let Some(level) = self.governor.desired_level(platform, util) {
+                    self.governor.note_transition();
+                    self.actuate_cpu_verified(platform, now, level);
+                }
+            }
         }
     }
 
     fn on_iteration_end(&mut self, info: &IterationInfo, _platform: &mut Platform, _now: SimTime) -> f64 {
-        if self.config.division {
-            self.division.update(info.tc_s, info.tg_s)
-        } else {
-            0.0
+        if !self.config.division {
+            return 0.0;
         }
+        if self.fallback {
+            // Division frozen in fallback: no moves on a broken platform.
+            return self.division.share();
+        }
+        let (tc_s, tg_s) = self.sensors.observe_iteration(info.tc_s, info.tg_s);
+        self.division.update(tc_s, tg_s)
     }
 }
 

@@ -11,10 +11,9 @@
 //! candidate ratio and *holds* the current ratio if the comparison would
 //! flip.
 
-use serde::{Deserialize, Serialize};
 
 /// Division tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DivisionParams {
     /// Ratio step per iteration (paper: 5 %, platform-dependent).
     pub step: f64,
@@ -55,7 +54,7 @@ impl Default for DivisionParams {
 /// }
 /// assert!((ctl.share() - 0.50).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DivisionController {
     params: DivisionParams,
     /// Ratio in units of `step`.
@@ -117,8 +116,14 @@ impl DivisionController {
 
     /// One division decision from the measured iteration times. Returns
     /// the share for the next iteration.
+    ///
+    /// Degenerate measurements — non-finite, negative, or both-zero times
+    /// (a broken or wrapped timer) — carry no ordering information and
+    /// hold the current ratio rather than moving on garbage.
     pub fn update(&mut self, tc_s: f64, tg_s: f64) -> f64 {
-        debug_assert!(tc_s >= 0.0 && tg_s >= 0.0);
+        if !(tc_s.is_finite() && tg_s.is_finite()) || tc_s < 0.0 || tg_s < 0.0 {
+            return self.share();
+        }
         if tc_s == tg_s {
             return self.share();
         }
@@ -307,6 +312,27 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_times_hold_the_ratio() {
+        let mut ctl = DivisionController::new(0.30, DivisionParams::default());
+        // Establish some rate history first.
+        ctl.update(3.0, 7.0);
+        let settled = ctl.share();
+        let moves = ctl.moves();
+        for (tc, tg) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::NEG_INFINITY),
+            (-1.0, 1.0),
+            (1.0, -1.0),
+            (0.0, 0.0),
+        ] {
+            assert_eq!(ctl.update(tc, tg), settled, "({tc}, {tg}) must hold");
+        }
+        assert_eq!(ctl.moves(), moves, "no move may come from garbage timing");
+    }
+
+    #[test]
     fn smaller_steps_converge_slower() {
         let count_moves = |step: f64| -> usize {
             let mut ctl = DivisionController::new(
@@ -344,7 +370,7 @@ mod tests {
 /// iterations refine step-wise with the standard safeguard. Compared with
 /// the paper's heuristic this converges in one move at the cost of trusting
 /// the linear extrapolation globally.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelBasedDivision {
     params: DivisionParams,
     initial: f64,
@@ -374,7 +400,14 @@ impl ModelBasedDivision {
 
     /// One division decision. The first call performs the model jump;
     /// later calls refine step-wise.
+    ///
+    /// Degenerate measurements (non-finite or negative times) hold the
+    /// current share and — before the jump — preserve the calibration
+    /// opportunity for the next good iteration.
     pub fn update(&mut self, tc_s: f64, tg_s: f64) -> f64 {
+        if !(tc_s.is_finite() && tg_s.is_finite()) || tc_s < 0.0 || tg_s < 0.0 {
+            return self.share();
+        }
         match &mut self.inner {
             Some(ctl) => ctl.update(tc_s, tg_s),
             None => {
@@ -455,6 +488,17 @@ mod model_based_tests {
             model_iters < step_iters,
             "model {model_iters} vs stepwise {step_iters}"
         );
+    }
+
+    #[test]
+    fn degenerate_probe_preserves_the_calibration() {
+        let mut ctl = ModelBasedDivision::new(0.50, DivisionParams::default());
+        assert_eq!(ctl.update(f64::NAN, 1.0), 0.50);
+        assert!(!ctl.jumped(), "garbage probe must not consume the jump");
+        // The next good iteration still calibrates and jumps.
+        let r = ctl.update(0.5 * 4.5, 0.5 * 1.0);
+        assert!((r - 0.20).abs() < 1e-12);
+        assert!(ctl.jumped());
     }
 
     #[test]

@@ -11,10 +11,9 @@
 use crate::ondemand::OndemandGovernor;
 use greengpu_hw::Platform;
 use greengpu_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A pluggable CPU frequency policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum CpuGovernor {
     /// The kernel default the paper uses: jump to max above the up
     /// threshold, step down below the low threshold.
@@ -61,17 +60,20 @@ impl CpuGovernor {
         CpuGovernor::Proportional { headroom: 1.1 }
     }
 
-    /// One governor sample at `now` given the windowed utilization.
-    pub fn tick(&mut self, platform: &mut Platform, util: f64, now: SimTime) {
+    /// The P-state the policy wants given the windowed utilization, or
+    /// `None` to hold the current one. Pure — a coordinator can route the
+    /// actuation through a verifying or fault-injected path. Non-finite
+    /// utilizations fail every threshold comparison and hold (except
+    /// `Performance`/`Powersave`, which pin unconditionally).
+    pub fn desired_level(&self, platform: &Platform, util: f64) -> Option<usize> {
         match self {
-            CpuGovernor::Ondemand(g) => g.tick(platform, util, now),
-            CpuGovernor::Performance => {
+            CpuGovernor::Ondemand(g) => {
+                let current = platform.cpu().domain().current_level();
                 let peak = platform.cpu().domain().peak_level();
-                platform.set_cpu_level(now, peak);
+                g.desired_level(current, peak, util)
             }
-            CpuGovernor::Powersave => {
-                platform.set_cpu_level(now, 0);
-            }
+            CpuGovernor::Performance => Some(platform.cpu().domain().peak_level()),
+            CpuGovernor::Powersave => Some(0),
             CpuGovernor::Conservative {
                 up_threshold,
                 down_threshold,
@@ -79,13 +81,18 @@ impl CpuGovernor {
                 let current = platform.cpu().domain().current_level();
                 let peak = platform.cpu().domain().peak_level();
                 if util > *up_threshold && current < peak {
-                    platform.set_cpu_level(now, current + 1);
+                    Some(current + 1)
                 } else if util < *down_threshold && current > 0 {
-                    platform.set_cpu_level(now, current - 1);
+                    Some(current - 1)
+                } else {
+                    None
                 }
             }
             CpuGovernor::Proportional { headroom } => {
-                let spec = platform.cpu().spec().clone();
+                if !util.is_finite() {
+                    return None;
+                }
+                let spec = platform.cpu().spec();
                 let peak_mhz = *spec.levels_mhz.last().expect("levels");
                 let demand_mhz = (util * *headroom).clamp(0.0, 1.0) * peak_mhz;
                 let level = spec
@@ -93,8 +100,24 @@ impl CpuGovernor {
                     .iter()
                     .position(|&mhz| mhz >= demand_mhz)
                     .unwrap_or(spec.levels_mhz.len() - 1);
-                platform.set_cpu_level(now, level);
+                Some(level)
             }
+        }
+    }
+
+    /// One governor sample at `now` given the windowed utilization.
+    pub fn tick(&mut self, platform: &mut Platform, util: f64, now: SimTime) {
+        if let Some(level) = self.desired_level(platform, util) {
+            platform.set_cpu_level(now, level);
+            self.note_transition();
+        }
+    }
+
+    /// Records that a level from [`CpuGovernor::desired_level`] was
+    /// actuated (only the ondemand variant keeps a transition counter).
+    pub fn note_transition(&mut self) {
+        if let CpuGovernor::Ondemand(g) = self {
+            g.note_transition();
         }
     }
 

@@ -47,7 +47,8 @@ pub mod oracle;
 pub mod quantized;
 pub mod wma;
 
-pub use coordinator::{DivisionAlgo, GovernorKind, GreenGpuConfig, GreenGpuController};
+pub use baselines::{run_greengpu_faulted, FaultedOutcome};
+pub use coordinator::{DivisionAlgo, GovernorKind, GreenGpuConfig, GreenGpuController, RobustnessParams};
 pub use division::{DivisionController, DivisionParams, ModelBasedDivision};
 pub use governors::CpuGovernor;
 pub use ondemand::OndemandGovernor;

@@ -10,7 +10,6 @@
 //! energy over a run, and the comparison against the savings the
 //! controller produces — the paper's "negligible" claim, quantified.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-invocation cost of the paper's 8-bit shift-add unit at 65 nm.
 pub const ADDER_ENERGY_J: f64 = 12.5e-9;
@@ -19,7 +18,7 @@ pub const ADDER_ENERGY_J: f64 = 12.5e-9;
 pub const ADDER_AREA_MM2: f64 = 0.001;
 
 /// Hardware cost model of the on-chip WMA controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnchipModel {
     /// Core frequency levels (`N`).
     pub n_core: usize,

@@ -9,7 +9,6 @@
 
 use greengpu_hw::Platform;
 use greengpu_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// The ondemand governor with the classic thresholds.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// governor.tick(&mut platform, 0.95, SimTime::from_secs(2)); // busy sample
 /// assert_eq!(platform.cpu().domain().current_level(), 3, "jumped to peak");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OndemandGovernor {
     /// Jump-to-max threshold (kernel default 80 %).
     pub up_threshold: f64,
@@ -58,20 +57,36 @@ impl OndemandGovernor {
         }
     }
 
+    /// The level the policy would move to from `current` (peak level
+    /// `peak`) under utilization `util`, or `None` to hold. Pure — lets a
+    /// coordinator route the actuation through a verifying/faulted path.
+    /// A non-finite `util` compares false on both thresholds and holds.
+    pub fn desired_level(&self, current: usize, peak: usize, util: f64) -> Option<usize> {
+        if util > self.up_threshold {
+            if current != peak {
+                return Some(peak);
+            }
+        } else if util < self.down_threshold && current > 0 {
+            return Some(current - 1);
+        }
+        None
+    }
+
     /// One governor sample: applies the threshold policy to the CPU given
     /// its windowed utilization.
     pub fn tick(&mut self, platform: &mut Platform, util: f64, now: SimTime) {
         let current = platform.cpu().domain().current_level();
-        if util > self.up_threshold {
-            let peak = platform.cpu().domain().peak_level();
-            if current != peak {
-                platform.set_cpu_level(now, peak);
-                self.transitions += 1;
-            }
-        } else if util < self.down_threshold && current > 0 {
-            platform.set_cpu_level(now, current - 1);
+        let peak = platform.cpu().domain().peak_level();
+        if let Some(level) = self.desired_level(current, peak, util) {
+            platform.set_cpu_level(now, level);
             self.transitions += 1;
         }
+    }
+
+    /// Records an externally-applied transition (a coordinator that used
+    /// [`OndemandGovernor::desired_level`] and actuated elsewhere).
+    pub fn note_transition(&mut self) {
+        self.transitions += 1;
     }
 
     /// Number of frequency transitions performed.

@@ -12,10 +12,9 @@ use crate::baselines::{run_pinned, run_with_config};
 use crate::coordinator::GreenGpuConfig;
 use greengpu_runtime::RunConfig;
 use greengpu_workloads::Workload;
-use serde::{Deserialize, Serialize};
 
 /// One point of the exhaustive frequency search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OraclePoint {
     /// Core level index.
     pub core: usize,
@@ -98,7 +97,7 @@ where
 }
 
 /// The online scaler's regret against the static oracle for one workload.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WmaRegret {
     /// Oracle GPU energy, joules.
     pub oracle_energy_j: f64,

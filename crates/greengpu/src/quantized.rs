@@ -12,13 +12,12 @@
 //! against the `f64` reference scaler.
 
 use crate::wma::{table1_loss, WmaParams};
-use serde::{Deserialize, Serialize};
 
 /// Fixed-point scale: values in `[0, 1]` map to `[0, 255]`.
 const ONE: u16 = 255;
 
 /// The hardware-feasible 8-bit WMA table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QuantizedWma {
     n_core: usize,
     n_mem: usize,

@@ -22,10 +22,9 @@
 //! renormalized by the maximum each interval to prevent underflow, which
 //! cannot change the argmax.
 
-use serde::{Deserialize, Serialize};
 
 /// Tuning constants of the scaler (paper's fitted values as defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WmaParams {
     /// Energy-vs-performance trade-off for the core domain (`α_c`); the
     /// paper derives 0.15 experimentally.
@@ -100,7 +99,7 @@ pub fn table1_loss(u: f64, umean: f64) -> (f64, f64) {
 /// assert_eq!(pair.0, 3, "core level matches umean 0.6 (464 MHz)");
 /// assert!(pair.1 <= 1, "memory throttles deep");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WmaScaler {
     params: WmaParams,
     n_core: usize,
@@ -176,7 +175,15 @@ impl WmaScaler {
     /// `(core_level, mem_level)` pair to enforce next.
     ///
     /// Ties break toward lower (more energy-saving) levels.
+    ///
+    /// Non-finite utilizations (a lost `nvidia-smi` poll) are rejected
+    /// without touching the weight table — `NaN.clamp()` is still NaN, and
+    /// one NaN loss would zero every weight permanently. The current
+    /// argmax is returned unchanged.
     pub fn observe(&mut self, u_core: f64, u_mem: f64) -> (usize, usize) {
+        if !(u_core.is_finite() && u_mem.is_finite()) {
+            return self.argmax();
+        }
         let u_core = u_core.clamp(0.0, 1.0);
         let u_mem = u_mem.clamp(0.0, 1.0);
         let one_minus_beta = 1.0 - self.params.beta;
@@ -426,6 +433,33 @@ mod tests {
     #[should_panic(expected = "beta must be in")]
     fn invalid_beta_panics() {
         WmaScaler::new(6, 6, WmaParams { beta: 0.0, ..WmaParams::default() });
+    }
+
+    #[test]
+    fn non_finite_utilization_leaves_weights_untouched() {
+        let mut s = scaler();
+        for _ in 0..10 {
+            s.observe(0.6, 0.08);
+        }
+        let before: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .collect();
+        let pair = s.argmax();
+        for (uc, um) in [
+            (f64::NAN, 0.5),
+            (0.5, f64::NAN),
+            (f64::INFINITY, 0.5),
+            (0.5, f64::NEG_INFINITY),
+            (f64::NAN, f64::NAN),
+        ] {
+            assert_eq!(s.observe(uc, um), pair, "argmax must hold under ({uc}, {um})");
+        }
+        let after: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .collect();
+        assert_eq!(before, after, "weight table must be untouched");
     }
 
     #[test]

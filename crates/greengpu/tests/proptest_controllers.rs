@@ -3,7 +3,10 @@
 use greengpu::division::{DivisionController, DivisionParams};
 use greengpu::quantized::QuantizedWma;
 use greengpu::wma::{table1_loss, WmaParams, WmaScaler};
-use greengpu_sim::Pcg32;
+use greengpu::{GreenGpuConfig, GreenGpuController};
+use greengpu_hw::{FaultPlan, Platform};
+use greengpu_runtime::{Controller, IterationInfo};
+use greengpu_sim::{Pcg32, SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = WmaParams> {
@@ -104,6 +107,53 @@ proptest! {
             prop_assert!(after < before, "CPU slower but share rose");
         } else {
             prop_assert!(after > before, "GPU slower but share fell");
+        }
+    }
+
+    #[test]
+    fn hardened_controller_survives_arbitrary_fault_sequences(fault_seed in any::<u64>(),
+                                                             intensity in 0.0..1.0f64,
+                                                             ticks in 1usize..60,
+                                                             times in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..30)) {
+        // Drive the full two-tier controller directly against a platform
+        // through seeded fault injectors of arbitrary seed and intensity,
+        // interleaving DVFS ticks with iteration reports (some of them
+        // garbage). The controller must never panic and every invariant
+        // must hold at every step.
+        let plan = FaultPlan::with_intensity(fault_seed, intensity);
+        let mut ctl = GreenGpuController::for_testbed_faulted(GreenGpuConfig::holistic(), &plan);
+        let mut platform = Platform::default_testbed();
+        let n_core = platform.gpu().spec().core_levels_mhz.len();
+        let n_mem = platform.gpu().spec().mem_levels_mhz.len();
+        let n_cpu = platform.cpu().spec().levels_mhz.len();
+        let mut now = SimTime::ZERO;
+        let mut iter = times.iter().cycle();
+        for k in 0..ticks {
+            now += SimDuration::from_secs(3);
+            ctl.on_dvfs_tick(&mut platform, now);
+            // Frequency levels stay valid after every actuation.
+            prop_assert!(platform.gpu().core().current_level() < n_core);
+            prop_assert!(platform.gpu().mem().current_level() < n_mem);
+            prop_assert!(platform.cpu().domain().current_level() < n_cpu);
+            // WMA weights stay in (0, 1] whatever the sensors fed it.
+            for i in 0..n_core {
+                for j in 0..n_mem {
+                    let w = ctl.wma().weight(i, j);
+                    prop_assert!(w > 0.0 && w <= 1.0, "weight[{i}][{j}] = {w}");
+                }
+            }
+            // Every other tick, report an iteration — every fourth one
+            // with non-finite garbage the hardening must reject.
+            if k % 2 == 0 {
+                let &(tc, tg) = iter.next().unwrap();
+                let (tc, tg) = if k % 4 == 0 { (f64::NAN, f64::INFINITY) } else { (tc, tg) };
+                let info = IterationInfo { index: k, cpu_share: ctl.division_share(), tc_s: tc, tg_s: tg };
+                let r = ctl.on_iteration_end(&info, &mut platform, now);
+                // The share stays on the 5 % grid inside [0, 0.90].
+                prop_assert!((0.0..=0.90 + 1e-12).contains(&r), "share {r}");
+                let steps = r / 0.05;
+                prop_assert!((steps - steps.round()).abs() < 1e-9, "share off grid: {r}");
+            }
         }
     }
 

@@ -9,10 +9,9 @@
 use crate::freq::FrequencyDomain;
 use crate::perf::{cpu_time, WorkUnits};
 use greengpu_sim::{SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// Static description of the CPU and host box.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuSpec {
     /// Human-readable name.
     pub name: String,

@@ -9,11 +9,10 @@
 //! on (paper §V-A, after Dhiman & Rosing).
 
 use greengpu_sim::{SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// A clock domain with discrete levels, e.g. the 8800 GTX memory domain at
 /// {500, 580, 660, 740, 820, 900} MHz.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrequencyDomain {
     name: String,
     /// Levels in MHz, strictly ascending; the last entry is the peak.

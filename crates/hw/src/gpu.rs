@@ -18,10 +18,9 @@
 use crate::freq::FrequencyDomain;
 use crate::perf::{gpu_timing, GpuTiming, WorkUnits};
 use greengpu_sim::{SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// Static description of a GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuSpec {
     /// Human-readable name.
     pub name: String,

@@ -22,6 +22,11 @@
 //! * [`meter`] — [`PowerMeter`]: Wattsup-style integrating meters.
 //! * [`smi`] — [`Smi`]: the `nvidia-smi`-like polling facade (windowed core
 //!   and memory utilizations) the frequency-scaling tier consumes.
+//! * [`faults`] — the [`SensorSource`]/[`FreqActuator`] seam between
+//!   controllers and the testbed, plus a deterministic, seeded fault
+//!   injector ([`FaultPlan`], [`FaultySensor`], [`FaultyActuator`]) that
+//!   recreates noisy polls, stale/lost readings, misapplied reclocks, and
+//!   miscalibrated meters.
 //! * [`nvml`] — an NVML-vocabulary compatibility facade over the same
 //!   sensors/actuators (utilization percentages, clock tables,
 //!   application-clock setting, power/energy in NVML units).
@@ -30,6 +35,7 @@
 
 pub mod calib;
 pub mod cpu;
+pub mod faults;
 pub mod freq;
 pub mod gpu;
 pub mod meter;
@@ -39,6 +45,10 @@ pub mod platform;
 pub mod smi;
 
 pub use cpu::{CpuModel, CpuSpec};
+pub use faults::{
+    CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator,
+    SensorSource,
+};
 pub use freq::FrequencyDomain;
 pub use gpu::{GpuModel, GpuSpec};
 pub use meter::PowerMeter;

@@ -8,7 +8,6 @@
 //! the 1 Hz sample log a real Wattsup would give.
 
 use greengpu_sim::{SampledSeries, SimDuration, SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// An integrating power meter.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let joules = meter.energy_j(SimTime::ZERO, SimTime::from_secs(20));
 /// assert_eq!(joules, 80.0 * 10.0 + 230.0 * 10.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerMeter {
     name: String,
     trace: StepTrace,

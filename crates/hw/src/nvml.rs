@@ -15,10 +15,9 @@
 use crate::platform::Platform;
 use crate::smi::Smi;
 use greengpu_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// NVML-style utilization sample: integer percentages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UtilizationRates {
     /// Percent of time the GPU cores were busy (`utilization.gpu`).
     pub gpu: u32,
@@ -28,7 +27,7 @@ pub struct UtilizationRates {
 }
 
 /// NVML clock domains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClockType {
     /// Graphics (core) clock.
     Graphics,
@@ -37,7 +36,7 @@ pub enum ClockType {
 }
 
 /// Errors in NVML style.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NvmlError {
     /// The requested clock value is not one of the supported levels.
     InvalidClock,

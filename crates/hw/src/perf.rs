@@ -14,11 +14,10 @@
 //! a factor `ovl`, and the measured utilizations are the fraction of the
 //! busy period each side is active.
 
-use serde::{Deserialize, Serialize};
 
 /// The cost of a kernel (or kernel phase) on a device: scalar operations to
 /// execute and DRAM bytes to move.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WorkUnits {
     /// Scalar operations (the roofline's compute axis).
     pub ops: f64,
@@ -70,7 +69,7 @@ impl WorkUnits {
 }
 
 /// Timing decomposition of a GPU kernel at fixed frequencies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuTiming {
     /// Total execution time in seconds.
     pub total_s: f64,

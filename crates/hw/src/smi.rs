@@ -11,10 +11,9 @@
 use crate::cpu::CpuModel;
 use crate::gpu::GpuModel;
 use greengpu_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One `nvidia-smi` style readout.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmiReading {
     /// Windowed GPU core utilization in `[0,1]`.
     pub u_core: f64,
@@ -27,7 +26,7 @@ pub struct SmiReading {
 }
 
 /// One `/proc/stat`-style CPU readout for the ondemand governor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuReading {
     /// Windowed aggregate CPU utilization in `[0,1]`.
     pub util: f64,
@@ -37,7 +36,7 @@ pub struct CpuReading {
 
 /// A polling utilization sensor. Holds only the previous poll instant, so
 /// successive polls see disjoint windows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Smi {
     last_poll: SimTime,
 }

@@ -119,7 +119,7 @@ fn main() -> ExitCode {
     };
     let summary = ReportSummary::from_report(&args.workload, &args.policy, args.seed, &report);
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&summary).expect("serializable"));
+        println!("{}", summary.to_json_pretty());
     } else {
         println!("workload   {}", summary.workload);
         println!("policy     {} (governor {:?}, division {:?})", summary.policy, args.governor, args.division_algo);

@@ -7,6 +7,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod robustness;
 pub mod scorecard;
 pub mod static_search;
 pub mod tables;
@@ -61,7 +62,7 @@ impl ExperimentOutput {
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 11] = [
+pub const ALL_IDS: [&str; 12] = [
     "table1",
     "table2",
     "fig1",
@@ -72,6 +73,7 @@ pub const ALL_IDS: [&str; 11] = [
     "fig8",
     "static_search",
     "ablations",
+    "robustness",
     "scorecard",
 ];
 
@@ -88,6 +90,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "fig8" => fig8::run(seed),
         "static_search" => static_search::run(seed),
         "ablations" => ablations::run(seed),
+        "robustness" => robustness::run(seed),
         "scorecard" => scorecard::run(seed),
         _ => return None,
     })

@@ -1,10 +1,9 @@
 //! Run configuration.
 
 use greengpu_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How the CPU side waits for the GPU (paper §VII-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommMode {
     /// Synchronized communication: the CPU spins at 100 % utilization while
     /// waiting on the GPU — the benchmark implementation limitation the
@@ -17,7 +16,7 @@ pub enum CommMode {
 }
 
 /// Configuration of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// CPU-GPU wait behaviour.
     pub comm_mode: CommMode,

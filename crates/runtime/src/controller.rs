@@ -8,10 +8,9 @@
 
 use greengpu_hw::Platform;
 use greengpu_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Measurements handed to the division tier at an iteration boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationInfo {
     /// Iteration index just completed.
     pub index: usize,

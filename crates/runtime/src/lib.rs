@@ -20,7 +20,7 @@
 //! * the functional kernel actually executes with the same split, so the
 //!   numerical results are real.
 //!
-//! [`parallel`] contains the literal pthread-analog (crossbeam scoped
+//! [`parallel`] contains the literal pthread-analog (std scoped
 //! threads + a shared telemetry sink) used by examples and tests to run
 //! real CPU-side chunks concurrently. [`multi`] extends the division tier
 //! across several (possibly heterogeneous) GPUs — the "one pthread for

@@ -4,11 +4,11 @@
 //! thread drives the CUDA device while the others execute the CPU kernel on
 //! the host cores, and the two sides' partial results are merged at the
 //! iteration barrier. This module reproduces that structure literally with
-//! crossbeam scoped threads, so examples and tests can run real split
+//! std scoped threads, so examples and tests can run real split
 //! executions concurrently (functional correctness is wall-clock-parallel
 //! even though *simulated* time comes from the cost model).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Wall-clock telemetry collected from the worker threads.
@@ -25,12 +25,12 @@ impl SplitTelemetry {
 
     /// Records a labeled wall-clock duration (seconds).
     pub fn record(&self, label: &str, seconds: f64) {
-        self.events.lock().push((label.to_string(), seconds));
+        self.events.lock().expect("telemetry lock").push((label.to_string(), seconds));
     }
 
     /// Snapshot of all recorded events.
     pub fn events(&self) -> Vec<(String, f64)> {
-        self.events.lock().clone()
+        self.events.lock().expect("telemetry lock").clone()
     }
 }
 
@@ -54,8 +54,8 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    crossbeam::thread::scope(|scope| {
-        let cpu_handle = scope.spawn(|_| {
+    std::thread::scope(|scope| {
+        let cpu_handle = scope.spawn(|| {
             let t0 = Instant::now();
             let out = cpu_side();
             telemetry.record("cpu", t0.elapsed().as_secs_f64());
@@ -67,7 +67,6 @@ where
         let cpu_out = cpu_handle.join().expect("cpu-side thread panicked");
         (cpu_out, gpu_out)
     })
-    .expect("scoped threads")
 }
 
 /// Splits `items` into a CPU chunk of `round(n·cpu_share)` items and a GPU

@@ -2,10 +2,9 @@
 
 use greengpu_hw::Platform;
 use greengpu_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-iteration measurements (one row of the Fig. 7 / Fig. 8 traces).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationRecord {
     /// Iteration index.
     pub index: usize,

@@ -1,10 +1,9 @@
 //! Summary statistics for experiment reporting.
 
-use serde::{Deserialize, Serialize};
 
 /// Numerically stable running mean/variance (Welford's algorithm) with
 /// min/max tracking.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -101,7 +100,7 @@ impl OnlineStats {
 }
 
 /// Point summary of a sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,

@@ -8,11 +8,10 @@
 //! or a polled nvidia-smi would report).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A right-continuous step signal: `(t_i, v_i)` means the signal equals
 /// `v_i` on `[t_i, t_{i+1})`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StepTrace {
     points: Vec<(SimTime, f64)>,
 }
@@ -129,7 +128,7 @@ impl StepTrace {
 
 /// Fixed-rate samples of a signal: `value[i]` was observed at
 /// `start + i·period`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SampledSeries {
     start: SimTime,
     period: SimDuration,

@@ -6,7 +6,6 @@
 
 use crate::traits::{CpuSlice, GpuPhase, PhaseCost};
 use greengpu_hw::{CpuSpec, GpuSpec};
-use serde::{Deserialize, Serialize};
 
 /// Timing decomposition of one GPU phase at fixed clocks.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// premise of the paper's §III case study: "properly scaling down the
 /// under-utilized component can save energy with negligible performance
 /// impact".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseTiming {
     /// Wall time of the phase: `max(roofline, host_floor)`, seconds.
     pub wall_s: f64,

@@ -1,9 +1,8 @@
 //! The workload abstraction shared by the runtime and the controllers.
 
-use serde::{Deserialize, Serialize};
 
 /// Utilization class from the paper's Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UtilClass {
     /// Utilization well below half.
     Low,
@@ -36,7 +35,7 @@ impl UtilClass {
 }
 
 /// Static description of a workload — the row it occupies in Table II.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadProfile {
     /// Short name as the paper uses it (`bfs`, `PF`, `QG`, …).
     pub name: &'static str,
@@ -60,7 +59,7 @@ pub struct WorkloadProfile {
 /// kernel actually achieves (occupancy, divergence, coalescing — fitted to
 /// the paper's measured behaviour); `host_floor_s` is driver/launch/PCIe time
 /// during which the GPU idles, independent of GPU frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuPhase {
     /// Phase label for traces.
     pub label: &'static str,
@@ -125,7 +124,7 @@ impl GpuPhase {
 /// CPU-side cost of one phase: the same algorithmic work expressed in CPU
 /// operations, executed across all cores (the paper's one-pthread-per-core
 /// port).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuSlice {
     /// Scalar operations executed by the CPU implementation.
     pub ops: f64,
@@ -148,7 +147,7 @@ impl CpuSlice {
 }
 
 /// The cost of one phase of one iteration, on both sides.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseCost {
     /// GPU-side cost of the full (undivided) phase.
     pub gpu: GpuPhase,

@@ -2,9 +2,10 @@
 //! matter the policy — the property the whole experimental methodology
 //! rests on.
 
-use greengpu::baselines::{run_greengpu, run_with_config};
+use greengpu::baselines::{run_greengpu, run_greengpu_faulted, run_with_config};
 use greengpu::GreenGpuConfig;
-use greengpu_runtime::RunConfig;
+use greengpu_hw::FaultPlan;
+use greengpu_runtime::{RunConfig, RunReport};
 use greengpu_workloads::registry;
 
 #[test]
@@ -63,9 +64,62 @@ fn greengpu_repro_check(_id: &str) -> String {
     // the division-only path and render it the same way.
     let mut wl = registry::by_name("kmeans", 99).unwrap();
     let report = run_with_config(wl.as_mut(), GreenGpuConfig::division_only(), RunConfig::sweep());
+    golden_trace(&report)
+}
+
+/// The Fig. 5/Fig. 7-style per-iteration trace used as a golden string.
+fn golden_trace(report: &RunReport) -> String {
     report
         .iterations
         .iter()
-        .map(|it| format!("{}:{:.3}:{:.3}:{:.3};", it.index, it.cpu_share, it.tc_s, it.tg_s))
+        .map(|it| {
+            format!(
+                "{}:{:.3}:{:.3}:{:.3}:{:.3};",
+                it.index, it.cpu_share, it.tc_s, it.tg_s, it.energy_j
+            )
+        })
         .collect()
+}
+
+#[test]
+fn faulted_traces_are_golden_per_seed_and_plan() {
+    // Same workload seed + same FaultPlan ⇒ the same per-iteration trace
+    // across two full runs, at every intensity.
+    for intensity in [0.0, 0.5, 1.0] {
+        let plan = FaultPlan::with_intensity(4242, intensity);
+        let a = run_greengpu_faulted(
+            registry::by_name_small("kmeans", 31).unwrap().as_mut(),
+            GreenGpuConfig::holistic(),
+            RunConfig::sweep(),
+            &plan,
+        );
+        let b = run_greengpu_faulted(
+            registry::by_name_small("kmeans", 31).unwrap().as_mut(),
+            GreenGpuConfig::holistic(),
+            RunConfig::sweep(),
+            &plan,
+        );
+        assert_eq!(
+            golden_trace(&a.report),
+            golden_trace(&b.report),
+            "intensity {intensity}: faulted trace must be reproducible"
+        );
+        assert_eq!(a.injections, b.injections, "intensity {intensity}: injection logs must replay");
+    }
+}
+
+#[test]
+fn clean_plan_trace_equals_the_unfaulted_trace() {
+    let faulted = run_greengpu_faulted(
+        registry::by_name_small("hotspot", 8).unwrap().as_mut(),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+        &FaultPlan::clean(5),
+    );
+    let clean = run_with_config(
+        registry::by_name_small("hotspot", 8).unwrap().as_mut(),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+    );
+    assert_eq!(golden_trace(&faulted.report), golden_trace(&clean));
 }

@@ -1,0 +1,164 @@
+//! Integration tests for the deterministic fault-injection layer and the
+//! hardened two-tier controller behind it.
+
+use greengpu::baselines::{run_best_performance_with, run_greengpu_faulted, run_with_config};
+use greengpu::GreenGpuConfig;
+use greengpu_hw::FaultPlan;
+use greengpu_runtime::RunConfig;
+use greengpu_workloads::hotspot::Hotspot;
+use greengpu_workloads::kmeans::KMeans;
+
+/// A plan whose every actuation silently fails — the pathological case
+/// that must trip the best-performance fallback rather than strand the
+/// platform at stale clocks.
+fn dead_actuation_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::clean(seed);
+    plan.actuation.drop_prob = 1.0;
+    plan
+}
+
+#[test]
+fn zero_intensity_faults_reproduce_the_clean_run_byte_for_byte() {
+    for cfg in [
+        GreenGpuConfig::holistic(),
+        GreenGpuConfig::scaling_only(),
+        GreenGpuConfig::division_only(),
+    ] {
+        let clean = run_with_config(&mut KMeans::small(4), cfg, RunConfig::default());
+        let faulted = run_greengpu_faulted(
+            &mut KMeans::small(4),
+            cfg,
+            RunConfig::default(),
+            &FaultPlan::clean(1234),
+        );
+        assert_eq!(clean.total_time, faulted.report.total_time, "time must match");
+        assert_eq!(
+            clean.total_energy_j(),
+            faulted.report.total_energy_j(),
+            "energy must match bit-for-bit"
+        );
+        assert_eq!(clean.digest, faulted.report.digest, "functional digest must match");
+        assert_eq!(clean.iterations.len(), faulted.report.iterations.len());
+        for (a, b) in clean.iterations.iter().zip(&faulted.report.iterations) {
+            assert_eq!(a, b, "iteration records must be identical");
+        }
+        assert_eq!(faulted.injections, 0, "a clean plan must inject nothing");
+        assert_eq!(faulted.sensor_rejects, 0);
+        assert_eq!(faulted.actuation_failures, 0);
+        assert!(!faulted.fallback_engaged);
+    }
+}
+
+#[test]
+fn moderate_noise_still_beats_best_performance() {
+    let plan = FaultPlan::with_intensity(42, 0.5);
+    for (name, green, base) in [
+        (
+            "kmeans",
+            run_greengpu_faulted(
+                &mut KMeans::small(2),
+                GreenGpuConfig::holistic(),
+                RunConfig::sweep(),
+                &plan,
+            ),
+            run_best_performance_with(&mut KMeans::small(2), RunConfig::sweep()),
+        ),
+        (
+            "hotspot",
+            run_greengpu_faulted(
+                &mut Hotspot::small(2),
+                GreenGpuConfig::holistic(),
+                RunConfig::sweep(),
+                &plan,
+            ),
+            run_best_performance_with(&mut Hotspot::small(2), RunConfig::sweep()),
+        ),
+    ] {
+        assert!(green.injections > 0, "{name}: half intensity must inject");
+        assert!(
+            green.report.total_energy_j() < base.total_energy_j(),
+            "{name}: faulted GreenGPU {} must still beat best-performance {}",
+            green.report.total_energy_j(),
+            base.total_energy_j()
+        );
+    }
+}
+
+#[test]
+fn sustained_actuation_failure_triggers_the_fallback() {
+    let outcome = run_greengpu_faulted(
+        &mut KMeans::small(3),
+        GreenGpuConfig::holistic(),
+        RunConfig::default(),
+        &dead_actuation_plan(7),
+    );
+    assert!(
+        outcome.fallback_engaged,
+        "an actuator that drops every command must trip the fallback"
+    );
+    assert!(outcome.actuation_failures >= 5, "failures: {}", outcome.actuation_failures);
+    // The run still completes and computes the right answer.
+    let clean = run_with_config(&mut KMeans::small(3), GreenGpuConfig::holistic(), RunConfig::default());
+    let rel = (outcome.report.digest - clean.digest).abs() / clean.digest.abs();
+    assert!(
+        rel < 1e-9,
+        "functional results must not depend on the actuation path (rel diff {rel})"
+    );
+    assert_eq!(outcome.report.iterations.len(), clean.iterations.len());
+}
+
+#[test]
+fn fallback_freezes_the_division_ratio() {
+    // With a dead actuator the division tier must stop moving once the
+    // fallback engages: the share trace becomes constant from some point
+    // on, instead of chasing measurements on a broken platform.
+    let outcome = run_greengpu_faulted(
+        &mut Hotspot::small(4),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+        &dead_actuation_plan(9),
+    );
+    assert!(outcome.fallback_engaged);
+    let shares: Vec<f64> = outcome.report.iterations.iter().map(|it| it.cpu_share).collect();
+    let frozen = shares.last().copied().unwrap();
+    let first_frozen = shares.iter().position(|&s| s == frozen).unwrap();
+    assert!(
+        shares[first_frozen..].iter().all(|&s| s == frozen),
+        "share must stay frozen after the fallback: {shares:?}"
+    );
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed_and_plan() {
+    let plan = FaultPlan::with_intensity(2026, 0.75);
+    let a = run_greengpu_faulted(
+        &mut KMeans::small(5),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+        &plan,
+    );
+    let b = run_greengpu_faulted(
+        &mut KMeans::small(5),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+        &plan,
+    );
+    assert_eq!(a.report.total_time, b.report.total_time);
+    assert_eq!(a.report.total_energy_j(), b.report.total_energy_j());
+    assert_eq!(a.injections, b.injections);
+    assert_eq!(a.sensor_rejects, b.sensor_rejects);
+    assert_eq!(a.actuation_failures, b.actuation_failures);
+    // A different fault seed perturbs the trajectory even though the
+    // workload seed is unchanged.
+    let c = run_greengpu_faulted(
+        &mut KMeans::small(5),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+        &FaultPlan::with_intensity(2027, 0.75),
+    );
+    assert_ne!(
+        a.report.total_energy_j(),
+        c.report.total_energy_j(),
+        "different fault seeds should disturb the run differently"
+    );
+}
