@@ -1,0 +1,311 @@
+//! The fleet simulator: nodes + scheduler + power capping on one event
+//! spine.
+//!
+//! Two event kinds drive the run: job **arrivals** (pre-generated from
+//! the seed) and **control ticks** (fixed period). Between consecutive
+//! events every node's frequency pair is constant, so job progress
+//! advances in closed form and completions land at exact instants — the
+//! discrete-event analog of the single-node engine's piecewise-constant
+//! stepping. Each tick does, in order:
+//!
+//! 1. re-apportion the fleet budget into per-node caps from the nodes'
+//!    current demands ([`crate::power::apportion`]);
+//! 2. run every node's hardened controller under its cap (sense → masked
+//!    WMA → verified actuation) and record cap compliance;
+//! 3. dispatch queued jobs to idle healthy nodes per the placement
+//!    policy;
+//! 4. append a telemetry row.
+//!
+//! Determinism: arrivals, workload profiles, and any fault plans all
+//! derive from `FleetConfig::seed` via `greengpu_sim::rng`; node order is
+//! fixed; every map keyed by workload name is a `BTreeMap`. Same config
+//! and seed ⇒ byte-identical trace CSV.
+
+use crate::job::{generate_arrivals, ArrivalConfig, JobRecord};
+use crate::node::{Node, NodeConfig};
+use crate::policy::Policy;
+use crate::power::{apportion, mw_floor};
+use crate::scheduler::Scheduler;
+use crate::telemetry::{FleetTrace, TraceRow};
+use greengpu_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
+use std::collections::BTreeMap;
+
+/// Full description of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The nodes, in id order.
+    pub nodes: Vec<NodeConfig>,
+    /// Fleet-wide GPU power budget, watts. Must cover the summed node
+    /// floors (a budget below the floors cannot be enforced by DVFS —
+    /// that regime needs power-gating, which the testbed cards lack).
+    pub budget_w: f64,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Control interval for capping + DVFS + dispatch.
+    pub control_period: SimDuration,
+    /// Simulated horizon; arrivals stop and the trace ends here.
+    pub horizon: SimDuration,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// Arrival stream shape.
+    pub arrivals: ArrivalConfig,
+    /// Master seed; every stream in the run derives from it.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A homogeneous fleet of `n` default nodes at `budget_frac` of the
+    /// fleet's aggregate peak-pair power, with a hotspot/kmeans mix sized
+    /// to ≈70 % offered load.
+    pub fn homogeneous(n: usize, budget_frac: f64, policy: Policy, horizon: SimDuration, seed: u64) -> Self {
+        let nodes = vec![NodeConfig::default_node(); n];
+        FleetConfig::from_nodes(nodes, budget_frac, policy, horizon, seed)
+    }
+
+    /// Like [`FleetConfig::homogeneous`] but with explicit nodes; the
+    /// budget is `budget_frac` of the summed peak-pair powers and the
+    /// arrival rate targets ≈70 % load on the mix's mean service time.
+    pub fn from_nodes(
+        nodes: Vec<NodeConfig>,
+        budget_frac: f64,
+        policy: Policy,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        let peak_sum: f64 = nodes
+            .iter()
+            .map(|n| {
+                let (nc, nm) = (n.gpu.core_levels_mhz.len(), n.gpu.mem_levels_mhz.len());
+                n.gpu.power_at_levels_w(nc - 1, nm - 1, 1.0, 1.0)
+            })
+            .sum();
+        // The registry's small presets run ~40-50 s at peak clocks; the
+        // cluster quantum should be a few seconds, so normalize the size
+        // multipliers to a target mean service time and derive the
+        // arrival rate from it.
+        const TARGET_JOB_S: f64 = 8.0;
+        let profile_seed = SplitMix64::new(seed).next_u64();
+        let mean_peak: f64 = ["hotspot", "kmeans"]
+            .iter()
+            .map(|name| {
+                crate::profile::ServiceProfile::build(name, profile_seed, &nodes[0].gpu)
+                    .expect("registry workload")
+                    .peak_time_s()
+            })
+            .sum::<f64>()
+            / 2.0;
+        let base_size = TARGET_JOB_S / mean_peak;
+        let rate = ArrivalConfig::rate_for_load(0.7, nodes.len(), TARGET_JOB_S);
+        let mut arrivals = ArrivalConfig::hotspot_kmeans(rate);
+        arrivals.size_range = (0.5 * base_size, 1.5 * base_size);
+        FleetConfig {
+            nodes,
+            budget_w: budget_frac * peak_sum,
+            policy,
+            control_period: SimDuration::from_secs(1),
+            horizon,
+            queue_capacity: 32,
+            arrivals,
+            seed,
+        }
+    }
+}
+
+/// Everything a fleet run produced.
+pub struct FleetReport {
+    /// Per-interval telemetry.
+    pub trace: FleetTrace,
+    /// Completed jobs, in completion order.
+    pub completed: Vec<JobRecord>,
+    /// Per-node completed-job counts.
+    pub per_node_completed: Vec<u64>,
+    /// Jobs rejected by admission.
+    pub rejected: u64,
+    /// Completed jobs that missed their deadline.
+    pub deadline_misses: u64,
+    /// Node-intervals whose enforced pair exceeded the cap.
+    pub cap_violations: u64,
+    /// Nodes whose controller fell back to best-performance.
+    pub nodes_fallen_back: usize,
+    /// GPU board energy over the horizon, joules.
+    pub gpu_energy_j: f64,
+    /// Whole-fleet (GPU + CPU) energy over the horizon, joules.
+    pub total_energy_j: f64,
+    /// The horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl FleetReport {
+    /// Mean queueing delay of completed jobs, seconds.
+    pub fn mean_wait_s(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(JobRecord::wait_s).sum::<f64>() / self.completed.len() as f64
+    }
+
+    /// Mean arrival-to-completion time of completed jobs, seconds.
+    pub fn mean_turnaround_s(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(JobRecord::turnaround_s).sum::<f64>() / self.completed.len() as f64
+    }
+
+    /// GPU energy per completed job, joules (0 when nothing completed).
+    pub fn gpu_energy_per_job_j(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.gpu_energy_j / self.completed.len() as f64
+    }
+}
+
+/// Event payloads on the fleet spine.
+enum Event {
+    /// Index into the pre-generated arrival vector.
+    Arrival(usize),
+    /// A control tick.
+    Tick,
+}
+
+/// Runs one fleet to its horizon.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let mix_names: Vec<String> = cfg.arrivals.mix.iter().map(|(n, _)| n.clone()).collect();
+    let mut root = SplitMix64::new(cfg.seed);
+    let profile_seed = root.next_u64();
+    let arrival_seed = root.next_u64();
+
+    let mut nodes: Vec<Node> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, nc)| Node::new(i, nc, &mix_names, profile_seed))
+        .collect();
+
+    // Budget sanity: DVFS can only shed power down to the floor pair.
+    let floor_sum_mw: u64 = nodes.iter().map(|n| n.demand().floor_mw).sum();
+    // Floor-rounded: the integer caps must never sum past the stated
+    // watt budget.
+    let budget_mw = mw_floor(cfg.budget_w);
+    assert!(
+        budget_mw >= floor_sum_mw,
+        "budget {budget_mw} mW cannot cover the fleet floor {floor_sum_mw} mW"
+    );
+
+    // Reference service times (node 0's card) anchor the deadlines.
+    let ref_time_s: BTreeMap<String, f64> = mix_names
+        .iter()
+        .map(|name| {
+            let t = nodes[0].profile(name).expect("mix profiled").peak_time_s();
+            (name.clone(), t)
+        })
+        .collect();
+    let jobs = generate_arrivals(arrival_seed, &cfg.arrivals, cfg.horizon, &ref_time_s);
+
+    // Spine: ticks scheduled first so a same-instant arrival waits for
+    // the *next* tick (FIFO tie-break).
+    let mut spine: EventQueue<Event> = EventQueue::new();
+    let mut tick_at = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.horizon;
+    while tick_at <= end {
+        spine.schedule(tick_at, Event::Tick);
+        tick_at += cfg.control_period;
+    }
+    for (i, job) in jobs.iter().enumerate() {
+        spine.schedule(job.arrival, Event::Arrival(i));
+    }
+
+    let mut scheduler = Scheduler::new(cfg.policy, cfg.queue_capacity);
+    let mut completed: Vec<JobRecord> = Vec::new();
+    let mut deadline_misses = 0u64;
+    let mut rows = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut interval = 0u64;
+
+    while let Some((at, event)) = spine.pop() {
+        for node in &mut nodes {
+            if let Some(record) = node.advance(t, at) {
+                if record.missed_deadline {
+                    deadline_misses += 1;
+                }
+                completed.push(record);
+            }
+        }
+        t = at;
+        match event {
+            Event::Arrival(i) => {
+                scheduler.submit(jobs[i].clone());
+            }
+            Event::Tick => {
+                let demands: Vec<_> = nodes.iter().map(Node::demand).collect();
+                let caps = apportion(budget_mw, &demands);
+                let mut max_over_w = 0.0f64;
+                for (node, &cap) in nodes.iter_mut().zip(&caps) {
+                    max_over_w = max_over_w.max(node.control_tick(t, cap));
+                }
+                scheduler.dispatch(&mut nodes, t);
+                if t > SimTime::ZERO {
+                    interval += 1;
+                    let window_start = SimTime::ZERO + cfg.control_period.mul_f64((interval - 1) as f64);
+                    let dt = t.saturating_since(window_start).as_secs_f64().max(1e-12);
+                    let gpu_power_w: f64 = nodes
+                        .iter()
+                        .map(|n| n.platform().gpu_energy_j(window_start, t))
+                        .sum::<f64>()
+                        / dt;
+                    let total_power_w: f64 = nodes
+                        .iter()
+                        .map(|n| n.platform().total_energy_j(window_start, t))
+                        .sum::<f64>()
+                        / dt;
+                    rows.push(TraceRow {
+                        interval,
+                        time_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
+                        queue_depth: scheduler.depth(),
+                        busy_nodes: nodes.iter().filter(|n| !n.is_idle()).count(),
+                        healthy_nodes: nodes.iter().filter(|n| n.healthy()).count(),
+                        gpu_power_w,
+                        total_power_w,
+                        fleet_cap_w: caps.iter().sum::<u64>() as f64 / 1000.0,
+                        budget_w: cfg.budget_w,
+                        completed: completed.len() as u64,
+                        rejected: scheduler.rejected(),
+                        deadline_misses,
+                        cap_violations: nodes.iter().map(Node::cap_violations).sum(),
+                        max_pair_over_cap_w: max_over_w,
+                    });
+                }
+            }
+        }
+    }
+    // Account service up to the horizon.
+    for node in &mut nodes {
+        if let Some(record) = node.advance(t, end) {
+            if record.missed_deadline {
+                deadline_misses += 1;
+            }
+            completed.push(record);
+        }
+    }
+
+    FleetReport {
+        trace: FleetTrace { rows },
+        per_node_completed: nodes.iter().map(Node::completed).collect(),
+        rejected: scheduler.rejected(),
+        deadline_misses,
+        cap_violations: nodes.iter().map(Node::cap_violations).sum(),
+        nodes_fallen_back: nodes.iter().filter(|n| !n.healthy()).count(),
+        gpu_energy_j: nodes
+            .iter()
+            .map(|n| n.platform().gpu_energy_j(SimTime::ZERO, end))
+            .sum(),
+        total_energy_j: nodes
+            .iter()
+            .map(|n| n.platform().total_energy_j(SimTime::ZERO, end))
+            .sum(),
+        horizon_s: cfg.horizon.as_secs_f64(),
+        completed,
+    }
+}

@@ -1,0 +1,52 @@
+//! Fleet-scale power-budget scheduling over per-node GreenGPU controllers.
+//!
+//! GreenGPU (ICPP 2012) manages energy *within* one GPU-CPU node. This
+//! crate adds the datacenter tier above it: a deterministic, event-driven
+//! simulator in which N heterogeneous nodes — each a full single-node
+//! testbed ([`greengpu_hw::Platform`]) driven by the hardened two-tier
+//! controller ([`greengpu::GreenGpuController`]) — serve a seeded
+//! open-loop job arrival stream under one fleet-wide power budget.
+//!
+//! Three layers:
+//!
+//! 1. **Admission/dispatch** ([`scheduler`], [`policy`]): a bounded job
+//!    queue with backpressure accounting and pluggable placement policies
+//!    (round-robin, least-loaded, energy-aware via per-node oracle-style
+//!    estimates over the frequency-pair tables).
+//! 2. **Hierarchical power capping** ([`power`]): every control interval
+//!    the fleet budget is re-apportioned into per-node caps — floors
+//!    first, then the busy nodes' demand, then leftover headroom — in
+//!    integer milliwatts so the summed caps *never* exceed the budget.
+//!    Each node enforces its cap through the feasible-set seam in the WMA
+//!    scaler: the learner's weight table is intact, but the argmax is
+//!    restricted to frequency pairs whose modeled worst-case board power
+//!    fits under the cap.
+//! 3. **Fleet telemetry** ([`telemetry`]): a per-interval trace (queue
+//!    depth, node utilization, power, caps, violations, deadline misses)
+//!    rendered as CSV through [`greengpu_sim::Table`].
+//!
+//! Everything derives from one seed through [`greengpu_sim::rng`], so the
+//! same configuration and seed reproduce byte-identical traces. The
+//! fault-injection seam composes: a node built with a
+//! [`greengpu_hw::FaultPlan`] runs the same hardened controller, and once
+//! its best-performance fallback engages the scheduler stops routing jobs
+//! to it while the capping layer accounts its pinned-peak draw as cap
+//! violations.
+
+pub mod fleet;
+pub mod job;
+pub mod node;
+pub mod policy;
+pub mod power;
+pub mod profile;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use job::{ArrivalConfig, JobRecord, JobSpec};
+pub use node::{Node, NodeConfig};
+pub use policy::Policy;
+pub use power::{apportion, NodeDemand};
+pub use profile::ServiceProfile;
+pub use scheduler::Scheduler;
+pub use telemetry::{FleetTrace, TraceRow};

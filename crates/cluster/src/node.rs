@@ -1,0 +1,385 @@
+//! One fleet node: a single-node GreenGPU testbed plus its hardened
+//! controller, wrapped with job progress tracking and cap enforcement.
+//!
+//! A node owns the same [`Platform`] the single-node experiments run on
+//! and drives it with the same [`GreenGpuController`] (scaling tier, with
+//! the PR-1 hardening: NaN rejection, read-back-verified actuation,
+//! best-performance fallback). The cluster tier only adds what a
+//! datacenter agent would: a service-profile table to convert frequency
+//! pairs into job progress, a power-cap input, and counters.
+//!
+//! Job service is piecewise-linear: between control events the frequency
+//! pair is constant, so a job advances at `dt / (size · T(pair))` of its
+//! total work per elapsed `dt`. The controller may re-clock the card at
+//! every tick; progress carries over, only the rate changes — exactly how
+//! a real run would respond to DVFS.
+
+use crate::job::{JobRecord, JobSpec};
+use crate::power::{mw, MilliWatts, NodeDemand};
+use crate::profile::ServiceProfile;
+use greengpu::{GreenGpuConfig, GreenGpuController};
+use greengpu_hw::{calib, CpuSpec, FaultPlan, GpuSpec, Platform};
+use greengpu_runtime::Controller as _;
+use greengpu_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Static description of one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The node's card.
+    pub gpu: GpuSpec,
+    /// The node's host CPU.
+    pub cpu: CpuSpec,
+    /// Optional sensor/actuation fault plan (PR-1 seam).
+    pub fault: Option<FaultPlan>,
+}
+
+impl NodeConfig {
+    /// The default paper testbed node.
+    pub fn default_node() -> Self {
+        NodeConfig {
+            gpu: calib::geforce_8800_gtx(),
+            cpu: calib::phenom_ii_x2(),
+            fault: None,
+        }
+    }
+
+    /// A down-clocked heterogeneous variant (≈70 % clocks).
+    pub fn downclocked() -> Self {
+        let mut gpu = calib::geforce_8800_gtx();
+        gpu.core_levels_mhz = gpu.core_levels_mhz.iter().map(|f| f * 0.7).collect();
+        gpu.mem_levels_mhz = gpu.mem_levels_mhz.iter().map(|f| f * 0.7).collect();
+        gpu.name = format!("{} (down-clocked)", gpu.name);
+        NodeConfig {
+            gpu,
+            cpu: calib::phenom_ii_x2(),
+            fault: None,
+        }
+    }
+
+    /// Attaches a fault plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// A job in service.
+#[derive(Debug, Clone)]
+struct RunningJob {
+    spec: JobSpec,
+    started: SimTime,
+    /// Completed fraction of the whole run in `[0, 1)`.
+    progress: f64,
+}
+
+/// One live node.
+pub struct Node {
+    id: usize,
+    platform: Platform,
+    ctl: GreenGpuController,
+    profiles: BTreeMap<String, ServiceProfile>,
+    cap_w: f64,
+    job: Option<RunningJob>,
+    busy_s: f64,
+    completed: u64,
+    cap_violations: u64,
+}
+
+impl Node {
+    /// Builds a node with service profiles for `workloads` (unknown names
+    /// panic — the mix is validated config, not user input). The card
+    /// starts at peak clocks (the best-performance baseline state); the
+    /// controller takes over from the first tick.
+    pub fn new(id: usize, cfg: &NodeConfig, workloads: &[String], profile_seed: u64) -> Self {
+        let n_core = cfg.gpu.core_levels_mhz.len();
+        let n_mem = cfg.gpu.mem_levels_mhz.len();
+        let platform = Platform::new(
+            cfg.gpu.clone(),
+            cfg.cpu.clone(),
+            n_core - 1,
+            n_mem - 1,
+            cfg.cpu.levels_mhz.len() - 1,
+        );
+        let control = GreenGpuConfig::scaling_only();
+        let ctl = match &cfg.fault {
+            Some(plan) => GreenGpuController::faulted(control, n_core, n_mem, plan),
+            None => GreenGpuController::new(control, n_core, n_mem),
+        };
+        let profiles = workloads
+            .iter()
+            .map(|name| {
+                let p = ServiceProfile::build(name, profile_seed, &cfg.gpu)
+                    .unwrap_or_else(|| panic!("unknown workload {name:?} in mix"));
+                (name.clone(), p)
+            })
+            .collect();
+        Node {
+            id,
+            platform,
+            ctl,
+            profiles,
+            cap_w: f64::INFINITY,
+            job: None,
+            busy_s: 0.0,
+            completed: 0,
+            cap_violations: 0,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether the node can take a job right now.
+    pub fn is_idle(&self) -> bool {
+        self.job.is_none()
+    }
+
+    /// Whether the controller is still operating (fallback not engaged).
+    /// The scheduler routes around unhealthy nodes.
+    pub fn healthy(&self) -> bool {
+        !self.ctl.fallback_engaged()
+    }
+
+    /// Current power cap, watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    /// Cumulative busy (serving) seconds.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Jobs completed on this node.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Intervals whose enforced pair exceeded the cap.
+    pub fn cap_violations(&self) -> u64 {
+        self.cap_violations
+    }
+
+    /// The service profile for a mix workload.
+    pub fn profile(&self, workload: &str) -> Option<&ServiceProfile> {
+        self.profiles.get(workload)
+    }
+
+    /// The underlying platform (meters, traces).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The controller (inspection/tests).
+    pub fn controller(&self) -> &GreenGpuController {
+        &self.ctl
+    }
+
+    /// Modeled worst-case board power of the currently enforced pair.
+    pub fn enforced_pair_power_w(&self) -> f64 {
+        let (c, m) = self.current_pair();
+        self.platform.gpu().spec().power_at_levels_w(c, m, 1.0, 1.0)
+    }
+
+    /// The currently enforced (core, mem) levels.
+    pub fn current_pair(&self) -> (usize, usize) {
+        (
+            self.platform.gpu().core().current_level(),
+            self.platform.gpu().mem().current_level(),
+        )
+    }
+
+    fn spec_powers(&self) -> (f64, f64) {
+        let spec = self.platform.gpu().spec();
+        let (nc, nm) = (spec.core_levels_mhz.len(), spec.mem_levels_mhz.len());
+        (
+            spec.power_at_levels_w(0, 0, 1.0, 1.0),
+            spec.power_at_levels_w(nc - 1, nm - 1, 1.0, 1.0),
+        )
+    }
+
+    /// What this node asks of the apportioner right now.
+    pub fn demand(&self) -> NodeDemand {
+        let (floor_w, peak_w) = self.spec_powers();
+        let desired_w = if self.ctl.fallback_engaged() {
+            // Fallback pins peak clocks; budget accordingly.
+            peak_w
+        } else {
+            let (c, m) = self.ctl.wma().argmax();
+            self.platform.gpu().spec().power_at_levels_w(c, m, 1.0, 1.0)
+        };
+        NodeDemand {
+            floor_mw: mw(floor_w),
+            desired_mw: mw(desired_w),
+            peak_mw: mw(peak_w),
+            busy: self.job.is_some(),
+        }
+    }
+
+    /// Re-applies the activity signature of the current (job, pair) state
+    /// from `at` onward.
+    fn refresh_activity(&mut self, at: SimTime) {
+        let n_cores = self.platform.cpu().spec().n_cores;
+        match &self.job {
+            Some(run) => {
+                let (c, m) = self.current_pair();
+                let prof = &self.profiles[&run.spec.workload];
+                let (uc, um) = (prof.u_core(c, m), prof.u_mem(c, m));
+                self.platform.set_gpu_activity(at, uc, um);
+                self.platform.set_cpu_activity(at, 1.0, n_cores);
+            }
+            None => {
+                self.platform.set_gpu_activity(at, 0.0, 0.0);
+                self.platform.set_cpu_activity(at, 0.0, 0);
+            }
+        }
+    }
+
+    /// Starts serving `job` at `now`. Panics if the node is busy.
+    pub fn dispatch(&mut self, job: JobSpec, now: SimTime) {
+        assert!(self.job.is_none(), "node {} is busy", self.id);
+        self.job = Some(RunningJob {
+            spec: job,
+            started: now,
+            progress: 0.0,
+        });
+        self.refresh_activity(now);
+    }
+
+    /// Advances job service from `from` to `to` at the current frequency
+    /// pair, returning the completion record if the job finishes inside
+    /// the window.
+    pub fn advance(&mut self, from: SimTime, to: SimTime) -> Option<JobRecord> {
+        let dt = to.saturating_since(from).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        let run = self.job.as_mut()?;
+        let (c, m) = (
+            self.platform.gpu().core().current_level(),
+            self.platform.gpu().mem().current_level(),
+        );
+        let full_s = self.profiles[&run.spec.workload].time_s(c, m) * run.spec.size;
+        let need_s = (1.0 - run.progress) * full_s;
+        if need_s <= dt * (1.0 + 1e-12) {
+            // Completes inside this window, at the exact instant.
+            let finished = from + SimDuration::from_secs_f64(need_s.max(0.0));
+            self.busy_s += need_s.max(0.0);
+            let run = self.job.take().expect("checked above");
+            let missed_deadline = run.spec.deadline.is_some_and(|d| finished > d);
+            let record = JobRecord {
+                node: self.id,
+                started: run.started,
+                finished,
+                missed_deadline,
+                spec: run.spec,
+            };
+            self.completed += 1;
+            self.refresh_activity(finished);
+            Some(record)
+        } else {
+            run.progress += dt / full_s;
+            self.busy_s += dt;
+            None
+        }
+    }
+
+    /// One control interval: install the cap, run the hardened controller
+    /// (sense → masked WMA → verified actuation), refresh the activity
+    /// signature for the possibly new pair, and check cap compliance.
+    /// Returns how far (watts) the enforced pair exceeds the cap — 0.0
+    /// when compliant; a fallback node pinning peak clocks is the
+    /// expected violator.
+    pub fn control_tick(&mut self, now: SimTime, cap: MilliWatts) -> f64 {
+        self.cap_w = cap as f64 / 1000.0;
+        self.ctl.set_power_cap_w(Some(self.cap_w));
+        self.ctl.on_dvfs_tick(&mut self.platform, now);
+        self.refresh_activity(now);
+        let over = (self.enforced_pair_power_w() - self.cap_w).max(0.0);
+        if over > 1e-9 {
+            self.cap_violations += 1;
+        }
+        over
+    }
+
+    /// Oracle-style placement estimate: (service seconds, GPU joules) for
+    /// running `workload` of `size` here under the current cap.
+    pub fn estimate(&self, workload: &str, size: f64) -> Option<(f64, f64)> {
+        let prof = self.profiles.get(workload)?;
+        Some(prof.best_under_cap(self.platform.gpu().spec(), self.cap_w, size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> Vec<String> {
+        vec!["hotspot".to_string(), "kmeans".to_string()]
+    }
+
+    fn job(workload: &str, size: f64) -> JobSpec {
+        JobSpec {
+            id: 0,
+            workload: workload.to_string(),
+            arrival: SimTime::ZERO,
+            size,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn job_completes_at_the_profiled_time() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        let expect = node.profile("hotspot").unwrap().peak_time_s() * 2.0;
+        node.dispatch(job("hotspot", 2.0), SimTime::ZERO);
+        assert!(!node.is_idle());
+        // Advance well past the service time in two windows.
+        let half = SimTime::from_secs_f64(expect / 2.0);
+        assert!(node.advance(SimTime::ZERO, half).is_none());
+        let rec = node
+            .advance(half, SimTime::from_secs_f64(expect * 3.0))
+            .expect("job must finish");
+        assert!((rec.finished.saturating_since(SimTime::ZERO).as_secs_f64() - expect).abs() < 1e-6);
+        assert!(node.is_idle());
+        assert_eq!(node.completed(), 1);
+    }
+
+    #[test]
+    fn capped_ticks_keep_the_pair_under_the_cap() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        node.dispatch(job("kmeans", 5.0), SimTime::ZERO);
+        let cap_w = 0.75 * node.platform().gpu().spec().peak_power_w();
+        let cap = mw(cap_w);
+        let mut t = SimTime::ZERO;
+        for k in 1..=10 {
+            let next = SimTime::from_secs(k);
+            node.advance(t, next);
+            let over = node.control_tick(next, cap);
+            assert_eq!(over, 0.0, "clean node violated its cap at tick {k}");
+            t = next;
+        }
+        assert_eq!(node.cap_violations(), 0);
+        assert!(node.enforced_pair_power_w() <= cap as f64 / 1000.0);
+    }
+
+    #[test]
+    fn demand_reports_floor_and_peak() {
+        let node = Node::new(3, &NodeConfig::default_node(), &mix(), 1);
+        let d = node.demand();
+        assert!(d.floor_mw < d.peak_mw);
+        assert!(!d.busy);
+        assert!(d.desired_mw >= d.floor_mw && d.desired_mw <= d.peak_mw);
+    }
+
+    #[test]
+    fn estimates_cover_the_mix() {
+        let node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        let (t, e) = node.estimate("kmeans", 1.0).unwrap();
+        assert!(t > 0.0 && e > 0.0);
+        assert!(node.estimate("nbody", 1.0).is_none(), "not in the mix");
+    }
+}

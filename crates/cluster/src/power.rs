@@ -1,0 +1,178 @@
+//! Fleet-budget apportionment into per-node power caps.
+//!
+//! Caps are integer **milliwatts** so the headline invariant — the summed
+//! per-node caps never exceed the fleet budget — holds exactly, with no
+//! floating-point accumulation drift, and the allocation is trivially
+//! byte-reproducible.
+//!
+//! Three sequential passes, each drawing from a shared `remaining` pool so
+//! every grant is bounded by what is actually left:
+//!
+//! 1. **Floors** — every node gets (up to) its floor: the modeled
+//!    worst-case power of its lowest frequency pair. A node at its floor
+//!    can always enforce *some* pair, so the per-node feasible set never
+//!    empties while the budget covers the floors.
+//! 2. **Demand** — busy nodes split the rest proportionally to what their
+//!    WMA learner wants above the floor (the unmasked argmax pair's
+//!    modeled power). Idle nodes want nothing here, which is exactly the
+//!    idle→busy cap re-allocation: slack from idle nodes flows to loaded
+//!    ones every interval.
+//! 3. **Headroom** — leftover budget spreads over busy nodes up to their
+//!    peak-pair power, so a rising utilization can climb the frequency
+//!    ladder next interval without waiting for the apportioner.
+
+/// A cap or budget in integer milliwatts.
+pub type MilliWatts = u64;
+
+/// Converts watts to the integer milliwatt grid (rounding up, so a cap
+/// derived from a modeled floor still admits that floor).
+pub fn mw(watts: f64) -> MilliWatts {
+    assert!(watts >= 0.0 && watts.is_finite(), "bad wattage {watts}");
+    (watts * 1000.0).ceil() as MilliWatts
+}
+
+/// Converts watts to the integer milliwatt grid rounding **down** — the
+/// budget-side conversion, so the integer caps can never sum past the
+/// stated watt budget.
+pub fn mw_floor(watts: f64) -> MilliWatts {
+    assert!(watts >= 0.0 && watts.is_finite(), "bad wattage {watts}");
+    (watts * 1000.0).floor() as MilliWatts
+}
+
+/// What one node asks of the apportioner this interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDemand {
+    /// Modeled worst-case power of the lowest frequency pair.
+    pub floor_mw: MilliWatts,
+    /// Modeled worst-case power of the pair the node's learner would
+    /// enforce absent any cap.
+    pub desired_mw: MilliWatts,
+    /// Modeled worst-case power of the peak frequency pair.
+    pub peak_mw: MilliWatts,
+    /// Whether the node currently holds a job.
+    pub busy: bool,
+}
+
+/// Splits `pool` over `wants` proportionally, never exceeding `remaining`.
+fn grant_proportional(caps: &mut [MilliWatts], wants: &[MilliWatts], remaining: &mut MilliWatts) {
+    let total: u128 = wants.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 || *remaining == 0 {
+        return;
+    }
+    let pool = *remaining;
+    for (cap, &want) in caps.iter_mut().zip(wants) {
+        let share = (u128::from(pool) * u128::from(want) / total) as MilliWatts;
+        let grant = share.min(want).min(*remaining);
+        *cap += grant;
+        *remaining -= grant;
+    }
+}
+
+/// Apportions `budget_mw` into one cap per node.
+///
+/// Guarantees, by construction: the returned caps sum to at most
+/// `budget_mw`; and whenever `budget_mw >= Σ floor_mw`, every node's cap
+/// is at least its floor.
+pub fn apportion(budget_mw: MilliWatts, demands: &[NodeDemand]) -> Vec<MilliWatts> {
+    let mut caps = vec![0; demands.len()];
+    let mut remaining = budget_mw;
+
+    // Pass 1: floors.
+    for (cap, d) in caps.iter_mut().zip(demands) {
+        let grant = d.floor_mw.min(remaining);
+        *cap = grant;
+        remaining -= grant;
+    }
+
+    // Pass 2: busy nodes' demand above the floor.
+    let wants: Vec<MilliWatts> = demands
+        .iter()
+        .zip(&caps)
+        .map(|(d, &cap)| {
+            if d.busy {
+                d.desired_mw.clamp(cap, d.peak_mw.max(cap)) - cap
+            } else {
+                0
+            }
+        })
+        .collect();
+    grant_proportional(&mut caps, &wants, &mut remaining);
+
+    // Pass 3: leftover headroom up to peak for busy nodes.
+    let heads: Vec<MilliWatts> = demands
+        .iter()
+        .zip(&caps)
+        .map(|(d, &cap)| if d.busy { d.peak_mw.saturating_sub(cap) } else { 0 })
+        .collect();
+    grant_proportional(&mut caps, &heads, &mut remaining);
+
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(floor: u64, desired: u64, peak: u64, busy: bool) -> NodeDemand {
+        NodeDemand {
+            floor_mw: floor,
+            desired_mw: desired,
+            peak_mw: peak,
+            busy,
+        }
+    }
+
+    #[test]
+    fn floors_are_covered_first() {
+        let d = vec![demand(100, 200, 300, false); 4];
+        let caps = apportion(1200, &d);
+        assert!(caps.iter().all(|&c| c >= 100), "{caps:?}");
+        assert!(caps.iter().sum::<u64>() <= 1200);
+    }
+
+    #[test]
+    fn idle_slack_flows_to_busy_nodes() {
+        let d = vec![
+            demand(100, 300, 300, true),
+            demand(100, 100, 300, false),
+            demand(100, 100, 300, false),
+        ];
+        let caps = apportion(600, &d);
+        // Idle nodes hold their floor; the busy node takes everything
+        // else up to its peak.
+        assert_eq!(caps[1], 100);
+        assert_eq!(caps[2], 100);
+        assert!(caps[0] > 100 && caps[0] <= 300, "{caps:?}");
+        assert!(caps.iter().sum::<u64>() <= 600);
+    }
+
+    #[test]
+    fn scarce_budget_never_overshoots() {
+        let d = vec![demand(100, 250, 300, true); 3];
+        for budget in [0u64, 50, 150, 299, 300, 600, 10_000] {
+            let caps = apportion(budget, &d);
+            assert!(caps.iter().sum::<u64>() <= budget, "budget {budget}: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn abundant_budget_caps_at_peak() {
+        let d = vec![demand(100, 200, 300, true), demand(100, 150, 250, true)];
+        let caps = apportion(100_000, &d);
+        assert_eq!(caps, vec![300, 250], "busy nodes stop at peak");
+    }
+
+    #[test]
+    fn mw_rounds_up() {
+        assert_eq!(mw(1.0001), 1001);
+        assert_eq!(mw(0.0), 0);
+        assert_eq!(mw(138.7499), 138_750);
+    }
+
+    #[test]
+    fn mw_floor_rounds_down() {
+        assert_eq!(mw_floor(1.0009), 1000);
+        assert_eq!(mw_floor(0.0), 0);
+        assert!(mw_floor(562.905_788) as f64 / 1000.0 <= 562.905_788);
+    }
+}

@@ -1,0 +1,141 @@
+//! Admission control and dispatch: a bounded FIFO queue in front of the
+//! placement policy.
+//!
+//! Admission is where the open-loop arrival stream meets finite capacity:
+//! a full queue rejects new jobs (backpressure a real cluster would push
+//! to clients), and the counters here are the scheduler-side half of the
+//! fleet telemetry.
+
+use crate::job::JobSpec;
+use crate::node::Node;
+use crate::policy::{pick_node, Policy};
+use greengpu_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Bounded admission queue plus dispatch state.
+pub struct Scheduler {
+    queue: VecDeque<JobSpec>,
+    capacity: usize,
+    policy: Policy,
+    rr_cursor: usize,
+    admitted: u64,
+    rejected: u64,
+    peak_depth: usize,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy and queue bound.
+    pub fn new(policy: Policy, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Scheduler {
+            queue: VecDeque::new(),
+            capacity,
+            policy,
+            rr_cursor: 0,
+            admitted: 0,
+            rejected: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Offers a job for admission; `false` means the queue was full and
+    /// the job was rejected.
+    pub fn submit(&mut self, job: JobSpec) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            return false;
+        }
+        self.queue.push_back(job);
+        self.admitted += 1;
+        self.peak_depth = self.peak_depth.max(self.queue.len());
+        true
+    }
+
+    /// Dispatches queued jobs to idle, healthy nodes until the policy
+    /// finds no taker; returns how many were placed.
+    pub fn dispatch(&mut self, nodes: &mut [Node], now: SimTime) -> usize {
+        let mut placed = 0;
+        while let Some(job) = self.queue.front() {
+            match pick_node(self.policy, job, nodes, &mut self.rr_cursor, now) {
+                Some(i) => {
+                    let job = self.queue.pop_front().expect("non-empty");
+                    nodes[i].dispatch(job, now);
+                    placed += 1;
+                }
+                None => break,
+            }
+        }
+        placed
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Jobs rejected by backpressure so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Deepest the queue has been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+
+    fn mix() -> Vec<String> {
+        vec!["hotspot".to_string()]
+    }
+
+    fn job(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            workload: "hotspot".to_string(),
+            arrival: SimTime::ZERO,
+            size: 1.0,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 2);
+        assert!(s.submit(job(0)));
+        assert!(s.submit(job(1)));
+        assert!(!s.submit(job(2)), "third job must bounce");
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.peak_depth(), 2);
+    }
+
+    #[test]
+    fn dispatch_drains_fifo_until_nodes_run_out() {
+        let mut nodes: Vec<Node> = (0..2)
+            .map(|i| Node::new(i, &NodeConfig::default_node(), &mix(), 1))
+            .collect();
+        let mut s = Scheduler::new(Policy::RoundRobin, 8);
+        for id in 0..3 {
+            s.submit(job(id));
+        }
+        let placed = s.dispatch(&mut nodes, SimTime::ZERO);
+        assert_eq!(placed, 2, "two nodes, two placements");
+        assert_eq!(s.depth(), 1, "third job stays queued");
+        assert!(nodes.iter().all(|n| !n.is_idle()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-interval fleet telemetry.
+//!
+//! One row per control interval, rendered through [`greengpu_sim::Table`]
+//! so markdown and RFC-4180 CSV come for free and stay byte-deterministic
+//! (fixed decimal formatting, no floats straight through `Display`).
+
+use greengpu_sim::Table;
+
+/// One control interval's fleet state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Interval index (1-based; interval `k` covers `((k-1)·T, k·T]`).
+    pub interval: u64,
+    /// Interval end, seconds.
+    pub time_s: f64,
+    /// Queue depth after dispatch.
+    pub queue_depth: usize,
+    /// Nodes serving a job after dispatch.
+    pub busy_nodes: usize,
+    /// Nodes whose controller has not fallen back.
+    pub healthy_nodes: usize,
+    /// Mean GPU board power over the interval, watts.
+    pub gpu_power_w: f64,
+    /// Mean whole-fleet (GPU + CPU) power over the interval, watts.
+    pub total_power_w: f64,
+    /// Sum of the per-node caps this interval, watts.
+    pub fleet_cap_w: f64,
+    /// The fleet budget, watts.
+    pub budget_w: f64,
+    /// Jobs completed so far.
+    pub completed: u64,
+    /// Jobs rejected by admission so far.
+    pub rejected: u64,
+    /// Deadline misses so far.
+    pub deadline_misses: u64,
+    /// Node-intervals in cap violation so far.
+    pub cap_violations: u64,
+    /// Worst per-node excess of enforced-pair power over cap this
+    /// interval, watts (0 when every node complies).
+    pub max_pair_over_cap_w: f64,
+}
+
+/// The full per-interval trace of one fleet run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTrace {
+    /// Rows in interval order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl FleetTrace {
+    /// Renders the trace as a table titled `title`.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "interval",
+                "time_s",
+                "queue_depth",
+                "busy_nodes",
+                "healthy_nodes",
+                "gpu_power_w",
+                "total_power_w",
+                "fleet_cap_w",
+                "budget_w",
+                "completed",
+                "rejected",
+                "deadline_misses",
+                "cap_violations",
+                "max_pair_over_cap_w",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.interval.to_string(),
+                format!("{:.2}", r.time_s),
+                r.queue_depth.to_string(),
+                r.busy_nodes.to_string(),
+                r.healthy_nodes.to_string(),
+                format!("{:.3}", r.gpu_power_w),
+                format!("{:.3}", r.total_power_w),
+                format!("{:.3}", r.fleet_cap_w),
+                format!("{:.3}", r.budget_w),
+                r.completed.to_string(),
+                r.rejected.to_string(),
+                r.deadline_misses.to_string(),
+                r.cap_violations.to_string(),
+                format!("{:.3}", r.max_pair_over_cap_w),
+            ]);
+        }
+        t
+    }
+
+    /// Time-weighted mean GPU power across the trace, watts.
+    pub fn mean_gpu_power_w(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.gpu_power_w).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Highest queue depth seen at interval boundaries.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.rows.iter().map(|r| r.queue_depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: u64) -> TraceRow {
+        TraceRow {
+            interval: k,
+            time_s: k as f64,
+            queue_depth: k as usize,
+            busy_nodes: 1,
+            healthy_nodes: 2,
+            gpu_power_w: 100.0 + k as f64,
+            total_power_w: 150.0,
+            fleet_cap_w: 400.0,
+            budget_w: 500.0,
+            completed: k,
+            rejected: 0,
+            deadline_misses: 0,
+            cap_violations: 0,
+            max_pair_over_cap_w: 0.0,
+        }
+    }
+
+    #[test]
+    fn table_rendering_is_stable() {
+        let trace = FleetTrace {
+            rows: vec![row(1), row(2)],
+        };
+        let a = trace.to_table("t").to_csv();
+        let b = trace.to_table("t").to_csv();
+        assert_eq!(a, b);
+        assert!(a.starts_with("interval,time_s,queue_depth"));
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn summaries() {
+        let trace = FleetTrace {
+            rows: vec![row(1), row(3)],
+        };
+        assert_eq!(trace.peak_queue_depth(), 3);
+        assert!((trace.mean_gpu_power_w() - 102.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fleet-level invariants: budget safety, cap compliance, determinism,
+//! and composition with the PR-1 fault-injection seam.
+
+use greengpu_cluster::{apportion, run_fleet, FleetConfig, NodeConfig, NodeDemand, Policy};
+use greengpu_hw::FaultPlan;
+use greengpu_sim::SimDuration;
+use proptest::prelude::*;
+
+fn small_fleet(n: usize, budget_frac: f64, policy: Policy, seed: u64) -> FleetConfig {
+    FleetConfig::homogeneous(n, budget_frac, policy, SimDuration::from_secs(30), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Acceptance invariant, part 1 (pure): for arbitrary demands the
+    /// apportioned caps sum to at most the budget, and cover every floor
+    /// whenever the budget does.
+    #[test]
+    fn apportioned_caps_never_exceed_the_budget(
+        budget in 0u64..2_000_000,
+        raw in proptest::collection::vec((0u64..300_000, 0u64..300_000, 0u64..300_000, any::<bool>()), 1..12),
+    ) {
+        let demands: Vec<NodeDemand> = raw
+            .iter()
+            .map(|&(a, b, c, busy)| {
+                let mut v = [a, b, c];
+                v.sort_unstable();
+                NodeDemand { floor_mw: v[0], desired_mw: v[1], peak_mw: v[2], busy }
+            })
+            .collect();
+        let caps = apportion(budget, &demands);
+        prop_assert_eq!(caps.len(), demands.len());
+        prop_assert!(caps.iter().sum::<u64>() <= budget);
+        let floor_sum: u64 = demands.iter().map(|d| d.floor_mw).sum();
+        if budget >= floor_sum {
+            for (cap, d) in caps.iter().zip(&demands) {
+                prop_assert!(*cap >= d.floor_mw, "floor uncovered: {} < {}", cap, d.floor_mw);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Acceptance invariant, part 2 (end-to-end): across whole fleet
+    /// runs, the summed per-node caps stay under the budget every
+    /// interval, and no clean node's enforced frequency pair ever models
+    /// more power than its cap.
+    #[test]
+    fn clean_fleets_always_respect_their_caps(
+        seed in 1u64..10_000,
+        n in 2usize..4,
+        budget_frac in 0.62f64..1.0,
+        policy_idx in 0usize..3,
+    ) {
+        let cfg = small_fleet(n, budget_frac, Policy::ALL[policy_idx], seed);
+        let report = run_fleet(&cfg);
+        prop_assert!(!report.trace.rows.is_empty());
+        for row in &report.trace.rows {
+            prop_assert!(
+                row.fleet_cap_w <= row.budget_w + 1e-9,
+                "interval {}: caps {} exceed budget {}",
+                row.interval, row.fleet_cap_w, row.budget_w
+            );
+            prop_assert_eq!(
+                row.max_pair_over_cap_w, 0.0,
+                "interval {}: a clean node enforced a pair over its cap", row.interval
+            );
+        }
+        prop_assert_eq!(report.cap_violations, 0);
+    }
+}
+
+#[test]
+fn fleet_traces_are_byte_deterministic() {
+    let make = || {
+        let cfg = small_fleet(3, 0.75, Policy::EnergyAware, 4242);
+        let report = run_fleet(&cfg);
+        report.trace.to_table("cluster trace").to_csv()
+    };
+    let a = make();
+    let b = make();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must reproduce the trace byte-for-byte");
+
+    let cfg = small_fleet(3, 0.75, Policy::EnergyAware, 4243);
+    let c = run_fleet(&cfg).trace.to_table("cluster trace").to_csv();
+    assert_ne!(a, c, "a different seed must actually change the run");
+}
+
+#[test]
+fn tight_budgets_cut_fleet_power() {
+    let loose = run_fleet(&small_fleet(3, 1.0, Policy::RoundRobin, 99));
+    let tight = run_fleet(&small_fleet(3, 0.65, Policy::RoundRobin, 99));
+    assert!(
+        tight.gpu_energy_j < loose.gpu_energy_j,
+        "capping must reduce GPU energy: {} vs {}",
+        tight.gpu_energy_j,
+        loose.gpu_energy_j
+    );
+    assert!(!loose.completed.is_empty() && !tight.completed.is_empty());
+}
+
+#[test]
+fn fleet_serves_and_completes_jobs() {
+    let report = run_fleet(&small_fleet(3, 0.8, Policy::LeastLoaded, 7));
+    assert!(!report.completed.is_empty(), "no jobs completed");
+    assert_eq!(report.nodes_fallen_back, 0);
+    assert!(report.mean_wait_s() >= 0.0);
+    assert!(report.gpu_energy_j > 0.0 && report.total_energy_j > report.gpu_energy_j);
+    // Completion ids are unique.
+    let mut ids: Vec<u64> = report.completed.iter().map(|r| r.spec.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), report.completed.len());
+}
+
+#[test]
+fn faulty_node_falls_back_and_the_scheduler_routes_around_it() {
+    let mut cfg = FleetConfig::homogeneous(3, 0.85, Policy::RoundRobin, SimDuration::from_secs(90), 2026);
+    // Node 0's sensing is heavily faulted and its actuation path is
+    // fully broken (every reclock silently dropped), so its hardened
+    // controller must engage the best-performance fallback (PR-1 seam);
+    // the others stay clean.
+    let mut plan = FaultPlan::with_intensity(555, 1.0);
+    plan.actuation = greengpu_hw::faults::ActuationFaults {
+        drop_prob: 1.0,
+        offset_prob: 0.0,
+        delay_prob: 0.0,
+    };
+    cfg.nodes[0] = NodeConfig::default_node().with_fault(plan);
+    let report = run_fleet(&cfg);
+
+    assert_eq!(report.nodes_fallen_back, 1, "node 0 must engage its fallback");
+    let fallback_time_s = report
+        .trace
+        .rows
+        .iter()
+        .find(|r| r.healthy_nodes < 3)
+        .expect("fallback must appear in telemetry")
+        .time_s;
+    // After the fallback is visible, nothing new is dispatched to node 0.
+    for rec in report.completed.iter().filter(|r| r.node == 0) {
+        let started = rec.started.saturating_since(greengpu_sim::SimTime::ZERO).as_secs_f64();
+        assert!(
+            started <= fallback_time_s,
+            "job {} dispatched to the fallen-back node at {started}s (fallback at {fallback_time_s}s)",
+            rec.spec.id
+        );
+    }
+    // The healthy nodes keep the fleet serving.
+    let healthy_completed: u64 = report.per_node_completed[1] + report.per_node_completed[2];
+    assert!(healthy_completed > 0, "healthy nodes must keep completing jobs");
+    // A pinned-peak fallback node shows up as cap violations, not silence.
+    assert!(report.cap_violations > 0);
+}

@@ -188,6 +188,8 @@ pub struct GreenGpuController {
     division: DivisionImpl,
     sensors: Box<dyn SensorSource>,
     actuator: Box<dyn FreqActuator>,
+    power_cap_w: Option<f64>,
+    cap_masked_intervals: u64,
     last_good_gpu: Option<(f64, f64)>,
     last_good_cpu: Option<f64>,
     consecutive_failures: u32,
@@ -232,6 +234,8 @@ impl GreenGpuController {
             division,
             sensors,
             actuator,
+            power_cap_w: None,
+            cap_masked_intervals: 0,
             last_good_gpu: None,
             last_good_cpu: None,
             consecutive_failures: 0,
@@ -317,6 +321,34 @@ impl GreenGpuController {
     /// The division tier's current CPU share.
     pub fn division_share(&self) -> f64 {
         self.division.share()
+    }
+
+    /// Sets (or clears) the GPU board power cap in watts.
+    ///
+    /// While a cap is set, each DVFS tick restricts the WMA argmax to
+    /// frequency pairs whose modeled worst-case board power
+    /// (`GpuSpec::power_at_levels_w(core, mem, 1.0, 1.0)`) fits under the
+    /// cap. The WMA weight update itself still runs over the full table,
+    /// so a transient cap never corrupts what the learner has learned.
+    /// The cluster tier re-apportions a fleet budget into these per-node
+    /// caps every control interval.
+    ///
+    /// The best-performance fallback deliberately ignores the cap: a node
+    /// whose actuation path is broken pins peak clocks, and the cluster
+    /// tier accounts for that as a cap violation and routes around it.
+    pub fn set_power_cap_w(&mut self, cap: Option<f64>) {
+        self.power_cap_w = cap;
+    }
+
+    /// The current GPU board power cap, if any.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.power_cap_w
+    }
+
+    /// DVFS intervals in which the cap actually excluded at least one
+    /// pair from the argmax (inspection/telemetry).
+    pub fn cap_masked_intervals(&self) -> u64 {
+        self.cap_masked_intervals
     }
 
     /// Issues a GPU reclock through the actuator and verifies it by
@@ -410,7 +442,21 @@ impl Controller for GreenGpuController {
                 self.last_good_gpu
             };
             if let Some((u_core, u_mem)) = utils {
-                let (core_lvl, mem_lvl) = self.wma.observe(u_core, u_mem);
+                let (core_lvl, mem_lvl) = match self.power_cap_w {
+                    Some(cap) => {
+                        let spec = platform.gpu().spec().clone();
+                        let n_core = spec.core_levels_mhz.len();
+                        let n_mem = spec.mem_levels_mhz.len();
+                        let feasible = |i: usize, j: usize| spec.power_at_levels_w(i, j, 1.0, 1.0) <= cap;
+                        let masked = (0..n_core)
+                            .any(|i| (0..n_mem).any(|j| !feasible(i, j)));
+                        if masked {
+                            self.cap_masked_intervals += 1;
+                        }
+                        self.wma.observe_masked(u_core, u_mem, feasible)
+                    }
+                    None => self.wma.observe(u_core, u_mem),
+                };
                 self.actuate_gpu_verified(platform, now, core_lvl, mem_lvl);
             }
         }
@@ -486,6 +532,37 @@ mod tests {
         // push both levels to the peak.
         platform.set_gpu_activity(SimTime::ZERO, 1.0, 1.0);
         ctl.on_dvfs_tick(&mut platform, SimTime::from_secs(3));
+        assert_eq!(platform.gpu().core().current_level(), 5);
+        assert_eq!(platform.gpu().mem().current_level(), 5);
+    }
+
+    #[test]
+    fn power_cap_masks_the_enforced_pair() {
+        let mut platform = Platform::default_testbed();
+        let mut ctl = GreenGpuController::for_testbed(GreenGpuConfig::scaling_only());
+        let spec = platform.gpu().spec().clone();
+        // A cap between the floor pair and the peak pair: saturated
+        // utilization would normally drive both levels to the peak, but
+        // the cap must keep the enforced pair's modeled power under it.
+        let cap = 0.7 * spec.power_at_levels_w(5, 5, 1.0, 1.0);
+        ctl.set_power_cap_w(Some(cap));
+        platform.set_gpu_activity(SimTime::ZERO, 1.0, 1.0);
+        for k in 1..=5 {
+            ctl.on_dvfs_tick(&mut platform, SimTime::from_secs(3 * k));
+        }
+        let (i, j) = (
+            platform.gpu().core().current_level(),
+            platform.gpu().mem().current_level(),
+        );
+        assert!(
+            spec.power_at_levels_w(i, j, 1.0, 1.0) <= cap,
+            "enforced pair ({i},{j}) exceeds the cap"
+        );
+        assert!((i, j) != (5, 5), "cap had no effect");
+        assert!(ctl.cap_masked_intervals() > 0);
+        // Lifting the cap restores the uncapped policy.
+        ctl.set_power_cap_w(None);
+        ctl.on_dvfs_tick(&mut platform, SimTime::from_secs(30));
         assert_eq!(platform.gpu().core().current_level(), 5);
         assert_eq!(platform.gpu().mem().current_level(), 5);
     }

@@ -181,8 +181,24 @@ impl WmaScaler {
     /// one NaN loss would zero every weight permanently. The current
     /// argmax is returned unchanged.
     pub fn observe(&mut self, u_core: f64, u_mem: f64) -> (usize, usize) {
+        self.observe_masked(u_core, u_mem, |_, _| true)
+    }
+
+    /// [`WmaScaler::observe`] restricted to a *feasible set* of pairs — the
+    /// power-capping seam used by the cluster tier.
+    ///
+    /// The weight update runs over the **full** table (learning is never
+    /// distorted by a transient cap), but the returned argmax only
+    /// considers pairs for which `feasible(core, mem)` is true — e.g.
+    /// pairs whose modeled board power fits the node's current power cap.
+    /// An empty feasible set degrades to `(0, 0)`, the lowest-power pair,
+    /// which is the closest enforceable point to any cap.
+    pub fn observe_masked<F>(&mut self, u_core: f64, u_mem: f64, feasible: F) -> (usize, usize)
+    where
+        F: Fn(usize, usize) -> bool,
+    {
         if !(u_core.is_finite() && u_mem.is_finite()) {
-            return self.argmax();
+            return self.argmax_masked(&feasible).unwrap_or((0, 0));
         }
         let u_core = u_core.clamp(0.0, 1.0);
         let u_mem = u_mem.clamp(0.0, 1.0);
@@ -205,19 +221,32 @@ impl WmaScaler {
             }
         }
         self.intervals += 1;
-        self.argmax()
+        self.argmax_masked(&feasible).unwrap_or((0, 0))
     }
 
     /// The current best pair without updating.
     pub fn argmax(&self) -> (usize, usize) {
-        let mut best = (0, 0);
+        self.argmax_masked(|_, _| true).expect("full mask is never empty")
+    }
+
+    /// The best pair among those `feasible` admits, without updating;
+    /// `None` when the feasible set is empty. Ties break toward lower
+    /// (more energy-saving) levels, exactly like [`WmaScaler::argmax`].
+    pub fn argmax_masked<F>(&self, feasible: F) -> Option<(usize, usize)>
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        let mut best = None;
         let mut best_w = f64::NEG_INFINITY;
         for i in 0..self.n_core {
             for j in 0..self.n_mem {
+                if !feasible(i, j) {
+                    continue;
+                }
                 let w = self.weights[i * self.n_mem + j];
                 if w > best_w {
                     best_w = w;
-                    best = (i, j);
+                    best = Some((i, j));
                 }
             }
         }
@@ -286,6 +315,63 @@ mod tests {
         let (i, j) = s.argmax();
         assert_eq!(i, 3, "core level should match umean 0.6");
         assert!(j <= 1, "memory should throttle deep, got {j}");
+    }
+
+    #[test]
+    fn masked_argmax_respects_the_feasible_set() {
+        let mut s = scaler();
+        for _ in 0..10 {
+            s.observe(1.0, 1.0);
+        }
+        // The unmasked winner is the peak pair; a mask excluding it must
+        // yield the best pair *inside* the feasible set.
+        assert_eq!(s.argmax(), (5, 5));
+        let best = s.argmax_masked(|i, j| i + j <= 7).expect("non-empty mask");
+        assert!(best.0 + best.1 <= 7, "masked argmax escaped the mask: {best:?}");
+    }
+
+    #[test]
+    fn empty_mask_degrades_to_lowest_pair() {
+        let mut s = scaler();
+        assert_eq!(s.argmax_masked(|_, _| false), None);
+        assert_eq!(s.observe_masked(1.0, 1.0, |_, _| false), (0, 0));
+    }
+
+    #[test]
+    fn all_true_mask_matches_unmasked_observe() {
+        let mut a = scaler();
+        let mut b = scaler();
+        for k in 0..12 {
+            let u = (k as f64) / 11.0;
+            let pa = a.observe(u, 1.0 - u);
+            let pb = b.observe_masked(u, 1.0 - u, |_, _| true);
+            assert_eq!(pa, pb);
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(a.weight(i, j).to_bits(), b.weight(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mask_never_distorts_learning() {
+        // Weights after masked observations must equal weights after the
+        // same unmasked observations: the mask only affects selection.
+        let mut masked = scaler();
+        let mut free = scaler();
+        for _ in 0..10 {
+            masked.observe_masked(1.0, 1.0, |i, j| i <= 2 && j <= 2);
+            free.observe(1.0, 1.0);
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(masked.weight(i, j).to_bits(), free.weight(i, j).to_bits());
+            }
+        }
+        // And once the cap lifts, the scaler immediately selects what it
+        // learned.
+        assert_eq!(masked.argmax(), (5, 5));
     }
 
     #[test]

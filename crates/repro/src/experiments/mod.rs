@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper table/figure.
 
 pub mod ablations;
+pub mod cluster;
 pub mod fig1;
 pub mod fig2;
 pub mod fig5;
@@ -47,22 +48,74 @@ impl ExperimentOutput {
         out
     }
 
-    /// Writes each table as `<id>_<n>.csv` under `dir`.
-    pub fn write_csvs(&self, dir: &Path) -> std::io::Result<()> {
+    /// Writes each table as `<id>_<n>.csv` under `dir` and records every
+    /// file in `<dir>/MANIFEST.csv`, so the numbered outputs stay
+    /// attributable to an experiment, seed, and source revision.
+    pub fn write_csvs(&self, dir: &Path, seed: u64) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
+        let mut files = Vec::new();
         for (i, t) in self.tables.iter().enumerate() {
-            let path = dir.join(format!("{}_{}.csv", self.id, i));
-            std::fs::write(path, t.to_csv())?;
+            let name = format!("{}_{}.csv", self.id, i);
+            std::fs::write(dir.join(&name), t.to_csv())?;
+            files.push(name);
         }
-        Ok(())
+        update_manifest(dir, self.id, &files, seed)
     }
+}
+
+/// Header of `results/MANIFEST.csv`.
+const MANIFEST_HEADER: &str = "experiment,file,seed,git_describe";
+
+/// `git describe --always --dirty`, or `unknown` outside a work tree.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Merges `files` into `<dir>/MANIFEST.csv`, keyed by (experiment, file)
+/// and rewritten sorted so repeated runs converge to the same bytes.
+fn update_manifest(dir: &Path, experiment: &str, files: &[String], seed: u64) -> std::io::Result<()> {
+    use std::collections::BTreeMap;
+    let path = dir.join("MANIFEST.csv");
+    let mut rows: BTreeMap<(String, String), (String, String)> = BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() == 4 {
+                rows.insert(
+                    (cells[0].to_string(), cells[1].to_string()),
+                    (cells[2].to_string(), cells[3].to_string()),
+                );
+            }
+        }
+    }
+    let describe = git_describe();
+    for f in files {
+        rows.insert(
+            (experiment.to_string(), f.clone()),
+            (seed.to_string(), describe.clone()),
+        );
+    }
+    let mut out = String::from(MANIFEST_HEADER);
+    out.push('\n');
+    for ((exp, file), (s, d)) in &rows {
+        let _ = writeln!(out, "{exp},{file},{s},{d}");
+    }
+    std::fs::write(path, out)
 }
 
 /// The default deterministic seed used by the `repro` binary.
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 12] = [
+pub const ALL_IDS: [&str; 13] = [
     "table1",
     "table2",
     "fig1",
@@ -74,6 +127,7 @@ pub const ALL_IDS: [&str; 12] = [
     "static_search",
     "ablations",
     "robustness",
+    "cluster",
     "scorecard",
 ];
 
@@ -91,6 +145,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "static_search" => static_search::run(seed),
         "ablations" => ablations::run(seed),
         "robustness" => robustness::run(seed),
+        "cluster" => cluster::run(seed),
         "scorecard" => scorecard::run(seed),
         _ => return None,
     })
@@ -124,6 +179,22 @@ mod tests {
         let md = out.to_markdown();
         assert!(md.contains("## table1"));
         assert!(md.contains('|'));
+    }
+
+    #[test]
+    fn write_csvs_updates_the_manifest() {
+        let dir = std::env::temp_dir().join(format!("greengpu-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = tables::table1();
+        out.write_csvs(&dir, 7).unwrap();
+        // A re-run with another seed merges rows instead of duplicating.
+        out.write_csvs(&dir, 9).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST.csv")).unwrap();
+        let lines: Vec<&str> = manifest.lines().collect();
+        assert_eq!(lines[0], MANIFEST_HEADER);
+        assert_eq!(lines.len(), 1 + out.tables.len());
+        assert!(lines[1].starts_with("table1,table1_0.csv,9,"), "{}", lines[1]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

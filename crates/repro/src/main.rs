@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]
-//!
-//!   ids: table1 table2 fig1 fig2 fig5 fig6 fig7 fig8 static_search
+//!       [--nodes <n>] [--seconds <s>] [--list-experiments]
 //! ```
 //!
 //! Prints markdown to stdout; `--csv <dir>` additionally writes each table
-//! as CSV for plotting.
+//! as CSV for plotting and appends provenance rows to
+//! `<dir>/MANIFEST.csv`. `--nodes`/`--seconds` select a custom
+//! small-fleet configuration for the `cluster` experiment (the CI smoke).
 
-use greengpu_repro::experiments::{run_by_id, ALL_IDS, DEFAULT_SEED};
+use greengpu_repro::experiments::{cluster, run_by_id, ALL_IDS, DEFAULT_SEED};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +18,8 @@ struct Args {
     experiment: String,
     seed: u64,
     csv_dir: Option<PathBuf>,
+    nodes: Option<usize>,
+    seconds: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,6 +27,8 @@ fn parse_args() -> Result<Args, String> {
         experiment: "all".to_string(),
         seed: DEFAULT_SEED,
         csv_dir: None,
+        nodes: None,
+        seconds: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,13 +46,44 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 args.csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
             }
+            "--nodes" => {
+                args.nodes = Some(
+                    it.next()
+                        .ok_or("--nodes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad node count: {e}"))?,
+                );
+            }
+            "--seconds" => {
+                args.seconds = Some(
+                    it.next()
+                        .ok_or("--seconds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad horizon: {e}"))?,
+                );
+            }
+            "--list-experiments" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]");
+                println!(
+                    "usage: repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]\n\
+                     \x20            [--nodes <n>] [--seconds <s>] [--list-experiments]"
+                );
                 println!("experiments: {}", ALL_IDS.join(" "));
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if (args.nodes.is_some() || args.seconds.is_some()) && args.experiment != "cluster" {
+        return Err("--nodes/--seconds only apply to --experiment cluster".to_string());
+    }
+    if args.nodes == Some(0) {
+        return Err("--nodes must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -69,13 +105,26 @@ fn main() -> ExitCode {
 
     println!("# GreenGPU reproduction — experiment output (seed {})\n", args.seed);
     for id in ids {
-        let Some(output) = run_by_id(id, args.seed) else {
-            eprintln!("error: unknown experiment '{id}' (known: {})", ALL_IDS.join(" "));
+        let custom_cluster = id == "cluster" && (args.nodes.is_some() || args.seconds.is_some());
+        let output = if custom_cluster {
+            Some(cluster::run_custom(
+                args.seed,
+                args.nodes.unwrap_or(3),
+                args.seconds.unwrap_or(30),
+            ))
+        } else {
+            run_by_id(id, args.seed)
+        };
+        let Some(output) = output else {
+            eprintln!(
+                "error: unknown experiment '{id}'\nvalid experiments:\n  {}",
+                ALL_IDS.join("\n  ")
+            );
             return ExitCode::FAILURE;
         };
         print!("{}", output.to_markdown());
         if let Some(dir) = &args.csv_dir {
-            if let Err(e) = output.write_csvs(dir) {
+            if let Err(e) = output.write_csvs(dir, args.seed) {
                 eprintln!("error writing CSVs to {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }

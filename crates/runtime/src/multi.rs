@@ -463,6 +463,20 @@ mod tests {
     }
 
     #[test]
+    fn real_run_shares_stay_on_the_grid() {
+        let report = run_kmeans(3);
+        for it in &report.iterations {
+            for &s in &it.shares {
+                let units = s * f64::from(SHARE_UNITS);
+                assert!(
+                    (units - units.round()).abs() < 1e-9,
+                    "share {s} is off the 5% grid"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn two_gpus_finish_faster_than_one() {
         let one = run_kmeans(1);
         let two = run_kmeans(2);
@@ -622,6 +636,65 @@ mod multi_proptests {
                 prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
                 prop_assert!(shares.iter().all(|&s| (0.0..=1.0).contains(&s)));
             }
+        }
+
+        #[test]
+        fn shares_stay_on_the_five_percent_grid(times in proptest::collection::vec(0.01..100.0f64, 3..6),
+                                                rounds in 1usize..60) {
+            let n = times.len();
+            let mut d = MultiDivision::gpus_even(n - 1);
+            for _ in 0..rounds {
+                let shares = d.update(&times);
+                prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                for &s in &shares {
+                    let u = s * f64::from(SHARE_UNITS);
+                    prop_assert!((u - u.round()).abs() < 1e-9, "share {s} off the 5% grid");
+                }
+            }
+        }
+
+        #[test]
+        fn convergence_toward_equal_finish_is_monotone(speeds in proptest::collection::vec(0.2..5.0f64, 2..5)) {
+            // Linear testbed where every device starts with work, so every
+            // per-unit cost is observed from round one and the balancer's
+            // one-step predictions are exact. The oscillation safeguard
+            // (move only on strict predicted improvement) then implies the
+            // worst finish time never increases, and the allocation closes
+            // in on the equal-finish-time point.
+            let n = speeds.len();
+            let mut units = vec![SHARE_UNITS / n as u32; n];
+            let mut rem = SHARE_UNITS - units.iter().sum::<u32>();
+            for u in units.iter_mut() {
+                if rem == 0 { break; }
+                *u += 1;
+                rem -= 1;
+            }
+            let mut d = MultiDivision::new(units);
+            let times = |shares: &[f64]| -> Vec<f64> {
+                shares.iter().zip(&speeds).map(|(s, v)| s / v).collect()
+            };
+            let mut shares = d.shares();
+            let mut prev_worst = f64::INFINITY;
+            for _ in 0..(3 * SHARE_UNITS as usize) {
+                let t = times(&shares);
+                let worst = t.iter().cloned().fold(f64::MIN, f64::max);
+                prop_assert!(
+                    worst <= prev_worst * (1.0 + 1e-9),
+                    "worst finish time regressed: {worst} > {prev_worst}"
+                );
+                prev_worst = worst.min(prev_worst);
+                shares = d.update(&t);
+            }
+            // Fixed point: the busiest device is within ~2 share units of
+            // the ideal equal-finish allocation.
+            let t = times(&shares);
+            let worst = t.iter().cloned().fold(f64::MIN, f64::max);
+            let ideal = 1.0 / speeds.iter().sum::<f64>();
+            let unit_cost_max = 1.0 / (f64::from(SHARE_UNITS) * speeds.iter().cloned().fold(f64::MAX, f64::min));
+            prop_assert!(
+                worst <= ideal + 2.0 * unit_cost_max,
+                "worst {worst} vs ideal {ideal} with speeds {speeds:?}"
+            );
         }
 
         #[test]
