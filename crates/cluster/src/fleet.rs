@@ -110,6 +110,37 @@ impl FleetConfig {
             seed,
         }
     }
+
+    /// Non-panicking configuration check, naming the offending field —
+    /// the config-path counterpart of `WmaParams::try_validate`. Node
+    /// construction re-validates the per-node policy specs; this catches
+    /// fleet-level mistakes before any node is built.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("nodes must not be empty".to_string());
+        }
+        if !(self.budget_w.is_finite() && self.budget_w > 0.0) {
+            return Err(format!("budget_w must be finite and positive, got {}", self.budget_w));
+        }
+        if self.control_period.as_secs_f64() <= 0.0 {
+            return Err("control_period must be positive".to_string());
+        }
+        if self.horizon.as_secs_f64() <= 0.0 {
+            return Err("horizon must be positive".to_string());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".to_string());
+        }
+        if self.arrivals.mix.is_empty() {
+            return Err("arrivals.mix must not be empty".to_string());
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.freq_policy
+                .try_validate()
+                .map_err(|msg| format!("node {i}: {msg}"))?;
+        }
+        Ok(())
+    }
 }
 
 /// Everything a fleet run produced.
@@ -172,6 +203,9 @@ enum Event {
 
 /// Runs one fleet to its horizon.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    if let Err(msg) = cfg.try_validate() {
+        panic!("invalid fleet config: {msg}");
+    }
     let mix_names: Vec<String> = cfg.arrivals.mix.iter().map(|(n, _)| n.clone()).collect();
     let mut root = SplitMix64::new(cfg.seed);
     let profile_seed = root.next_u64();

@@ -17,8 +17,10 @@
 //!    the fleet budget is re-apportioned into per-node caps — floors
 //!    first, then the busy nodes' demand, then leftover headroom — in
 //!    integer milliwatts so the summed caps *never* exceed the budget.
-//!    Each node enforces its cap through the feasible-set seam in the WMA
-//!    scaler: the learner's weight table is intact, but the argmax is
+//!    Each node enforces its cap through the feasible-set mask of its
+//!    Tier-2 frequency policy (any [`greengpu::PolicySpec`] variant — the
+//!    paper's WMA, the switching-aware bandits, or the deadline-aware
+//!    selector): the learner's state is intact, but its decision is
 //!    restricted to frequency pairs whose modeled worst-case board power
 //!    fits under the cap.
 //! 3. **Fleet telemetry** ([`telemetry`]): a per-interval trace (queue
@@ -46,6 +48,8 @@ pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use job::{ArrivalConfig, JobRecord, JobSpec};
 pub use node::{Node, NodeConfig};
 pub use policy::Policy;
+// Convenience re-export: the per-node Tier-2 frequency-policy registry.
+pub use greengpu::PolicySpec;
 pub use power::{apportion, NodeDemand};
 pub use profile::ServiceProfile;
 pub use scheduler::Scheduler;

@@ -17,10 +17,10 @@
 use crate::job::{JobRecord, JobSpec};
 use crate::power::{mw, MilliWatts, NodeDemand};
 use crate::profile::ServiceProfile;
-use greengpu::{GreenGpuConfig, GreenGpuController};
+use greengpu::{GreenGpuConfig, GreenGpuController, PairModel, PolicySpec};
 use greengpu_hw::{calib, CpuSpec, FaultPlan, GpuSpec, Platform};
 use greengpu_runtime::Controller as _;
-use greengpu_sim::{SimDuration, SimTime};
+use greengpu_sim::{SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
 
 /// Static description of one node.
@@ -32,6 +32,10 @@ pub struct NodeConfig {
     pub cpu: CpuSpec,
     /// Optional sensor/actuation fault plan (PR-1 seam).
     pub fault: Option<FaultPlan>,
+    /// Tier-2 frequency policy the node's controller runs (the paper's
+    /// WMA by default; any [`PolicySpec`] variant works — the cap seam
+    /// goes through the policy's feasible-set mask either way).
+    pub freq_policy: PolicySpec,
 }
 
 impl NodeConfig {
@@ -41,6 +45,7 @@ impl NodeConfig {
             gpu: calib::geforce_8800_gtx(),
             cpu: calib::phenom_ii_x2(),
             fault: None,
+            freq_policy: PolicySpec::default(),
         }
     }
 
@@ -54,6 +59,7 @@ impl NodeConfig {
             gpu,
             cpu: calib::phenom_ii_x2(),
             fault: None,
+            freq_policy: PolicySpec::default(),
         }
     }
 
@@ -62,6 +68,40 @@ impl NodeConfig {
         self.fault = Some(plan);
         self
     }
+
+    /// Selects the Tier-2 frequency policy.
+    pub fn with_freq_policy(mut self, spec: PolicySpec) -> Self {
+        self.freq_policy = spec;
+        self
+    }
+}
+
+/// The mix's mean predicted (time, energy) per frequency pair — the
+/// [`PairModel`] a deadline-aware node selects over. Averaging across the
+/// profiled workloads gives the node one budget surface for a mixed
+/// stream; a single-workload mix degenerates to that workload's exact
+/// profile.
+fn mix_pair_model(
+    gpu: &GpuSpec,
+    profiles: &BTreeMap<String, ServiceProfile>,
+) -> Result<PairModel, String> {
+    if profiles.is_empty() {
+        return Err("deadline policy needs a non-empty workload mix".to_string());
+    }
+    let n_core = gpu.core_levels_mhz.len();
+    let n_mem = gpu.mem_levels_mhz.len();
+    let k = profiles.len() as f64;
+    let mut time_s = vec![0.0; n_core * n_mem];
+    let mut energy_j = vec![0.0; n_core * n_mem];
+    for prof in profiles.values() {
+        for i in 0..n_core {
+            for j in 0..n_mem {
+                time_s[i * n_mem + j] += prof.time_s(i, j) / k;
+                energy_j[i * n_mem + j] += prof.energy_j(gpu, i, j, 1.0) / k;
+            }
+        }
+    }
+    PairModel::from_grids(n_core, n_mem, time_s, energy_j)
 }
 
 /// A job in service.
@@ -92,6 +132,25 @@ impl Node {
     /// starts at peak clocks (the best-performance baseline state); the
     /// controller takes over from the first tick.
     pub fn new(id: usize, cfg: &NodeConfig, workloads: &[String], profile_seed: u64) -> Self {
+        match Node::try_new(id, cfg, workloads, profile_seed) {
+            Ok(node) => node,
+            Err(msg) => panic!("node {id}: {msg}"),
+        }
+    }
+
+    /// Non-panicking constructor: validates the policy spec (naming the
+    /// offending field) and the workload mix, then builds the node. The
+    /// deadline policy's [`PairModel`] is derived from the mix's mean
+    /// per-pair service time/energy grids — the same tables the
+    /// energy-aware placement estimates use; randomized policies draw
+    /// per-node streams derived from `(profile_seed, id)`.
+    pub fn try_new(
+        id: usize,
+        cfg: &NodeConfig,
+        workloads: &[String],
+        profile_seed: u64,
+    ) -> Result<Self, String> {
+        cfg.freq_policy.try_validate()?;
         let n_core = cfg.gpu.core_levels_mhz.len();
         let n_mem = cfg.gpu.mem_levels_mhz.len();
         let platform = Platform::new(
@@ -101,20 +160,28 @@ impl Node {
             n_mem - 1,
             cfg.cpu.levels_mhz.len() - 1,
         );
-        let control = GreenGpuConfig::scaling_only();
-        let ctl = match &cfg.fault {
-            Some(plan) => GreenGpuController::faulted(control, n_core, n_mem, plan),
-            None => GreenGpuController::new(control, n_core, n_mem),
-        };
-        let profiles = workloads
+        let profiles: BTreeMap<String, ServiceProfile> = workloads
             .iter()
             .map(|name| {
-                let p = ServiceProfile::build(name, profile_seed, &cfg.gpu)
-                    .unwrap_or_else(|| panic!("unknown workload {name:?} in mix"));
-                (name.clone(), p)
+                ServiceProfile::build(name, profile_seed, &cfg.gpu)
+                    .map(|p| (name.clone(), p))
+                    .ok_or_else(|| format!("unknown workload {name:?} in mix"))
             })
-            .collect();
-        Node {
+            .collect::<Result<_, String>>()?;
+        let model = match &cfg.freq_policy {
+            PolicySpec::Deadline(_) => Some(mix_pair_model(&cfg.gpu, &profiles)?),
+            _ => None,
+        };
+        let policy_seed = SplitMix64::new(profile_seed.wrapping_add(id as u64)).next_u64();
+        let policy = cfg
+            .freq_policy
+            .build(n_core, n_mem, policy_seed, model.as_ref())?;
+        let control = GreenGpuConfig::scaling_only();
+        let ctl = match &cfg.fault {
+            Some(plan) => GreenGpuController::with_policy_faulted(control, policy, plan),
+            None => GreenGpuController::with_policy(control, policy),
+        };
+        Ok(Node {
             id,
             platform,
             ctl,
@@ -124,7 +191,7 @@ impl Node {
             busy_s: 0.0,
             completed: 0,
             cap_violations: 0,
-        }
+        })
     }
 
     /// Node id.
@@ -208,7 +275,7 @@ impl Node {
             // Fallback pins peak clocks; budget accordingly.
             peak_w
         } else {
-            let (c, m) = self.ctl.wma().argmax();
+            let (c, m) = self.ctl.desired_pair();
             self.platform.gpu().spec().power_at_levels_w(c, m, 1.0, 1.0)
         };
         NodeDemand {
@@ -288,7 +355,7 @@ impl Node {
     }
 
     /// One control interval: install the cap, run the hardened controller
-    /// (sense → masked WMA → verified actuation), refresh the activity
+    /// (sense → masked policy decision → verified actuation), refresh the activity
     /// signature for the possibly new pair, and check cap compliance.
     /// Returns how far (watts) the enforced pair exceeds the cap — 0.0
     /// when compliant; a fallback node pinning peak clocks is the
@@ -373,6 +440,51 @@ mod tests {
         assert!(d.floor_mw < d.peak_mw);
         assert!(!d.busy);
         assert!(d.desired_mw >= d.floor_mw && d.desired_mw <= d.peak_mw);
+    }
+
+    #[test]
+    fn nodes_run_any_freq_policy_under_a_cap() {
+        use greengpu::{DeadlineParams, Exp3Params, UcbParams};
+        let specs = [
+            PolicySpec::Exp3(Exp3Params::default()),
+            PolicySpec::Ucb(UcbParams::default()),
+            PolicySpec::Deadline(DeadlineParams {
+                time_budget_s: 120.0,
+                ..DeadlineParams::default()
+            }),
+        ];
+        for spec in specs {
+            let cfg = NodeConfig::default_node().with_freq_policy(spec.clone());
+            let mut node = Node::try_new(0, &cfg, &mix(), 1).expect("buildable");
+            node.dispatch(job("kmeans", 5.0), SimTime::ZERO);
+            let cap = mw(0.75 * node.platform().gpu().spec().peak_power_w());
+            let mut t = SimTime::ZERO;
+            for k in 1..=8 {
+                let next = SimTime::from_secs(k);
+                node.advance(t, next);
+                let over = node.control_tick(next, cap);
+                assert_eq!(over, 0.0, "{} node violated its cap at tick {k}", spec.kind());
+                t = next;
+            }
+            assert_eq!(node.cap_violations(), 0);
+            let d = node.demand();
+            assert!(d.desired_mw >= d.floor_mw && d.desired_mw <= d.peak_mw);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_specs_and_unknown_mixes() {
+        use greengpu::WmaParams;
+        let bad = NodeConfig::default_node().with_freq_policy(PolicySpec::Wma(WmaParams {
+            beta: 0.0,
+            ..WmaParams::default()
+        }));
+        let err = Node::try_new(0, &bad, &mix(), 1).err().expect("must refuse");
+        assert!(err.contains("beta"), "{err}");
+        let err = Node::try_new(0, &NodeConfig::default_node(), &["nope".to_string()], 1)
+            .err()
+            .expect("must refuse");
+        assert!(err.contains("nope"), "{err}");
     }
 
     #[test]

@@ -1,13 +1,28 @@
 //! Fleet-level invariants: budget safety, cap compliance, determinism,
 //! and composition with the PR-1 fault-injection seam.
 
-use greengpu_cluster::{apportion, run_fleet, FleetConfig, NodeConfig, NodeDemand, Policy};
+use greengpu::{DeadlineParams, Exp3Params, UcbParams};
+use greengpu_cluster::{apportion, run_fleet, FleetConfig, NodeConfig, NodeDemand, Policy, PolicySpec};
 use greengpu_hw::FaultPlan;
 use greengpu_sim::SimDuration;
 use proptest::prelude::*;
 
 fn small_fleet(n: usize, budget_frac: f64, policy: Policy, seed: u64) -> FleetConfig {
     FleetConfig::homogeneous(n, budget_frac, policy, SimDuration::from_secs(30), seed)
+}
+
+/// The Tier-2 frequency policies the per-node cap invariant must hold
+/// under — one spec per [`PolicySpec`] family.
+fn freq_policy_specs() -> [PolicySpec; 4] {
+    [
+        PolicySpec::default(),
+        PolicySpec::Exp3(Exp3Params::default()),
+        PolicySpec::Ucb(UcbParams::default()),
+        PolicySpec::Deadline(DeadlineParams {
+            time_budget_s: 120.0,
+            ..DeadlineParams::default()
+        }),
+    ]
 }
 
 proptest! {
@@ -45,17 +60,22 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Acceptance invariant, part 2 (end-to-end): across whole fleet
-    /// runs, the summed per-node caps stay under the budget every
-    /// interval, and no clean node's enforced frequency pair ever models
-    /// more power than its cap.
+    /// runs — whatever Tier-2 frequency policy the nodes run — the summed
+    /// per-node caps stay under the budget every interval, and no clean
+    /// node's enforced frequency pair ever models more power than its cap.
     #[test]
     fn clean_fleets_always_respect_their_caps(
         seed in 1u64..10_000,
         n in 2usize..4,
         budget_frac in 0.62f64..1.0,
         policy_idx in 0usize..3,
+        freq_idx in 0usize..4,
     ) {
-        let cfg = small_fleet(n, budget_frac, Policy::ALL[policy_idx], seed);
+        let mut cfg = small_fleet(n, budget_frac, Policy::ALL[policy_idx], seed);
+        let freq = freq_policy_specs()[freq_idx].clone();
+        for node in &mut cfg.nodes {
+            node.freq_policy = freq.clone();
+        }
         let report = run_fleet(&cfg);
         prop_assert!(!report.trace.rows.is_empty());
         for row in &report.trace.rows {
@@ -71,6 +91,21 @@ proptest! {
         }
         prop_assert_eq!(report.cap_violations, 0);
     }
+}
+
+#[test]
+fn fleet_config_validation_names_the_offender() {
+    let mut cfg = small_fleet(2, 0.8, Policy::RoundRobin, 1);
+    assert!(cfg.try_validate().is_ok());
+    cfg.nodes[1].freq_policy = PolicySpec::Wma(greengpu::WmaParams {
+        beta: 0.0,
+        ..greengpu::WmaParams::default()
+    });
+    let err = cfg.try_validate().unwrap_err();
+    assert!(err.contains("node 1") && err.contains("beta"), "{err}");
+    let mut cfg = small_fleet(2, 0.8, Policy::RoundRobin, 1);
+    cfg.budget_w = f64::NAN;
+    assert!(cfg.try_validate().unwrap_err().contains("budget_w"));
 }
 
 #[test]

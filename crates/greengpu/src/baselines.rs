@@ -11,6 +11,7 @@
 
 use crate::coordinator::{GreenGpuConfig, GreenGpuController};
 use greengpu_hw::{FaultPlan, Platform};
+use greengpu_policy::{FreqPolicy, PolicyTelemetry};
 use greengpu_runtime::{FixedController, HeteroRuntime, RunConfig, RunReport};
 use greengpu_workloads::Workload;
 
@@ -86,6 +87,41 @@ pub fn run_on_platform(
     let n_mem = platform.gpu().spec().mem_levels_mhz.len();
     let mut controller = GreenGpuController::new(cfg, n_core, n_mem);
     HeteroRuntime::new(platform, run_config).run(workload, &mut controller)
+}
+
+/// A policy run's report plus the policy's decision telemetry.
+pub struct PolicyOutcome {
+    /// The run report (energy, time, iteration trace).
+    pub report: RunReport,
+    /// The policy's display name ([`FreqPolicy::name`]).
+    pub policy: String,
+    /// Decision telemetry: cumulative loss, switches, regret, fallbacks.
+    pub telemetry: PolicyTelemetry,
+}
+
+/// Runs a GreenGPU configuration with an arbitrary Tier-2 frequency
+/// policy — the head-to-head entry point of the `policies` experiment.
+/// Platform choice matches [`run_with_config`], so
+/// `run_with_policy(w, cfg, rc, Box::new(WmaPolicy::new(6, 6, cfg.wma_params)))`
+/// reproduces that function byte-for-byte.
+pub fn run_with_policy(
+    workload: &mut dyn Workload,
+    cfg: GreenGpuConfig,
+    run_config: RunConfig,
+    policy: Box<dyn FreqPolicy>,
+) -> PolicyOutcome {
+    let platform = if cfg.gpu_scaling {
+        Platform::default_testbed()
+    } else {
+        Platform::best_performance_testbed()
+    };
+    let mut controller = GreenGpuController::with_policy(cfg, policy);
+    let report = HeteroRuntime::new(platform, run_config).run(workload, &mut controller);
+    PolicyOutcome {
+        report,
+        policy: controller.policy().name().to_string(),
+        telemetry: controller.policy_telemetry().clone(),
+    }
 }
 
 /// A faulted run's report plus the controller's robustness statistics.

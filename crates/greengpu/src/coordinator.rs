@@ -9,11 +9,13 @@
 
 use crate::division::{DivisionController, DivisionParams, ModelBasedDivision};
 use crate::governors::CpuGovernor;
+use crate::policy::WmaPolicy;
 use crate::wma::{WmaParams, WmaScaler};
 use greengpu_hw::{
     CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator, Platform,
     SensorSource,
 };
+use greengpu_policy::{FreqPolicy, PolicyTelemetry};
 use greengpu_runtime::{Controller, IterationInfo};
 use greengpu_sim::{SimDuration, SimTime};
 
@@ -183,7 +185,11 @@ impl DivisionImpl {
 /// paper's default baseline instead of stranding low clocks.
 pub struct GreenGpuController {
     config: GreenGpuConfig,
-    wma: WmaScaler,
+    /// The pluggable Tier-2 GPU frequency policy. Defaults to the
+    /// paper's WMA scaler (via [`WmaPolicy`]); the policy constructors
+    /// accept any [`FreqPolicy`] — switching-aware bandits, the
+    /// deadline selector, or an external implementation.
+    policy: Box<dyn FreqPolicy>,
     governor: CpuGovernor,
     division: DivisionImpl,
     sensors: Box<dyn SensorSource>,
@@ -212,11 +218,27 @@ impl GreenGpuController {
         )
     }
 
-    /// Builds a controller over explicit sensor/actuator providers.
+    /// Builds a controller over explicit sensor/actuator providers,
+    /// running the default WMA policy built from `config.wma_params`.
     pub fn with_providers(
         config: GreenGpuConfig,
         n_core_levels: usize,
         n_mem_levels: usize,
+        sensors: Box<dyn SensorSource>,
+        actuator: Box<dyn FreqActuator>,
+    ) -> Self {
+        let policy = Box::new(WmaPolicy::new(n_core_levels, n_mem_levels, config.wma_params));
+        GreenGpuController::with_policy_providers(config, policy, sensors, actuator)
+    }
+
+    /// Builds a controller that drives an arbitrary [`FreqPolicy`] over
+    /// explicit sensor/actuator providers — the pluggable Tier-2 seam.
+    /// The policy's grid shape determines the level table the controller
+    /// selects over; `config.wma_params` is ignored (the policy already
+    /// carries its own tuning).
+    pub fn with_policy_providers(
+        config: GreenGpuConfig,
+        policy: Box<dyn FreqPolicy>,
         sensors: Box<dyn SensorSource>,
         actuator: Box<dyn FreqActuator>,
     ) -> Self {
@@ -229,7 +251,7 @@ impl GreenGpuController {
             }
         };
         GreenGpuController {
-            wma: WmaScaler::new(n_core_levels, n_mem_levels, config.wma_params),
+            policy,
             governor: config.governor.build(),
             division,
             sensors,
@@ -264,6 +286,32 @@ impl GreenGpuController {
         )
     }
 
+    /// Builds a controller driving an arbitrary policy on clean
+    /// sensors/actuation.
+    pub fn with_policy(config: GreenGpuConfig, policy: Box<dyn FreqPolicy>) -> Self {
+        GreenGpuController::with_policy_providers(
+            config,
+            policy,
+            Box::new(CleanSensors::new()),
+            Box::new(DirectActuator),
+        )
+    }
+
+    /// Builds a controller driving an arbitrary policy behind the seeded
+    /// fault injectors configured by `plan`.
+    pub fn with_policy_faulted(
+        config: GreenGpuConfig,
+        policy: Box<dyn FreqPolicy>,
+        plan: &FaultPlan,
+    ) -> Self {
+        GreenGpuController::with_policy_providers(
+            config,
+            policy,
+            Box::new(FaultySensor::new(plan)),
+            Box::new(FaultyActuator::new(plan)),
+        )
+    }
+
     /// Builds a controller for the default 6×6 testbed.
     pub fn for_testbed(config: GreenGpuConfig) -> Self {
         GreenGpuController::new(config, 6, 6)
@@ -274,9 +322,30 @@ impl GreenGpuController {
         GreenGpuController::faulted(config, 6, 6, plan)
     }
 
-    /// The WMA scaler (inspection/tests).
-    pub fn wma(&self) -> &WmaScaler {
-        &self.wma
+    /// The WMA scaler, when the active policy is the WMA adapter
+    /// (inspection/tests); `None` under any other [`FreqPolicy`].
+    pub fn wma(&self) -> Option<&WmaScaler> {
+        self.policy
+            .as_any()
+            .downcast_ref::<WmaPolicy>()
+            .map(WmaPolicy::scaler)
+    }
+
+    /// The active Tier-2 frequency policy.
+    pub fn policy(&self) -> &dyn FreqPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The pair the active policy would enforce right now — what the
+    /// cluster tier uses to estimate a node's desired power draw.
+    pub fn desired_pair(&self) -> (usize, usize) {
+        self.policy.preferred()
+    }
+
+    /// The active policy's per-interval telemetry (cumulative loss,
+    /// switches, regret, fallback counts).
+    pub fn policy_telemetry(&self) -> &PolicyTelemetry {
+        self.policy.telemetry()
     }
 
     /// The step-wise division controller, when that algorithm is selected
@@ -453,9 +522,9 @@ impl Controller for GreenGpuController {
                         if masked {
                             self.cap_masked_intervals += 1;
                         }
-                        self.wma.observe_masked(u_core, u_mem, feasible)
+                        self.policy.decide(u_core, u_mem, &feasible)
                     }
-                    None => self.wma.observe(u_core, u_mem),
+                    None => self.policy.decide(u_core, u_mem, &|_, _| true),
                 };
                 self.actuate_gpu_verified(platform, now, core_lvl, mem_lvl);
             }

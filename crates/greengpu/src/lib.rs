@@ -44,12 +44,19 @@ pub mod governors;
 pub mod onchip;
 pub mod ondemand;
 pub mod oracle;
+pub mod policy;
 pub mod quantized;
 pub mod wma;
 
-pub use baselines::{run_greengpu_faulted, FaultedOutcome};
+pub use baselines::{run_greengpu_faulted, run_with_policy, FaultedOutcome};
 pub use coordinator::{DivisionAlgo, GovernorKind, GreenGpuConfig, GreenGpuController, RobustnessParams};
 pub use division::{DivisionController, DivisionParams, ModelBasedDivision};
 pub use governors::CpuGovernor;
 pub use ondemand::OndemandGovernor;
+pub use policy::{pair_model_for, PolicySpec, WmaPolicy};
+// Re-export the policy crate's surface so consumers need only `greengpu`.
+pub use greengpu_policy::{
+    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel,
+    PolicyTelemetry, SwitchingParams, UcbParams, UcbPolicy,
+};
 pub use wma::{WmaParams, WmaScaler};

@@ -63,13 +63,35 @@ impl Default for WmaParams {
 }
 
 impl WmaParams {
-    /// Validates parameter ranges (`α, φ ∈ [0,1]`, `β ∈ (0,1)`).
+    /// Checks parameter ranges (`α, φ ∈ [0,1]`, `β ∈ (0,1)`,
+    /// `history ∈ (0,1]`), naming the offending field in the error —
+    /// the non-panicking form config paths (repro CLI, cluster node
+    /// configs) report to the user.
+    pub fn try_validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("alpha_core", self.alpha_core),
+            ("alpha_mem", self.alpha_mem),
+            ("phi", self.phi),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if !(self.beta > 0.0 && self.beta < 1.0) {
+            return Err(format!("beta must be in (0,1), got {}", self.beta));
+        }
+        if !(self.history > 0.0 && self.history <= 1.0) {
+            return Err(format!("history must be in (0,1], got {}", self.history));
+        }
+        Ok(())
+    }
+
+    /// Validates parameter ranges, panicking with the
+    /// [`WmaParams::try_validate`] message on failure.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.alpha_core), "alpha_core out of range");
-        assert!((0.0..=1.0).contains(&self.alpha_mem), "alpha_mem out of range");
-        assert!((0.0..=1.0).contains(&self.phi), "phi out of range");
-        assert!(self.beta > 0.0 && self.beta < 1.0, "beta must be in (0,1)");
-        assert!(self.history > 0.0 && self.history <= 1.0, "history must be in (0,1]");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -111,6 +133,9 @@ pub struct WmaScaler {
     /// Suitable utilization per memory level.
     ummean: Vec<f64>,
     intervals: u64,
+    /// Intervals whose feasible set was empty and the selection degraded
+    /// to the lowest-power pair `(0, 0)`.
+    empty_mask_fallbacks: u64,
 }
 
 impl WmaScaler {
@@ -128,6 +153,7 @@ impl WmaScaler {
             ucmean: linmap(n_core),
             ummean: linmap(n_mem),
             intervals: 0,
+            empty_mask_fallbacks: 0,
         }
     }
 
@@ -149,6 +175,13 @@ impl WmaScaler {
     /// Number of observe intervals processed.
     pub fn intervals(&self) -> u64 {
         self.intervals
+    }
+
+    /// Number of intervals whose feasible set was empty, degrading the
+    /// selection to the lowest-power pair `(0, 0)` — surfaced so capped
+    /// runs can report how often the cap was tighter than any pair.
+    pub fn empty_mask_fallbacks(&self) -> u64 {
+        self.empty_mask_fallbacks
     }
 
     /// The loss charged to core level `i` under utilization `u_core`
@@ -198,7 +231,7 @@ impl WmaScaler {
         F: Fn(usize, usize) -> bool,
     {
         if !(u_core.is_finite() && u_mem.is_finite()) {
-            return self.argmax_masked(&feasible).unwrap_or((0, 0));
+            return self.select_masked(&feasible);
         }
         let u_core = u_core.clamp(0.0, 1.0);
         let u_mem = u_mem.clamp(0.0, 1.0);
@@ -221,7 +254,22 @@ impl WmaScaler {
             }
         }
         self.intervals += 1;
-        self.argmax_masked(&feasible).unwrap_or((0, 0))
+        self.select_masked(&feasible)
+    }
+
+    /// Masked argmax that counts the empty-feasible-set degradation to
+    /// `(0, 0)`.
+    fn select_masked<F>(&mut self, feasible: F) -> (usize, usize)
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        match self.argmax_masked(feasible) {
+            Some(pair) => pair,
+            None => {
+                self.empty_mask_fallbacks += 1;
+                (0, 0)
+            }
+        }
     }
 
     /// The current best pair without updating.
@@ -257,6 +305,7 @@ impl WmaScaler {
     pub fn reset(&mut self) {
         self.weights.iter_mut().for_each(|w| *w = 1.0);
         self.intervals = 0;
+        self.empty_mask_fallbacks = 0;
     }
 }
 
@@ -335,6 +384,71 @@ mod tests {
         let mut s = scaler();
         assert_eq!(s.argmax_masked(|_, _| false), None);
         assert_eq!(s.observe_masked(1.0, 1.0, |_, _| false), (0, 0));
+    }
+
+    #[test]
+    fn all_infeasible_intervals_are_counted_and_learning_continues() {
+        let mut s = scaler();
+        assert_eq!(s.empty_mask_fallbacks(), 0);
+        for _ in 0..5 {
+            assert_eq!(s.observe_masked(1.0, 1.0, |_, _| false), (0, 0));
+        }
+        assert_eq!(s.empty_mask_fallbacks(), 5);
+        // The weight update still ran every interval: once the cap lifts
+        // the scaler selects what it learned during the blackout.
+        assert_eq!(s.intervals(), 5);
+        assert_eq!(s.argmax(), (5, 5));
+        // A feasible interval does not bump the counter.
+        s.observe_masked(1.0, 1.0, |_, _| true);
+        assert_eq!(s.empty_mask_fallbacks(), 5);
+        s.reset();
+        assert_eq!(s.empty_mask_fallbacks(), 0);
+    }
+
+    #[test]
+    fn nan_under_empty_mask_still_counts_the_fallback() {
+        // Both degradations at once: a lost sensor poll *and* a cap no
+        // pair fits. The weight table must be untouched (NaN path), the
+        // fallback counted, and (0, 0) returned.
+        let mut s = scaler();
+        for _ in 0..8 {
+            s.observe(0.6, 0.08);
+        }
+        let before: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .collect();
+        assert_eq!(s.observe_masked(f64::NAN, 0.5, |_, _| false), (0, 0));
+        assert_eq!(s.empty_mask_fallbacks(), 1);
+        assert_eq!(s.intervals(), 8, "NaN interval must not count as processed");
+        let after: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .collect();
+        assert_eq!(before, after);
+        // NaN under a *non-empty* mask holds the masked argmax and does
+        // not bump the counter.
+        let held = s.observe_masked(f64::NAN, 0.5, |i, j| i <= 1 && j <= 1);
+        assert!(held.0 <= 1 && held.1 <= 1);
+        assert_eq!(s.empty_mask_fallbacks(), 1);
+    }
+
+    #[test]
+    fn try_validate_names_the_offending_field() {
+        let ok = WmaParams::default();
+        assert!(ok.try_validate().is_ok());
+        let cases = [
+            (WmaParams { alpha_core: -0.1, ..ok }, "alpha_core"),
+            (WmaParams { alpha_mem: 1.5, ..ok }, "alpha_mem"),
+            (WmaParams { phi: 2.0, ..ok }, "phi"),
+            (WmaParams { beta: 1.0, ..ok }, "beta"),
+            (WmaParams { beta: f64::NAN, ..ok }, "beta"),
+            (WmaParams { history: 0.0, ..ok }, "history"),
+        ];
+        for (bad, field) in cases {
+            let err = bad.try_validate().unwrap_err();
+            assert!(err.contains(field), "{err:?} should name {field}");
+        }
     }
 
     #[test]

@@ -136,9 +136,10 @@ proptest! {
             prop_assert!(platform.gpu().mem().current_level() < n_mem);
             prop_assert!(platform.cpu().domain().current_level() < n_cpu);
             // WMA weights stay in (0, 1] whatever the sensors fed it.
+            let wma = ctl.wma().expect("default controller runs the WMA policy");
             for i in 0..n_core {
                 for j in 0..n_mem {
-                    let w = ctl.wma().weight(i, j);
+                    let w = wma.weight(i, j);
                     prop_assert!(w > 0.0 && w <= 1.0, "weight[{i}][{j}] = {w}");
                 }
             }

@@ -1,0 +1,116 @@
+//! # greengpu-policy — pluggable Tier-2 frequency-selection policies
+//!
+//! The paper's Tier-2 learner is a single Weighted-Majority table
+//! (`greengpu::wma`). This crate makes frequency selection *pluggable*:
+//! every online learner over the `N×M` (core level, memory level) pair
+//! grid implements one object-safe trait, [`FreqPolicy`], and the
+//! coordinator, the hardened faulted runs, and the cluster nodes all
+//! drive whichever policy they are handed.
+//!
+//! Shipped policy families (beyond the WMA adapter, which lives in the
+//! `greengpu` crate next to the scaler it wraps):
+//!
+//! * **Switching-aware bandits** ([`bandit`]): EXP3- and UCB-style
+//!   learners in the spirit of *Online GPU Energy Optimization with
+//!   Switching-Aware Bandits* (arXiv:2410.11855). Each interval charges
+//!   the Table-I loss of the chosen pair *plus* a configurable
+//!   switching-cost penalty, and a hysteresis rule keeps them from
+//!   thrashing between adjacent levels.
+//! * **Deadline-aware selection** ([`deadline`]): minimizes predicted
+//!   energy subject to a per-iteration time budget, in the spirit of
+//!   *A Data-Driven Frequency Scaling Approach for Deadline-aware Energy
+//!   Efficient Scheduling on GPUs* (arXiv:2004.08177), over a
+//!   [`deadline::PairModel`] derived from the calibrated
+//!   frequency/performance model in `greengpu-hw`.
+//!
+//! Every policy is deterministic under a fixed seed (randomized policies
+//! draw from [`greengpu_sim::Pcg32`] streams), always returns an
+//! in-range pair, and respects the *feasible-set mask* exactly — the
+//! power-capping seam the cluster tier relies on. Per-interval telemetry
+//! ([`telemetry::PolicyTelemetry`]) tracks cumulative loss, switch
+//! count, empty-mask fallbacks, and regret against the static-best pair
+//! in hindsight.
+
+pub mod bandit;
+pub mod deadline;
+pub mod loss;
+pub mod telemetry;
+
+pub use bandit::{Exp3Params, Exp3Policy, SwitchingParams, UcbParams, UcbPolicy};
+pub use deadline::{DeadlineParams, DeadlinePolicy, PairModel};
+pub use loss::{LossModel, LossParams};
+pub use telemetry::{DecisionTracker, PolicyTelemetry};
+
+/// An online frequency-selection policy over the `N×M` pair grid — the
+/// pluggable Tier-2 seam.
+///
+/// The contract every implementation upholds (and the proptests in
+/// `tests/proptest_policies.rs` pin):
+///
+/// 1. **In-range**: [`FreqPolicy::decide`] returns `(i, j)` with
+///    `i < n_core`, `j < n_mem`.
+/// 2. **Mask-respecting**: when at least one pair is feasible, the
+///    returned pair satisfies `feasible(i, j)`. An *empty* feasible set
+///    degrades to `(0, 0)` — the lowest-power pair, the closest
+///    enforceable point to any cap — and is counted in the telemetry.
+/// 3. **Deterministic**: two instances built with the same parameters
+///    and seed produce identical decision sequences for identical
+///    observation sequences.
+/// 4. **Garbage-tolerant**: non-finite utilizations never corrupt
+///    learner state; the previous decision is held (restricted to the
+///    mask) and the rejection is counted.
+pub trait FreqPolicy: Send {
+    /// Stable policy name used in experiment tables and CSV columns.
+    fn name(&self) -> &str;
+
+    /// The `(n_core, n_mem)` grid shape this policy selects over.
+    fn shape(&self) -> (usize, usize);
+
+    /// One control interval: observe the utilizations, learn, and return
+    /// the `(core_level, mem_level)` pair to enforce next, restricted to
+    /// pairs for which `feasible` is true.
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool)
+        -> (usize, usize);
+
+    /// The pair the policy currently prefers, without observing or
+    /// learning — what a fresh unmasked decision would enforce. Used by
+    /// the cluster tier to estimate a node's desired power draw.
+    fn preferred(&self) -> (usize, usize);
+
+    /// Per-interval telemetry accumulated so far.
+    fn telemetry(&self) -> &PolicyTelemetry;
+
+    /// Resets all learner state and telemetry to the initial state.
+    fn reset(&mut self);
+
+    /// Downcast hook (e.g. to reach the wrapped `WmaScaler` behind the
+    /// adapter in the `greengpu` crate).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Shared helper: hold `current` under the mask — keep it if feasible,
+/// otherwise fall back to the lowest feasible pair, or `(0, 0)` when the
+/// mask is empty (the caller counts the fallback).
+pub(crate) fn hold_masked(
+    current: (usize, usize),
+    n_core: usize,
+    n_mem: usize,
+    feasible: &dyn Fn(usize, usize) -> bool,
+) -> Option<(usize, usize)> {
+    if feasible(current.0, current.1) {
+        return Some(current);
+    }
+    (0..n_core).flat_map(|i| (0..n_mem).map(move |j| (i, j))).find(|&(i, j)| feasible(i, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_keeps_feasible_current_and_degrades_in_order() {
+        assert_eq!(hold_masked((1, 2), 2, 3, &|_, _| true), Some((1, 2)));
+        assert_eq!(hold_masked((1, 2), 2, 3, &|i, j| i == 0 && j == 1), Some((0, 1)));
+        assert_eq!(hold_masked((1, 2), 2, 3, &|_, _| false), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Table-I loss model shared by every policy's accounting.
+//!
+//! This mirrors the paper's Eqs. 1–3 exactly as `greengpu::wma`
+//! implements them (that scaler keeps its own copy so it stays
+//! byte-identical to the seed reproduction): each level has a *suitable
+//! utilization* `umean` on the Dhiman–Rosing linear map; a level below
+//! the observed utilization is charged performance loss `u − umean`, a
+//! level above it energy loss `umean − u`; `α` folds the two per domain
+//! and `φ` combines the domains. Both bandits charge this loss (plus the
+//! switching penalty), and regret is measured in its units, so WMA,
+//! EXP3, UCB, and the deadline selector are all scored on one scale.
+
+/// Loss-shaping constants (the paper's fitted values as defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossParams {
+    /// Energy-vs-performance trade-off for the core domain (`α_c = 0.15`).
+    pub alpha_core: f64,
+    /// Trade-off for the memory domain (`α_m = 0.02`).
+    pub alpha_mem: f64,
+    /// Core/memory loss balance (`φ = 0.3`).
+    pub phi: f64,
+}
+
+impl Default for LossParams {
+    fn default() -> Self {
+        LossParams {
+            alpha_core: 0.15,
+            alpha_mem: 0.02,
+            phi: 0.3,
+        }
+    }
+}
+
+impl LossParams {
+    /// Non-panicking range check naming the offending field.
+    pub fn try_validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("alpha_core", self.alpha_core),
+            ("alpha_mem", self.alpha_mem),
+            ("phi", self.phi),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-pair Table-I loss over an `N×M` grid.
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    params: LossParams,
+    ucmean: Vec<f64>,
+    ummean: Vec<f64>,
+}
+
+impl LossModel {
+    /// Builds the model for `n_core × n_mem` levels with the linear
+    /// `umean` maps (peak level suits 100 % utilization, lowest suits
+    /// 0 %, intermediates evenly spaced).
+    pub fn new(n_core: usize, n_mem: usize, params: LossParams) -> Self {
+        assert!(n_core >= 2 && n_mem >= 2, "need at least two levels per domain");
+        params.try_validate().expect("valid loss params");
+        let linmap = |n: usize| -> Vec<f64> { (0..n).map(|i| i as f64 / (n - 1) as f64).collect() };
+        LossModel {
+            params,
+            ucmean: linmap(n_core),
+            ummean: linmap(n_mem),
+        }
+    }
+
+    /// Grid shape `(n_core, n_mem)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.ucmean.len(), self.ummean.len())
+    }
+
+    /// The loss parameters.
+    pub fn params(&self) -> LossParams {
+        self.params
+    }
+
+    fn domain_loss(u: f64, umean: f64, alpha: f64) -> f64 {
+        if u > umean {
+            (1.0 - alpha) * (u - umean) // performance loss
+        } else {
+            alpha * (umean - u) // energy loss
+        }
+    }
+
+    /// The combined Eq. 3 loss of pair `(i, j)` under clamped
+    /// utilizations — always in `[0, 1]`.
+    pub fn loss(&self, i: usize, j: usize, u_core: f64, u_mem: f64) -> f64 {
+        let u_core = u_core.clamp(0.0, 1.0);
+        let u_mem = u_mem.clamp(0.0, 1.0);
+        let lc = Self::domain_loss(u_core, self.ucmean[i], self.params.alpha_core);
+        let lm = Self::domain_loss(u_mem, self.ummean[j], self.params.alpha_mem);
+        self.params.phi * lc + (1.0 - self.params.phi) * lm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_at_matching_level() {
+        let m = LossModel::new(6, 6, LossParams::default());
+        // u exactly on level 3's umean (0.6): that pair has zero loss.
+        assert_eq!(m.loss(3, 3, 0.6, 0.6), 0.0);
+        assert!(m.loss(0, 0, 0.6, 0.6) > 0.0);
+        assert!(m.loss(5, 5, 0.6, 0.6) > 0.0);
+    }
+
+    #[test]
+    fn losses_stay_in_unit_interval() {
+        let m = LossModel::new(6, 6, LossParams::default());
+        for i in 0..6 {
+            for j in 0..6 {
+                for u in [0.0, 0.3, 0.7, 1.0, -2.0, 5.0] {
+                    let l = m.loss(i, j, u, 1.0 - u);
+                    assert!((0.0..=1.0).contains(&l), "loss {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_validate_names_the_offending_field() {
+        let bad = LossParams {
+            phi: 1.5,
+            ..LossParams::default()
+        };
+        let err = bad.try_validate().unwrap_err();
+        assert!(err.contains("phi"), "{err}");
+        assert!(LossParams::default().try_validate().is_ok());
+    }
+
+    #[test]
+    fn matches_the_wma_scaler_formulation() {
+        // Spot-check Eqs. 1-3 against hand-computed values (same numbers
+        // the greengpu::wma tests pin).
+        let m = LossModel::new(6, 6, LossParams::default());
+        // u_core = 0.9 on umean 0.6: perf loss 0.3, folded by (1-0.15).
+        // u_mem = 0.2 on umean 0.6: energy loss 0.4, folded by 0.02.
+        let expect = 0.3 * (0.85 * 0.3) + 0.7 * (0.02 * 0.4);
+        assert!((m.loss(3, 3, 0.9, 0.2) - expect).abs() < 1e-12);
+    }
+}

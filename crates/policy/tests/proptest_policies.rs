@@ -1,0 +1,146 @@
+//! Property tests pinning the [`FreqPolicy`] contract for every shipped
+//! policy: decisions are in range, respect the feasible mask exactly,
+//! and are deterministic under a fixed seed.
+
+use greengpu_policy::{
+    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, UcbParams,
+    UcbPolicy,
+};
+use proptest::prelude::*;
+
+/// Builds one of each policy family over an `n_core × n_mem` grid.
+fn all_policies(n_core: usize, n_mem: usize, seed: u64) -> Vec<Box<dyn FreqPolicy>> {
+    let time_s: Vec<f64> = (0..n_core * n_mem)
+        .map(|k| 2.0 - k as f64 / (n_core * n_mem) as f64)
+        .collect();
+    let energy_j: Vec<f64> = (0..n_core * n_mem).map(|k| 50.0 + (k % 7) as f64 * 10.0).collect();
+    let model = PairModel::from_grids(n_core, n_mem, time_s, energy_j).expect("valid grids");
+    vec![
+        Box::new(Exp3Policy::new(n_core, n_mem, Exp3Params::default(), seed)),
+        Box::new(UcbPolicy::new(n_core, n_mem, UcbParams::default())),
+        Box::new(DeadlinePolicy::new(
+            model,
+            DeadlineParams {
+                time_budget_s: 1.6,
+                ..DeadlineParams::default()
+            },
+        )),
+    ]
+}
+
+/// Decodes a `u32` into a feasibility predicate over the grid: bit `k`
+/// of the (wrapped) word masks pair `k` in row-major order.
+fn mask_from_bits(bits: u32, n_mem: usize) -> impl Fn(usize, usize) -> bool {
+    move |i, j| bits & (1 << ((i * n_mem + j) % 32)) != 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract items 1 + 2: every decision is in range, and when the
+    /// feasible set is non-empty the decision satisfies the mask; an
+    /// empty set degrades to (0, 0) and is counted in the telemetry.
+    #[test]
+    fn decisions_are_in_range_and_respect_the_mask(
+        seed in any::<u64>(),
+        n_core in 2usize..6,
+        n_mem in 2usize..6,
+        obs in proptest::collection::vec((0.0f64..1.5, 0.0f64..1.5, any::<u32>()), 1..40),
+    ) {
+        for mut policy in all_policies(n_core, n_mem, seed) {
+            let mut empties = 0u64;
+            for &(u_core, u_mem, bits) in &obs {
+                let feasible = mask_from_bits(bits, n_mem);
+                let nonempty = (0..n_core).any(|i| (0..n_mem).any(|j| feasible(i, j)));
+                let (i, j) = policy.decide(u_core, u_mem, &feasible);
+                prop_assert!(i < n_core && j < n_mem,
+                    "{}: out-of-range ({i},{j}) on {n_core}x{n_mem}", policy.name());
+                if nonempty {
+                    prop_assert!(feasible(i, j),
+                        "{}: ({i},{j}) escaped the mask", policy.name());
+                } else {
+                    prop_assert_eq!((i, j), (0, 0));
+                    empties += 1;
+                }
+            }
+            prop_assert_eq!(policy.telemetry().empty_mask_fallbacks, empties);
+            let (pi, pj) = policy.preferred();
+            prop_assert!(pi < n_core && pj < n_mem);
+        }
+    }
+
+    /// Contract item 3: two instances built with the same parameters and
+    /// seed produce identical decision sequences (and telemetry) for an
+    /// identical observation sequence.
+    #[test]
+    fn policies_are_deterministic_under_a_fixed_seed(
+        seed in any::<u64>(),
+        obs in proptest::collection::vec((0.0f64..1.2, 0.0f64..1.2, any::<u32>()), 1..60),
+    ) {
+        let lhs = all_policies(6, 6, seed);
+        let rhs = all_policies(6, 6, seed);
+        for (mut a, mut b) in lhs.into_iter().zip(rhs) {
+            for &(u_core, u_mem, bits) in &obs {
+                // Bias toward non-trivial masks but keep empties reachable.
+                let feasible = mask_from_bits(bits | 1, 6);
+                prop_assert_eq!(
+                    a.decide(u_core, u_mem, &feasible),
+                    b.decide(u_core, u_mem, &feasible),
+                    "{} diverged", a.name()
+                );
+            }
+            prop_assert_eq!(a.telemetry(), b.telemetry());
+        }
+    }
+
+    /// Contract item 4: interleaved non-finite observations never derail
+    /// a policy — replaying the same sequence stays deterministic, the
+    /// rejections are counted, and decisions stay masked.
+    #[test]
+    fn garbage_observations_are_rejected_deterministically(
+        seed in any::<u64>(),
+        obs in proptest::collection::vec((0.0f64..1.0, any::<bool>(), any::<u32>()), 1..40),
+    ) {
+        let lhs = all_policies(6, 6, seed);
+        let rhs = all_policies(6, 6, seed);
+        for (mut a, mut b) in lhs.into_iter().zip(rhs) {
+            let mut bad = 0u64;
+            for &(u, poison, bits) in &obs {
+                let u_core = if poison { f64::NAN } else { u };
+                if poison {
+                    bad += 1;
+                }
+                let feasible = mask_from_bits(bits | 1, 6);
+                let pa = a.decide(u_core, u, &feasible);
+                prop_assert_eq!(pa, b.decide(u_core, u, &feasible));
+                prop_assert!(feasible(pa.0, pa.1));
+            }
+            prop_assert_eq!(a.telemetry().invalid_inputs, bad, "{}", a.name());
+        }
+    }
+
+    /// `reset` restores the initial state exactly: a reset policy replays
+    /// a fresh instance decision-for-decision.
+    #[test]
+    fn reset_replays_like_a_fresh_instance(
+        seed in any::<u64>(),
+        warmup in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..20),
+        obs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..30),
+    ) {
+        let used = all_policies(6, 6, seed);
+        let fresh = all_policies(6, 6, seed);
+        for (mut a, mut b) in used.into_iter().zip(fresh) {
+            for &(u_core, u_mem) in &warmup {
+                a.decide(u_core, u_mem, &|_, _| true);
+            }
+            a.reset();
+            for &(u_core, u_mem) in &obs {
+                prop_assert_eq!(
+                    a.decide(u_core, u_mem, &|_, _| true),
+                    b.decide(u_core, u_mem, &|_, _| true),
+                    "{} reset != fresh", a.name()
+                );
+            }
+        }
+    }
+}

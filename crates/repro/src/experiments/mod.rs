@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod policies;
 pub mod robustness;
 pub mod scorecard;
 pub mod static_search;
@@ -115,7 +116,7 @@ fn update_manifest(dir: &Path, experiment: &str, files: &[String], seed: u64) ->
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 13] = [
+pub const ALL_IDS: [&str; 14] = [
     "table1",
     "table2",
     "fig1",
@@ -126,6 +127,7 @@ pub const ALL_IDS: [&str; 13] = [
     "fig8",
     "static_search",
     "ablations",
+    "policies",
     "robustness",
     "cluster",
     "scorecard",
@@ -144,6 +146,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "fig8" => fig8::run(seed),
         "static_search" => static_search::run(seed),
         "ablations" => ablations::run(seed),
+        "policies" => policies::run(seed),
         "robustness" => robustness::run(seed),
         "cluster" => cluster::run(seed),
         "scorecard" => scorecard::run(seed),

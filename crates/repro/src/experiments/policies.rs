@@ -1,0 +1,294 @@
+//! Head-to-head sweep of the pluggable Tier-2 frequency policies: the
+//! paper's WMA against the switching-aware bandits (and their no-penalty
+//! ablations) and the deadline-aware selector, on the same workloads,
+//! seeds, and testbed.
+//!
+//! Three tables:
+//!
+//! 1. **Head-to-head** (policy × workload): energy, time, EDP, switch
+//!    count, and regret against the static-best pair in hindsight.
+//! 2. **Switching ablation**: each bandit with its switching-cost
+//!    penalty + hysteresis vs the same learner with both disabled — the
+//!    penalty must buy strictly fewer reclocks.
+//! 3. **Deadline slack sweep**: the deadline-aware selector across time
+//!    budgets, trading energy against budget-overrun iterations.
+//!
+//! Every run derives from the experiment seed, so the emitted CSVs are
+//! byte-identical per seed.
+
+use super::{signed_pct, ExperimentOutput};
+use greengpu::baselines::{run_with_policy, PolicyOutcome};
+use greengpu::{
+    pair_model_for, DeadlineParams, Exp3Params, FreqPolicy, GreenGpuConfig, PairModel, PolicySpec,
+    SwitchingParams, UcbParams, WmaParams,
+};
+use greengpu_hw::calib::geforce_8800_gtx;
+use greengpu_runtime::RunConfig;
+use greengpu_sim::{table::fnum, SplitMix64, Table};
+use greengpu_workloads::registry::{by_name, by_name_small};
+use std::collections::BTreeMap;
+
+/// The workloads of the sweep (paper presets — the runs must be long
+/// enough, ≳150 DVFS intervals, for the bandits to leave their
+/// forced-exploration phase over the 36-pair grid, where every learner
+/// reclocks identically).
+const WORKLOADS: [&str; 3] = ["kmeans", "hotspot", "QG"];
+
+/// The policies of the sweep, in presentation order. The `-nosw` rows are
+/// the bandits' no-penalty ablations (same learner, switching cost and
+/// hysteresis zeroed).
+const POLICIES: [&str; 6] = ["wma", "exp3", "exp3-nosw", "ucb", "ucb-nosw", "deadline"];
+
+/// Builds one policy instance for a 6×6 grid. The deadline budget is
+/// 1.25× the model's peak-pair iteration time — tight enough to exclude
+/// the slowest pairs, loose enough to leave an energy-saving choice.
+fn build_policy(kind: &str, seed: u64, model: &PairModel) -> Box<dyn FreqPolicy> {
+    let spec = match kind {
+        "wma" => PolicySpec::Wma(WmaParams::default()),
+        "exp3" => PolicySpec::Exp3(Exp3Params::default()),
+        "exp3-nosw" => PolicySpec::Exp3(Exp3Params {
+            switching: SwitchingParams::none(),
+            ..Exp3Params::default()
+        }),
+        "ucb" => PolicySpec::Ucb(UcbParams::default()),
+        "ucb-nosw" => PolicySpec::Ucb(UcbParams {
+            switching: SwitchingParams::none(),
+            ..UcbParams::default()
+        }),
+        "deadline" => PolicySpec::Deadline(DeadlineParams {
+            time_budget_s: model.peak_time_s() * 1.25,
+            ..DeadlineParams::default()
+        }),
+        other => unreachable!("unknown policy {other}"),
+    };
+    spec.build(6, 6, seed, Some(model)).expect("sweep specs are valid")
+}
+
+/// Runs every (policy, workload) pair once. Each workload gets one
+/// derived instance seed (identical across policies, so every policy sees
+/// the same workload) and each policy one derived decision-stream seed.
+fn sweep(seed: u64) -> BTreeMap<(String, String), PolicyOutcome> {
+    let gpu = geforce_8800_gtx();
+    let mut root = SplitMix64::new(seed);
+    let mut out = BTreeMap::new();
+    for wl_name in WORKLOADS {
+        let wl_seed = root.next_u64();
+        let model = pair_model_for(by_name(wl_name, wl_seed).expect("registered").as_ref(), &gpu);
+        for policy_name in POLICIES {
+            let policy_seed = root.next_u64();
+            let policy = build_policy(policy_name, policy_seed, &model);
+            let mut wl = by_name(wl_name, wl_seed).expect("registered");
+            let outcome = run_with_policy(
+                wl.as_mut(),
+                GreenGpuConfig::scaling_only(),
+                RunConfig::sweep(),
+                policy,
+            );
+            out.insert((wl_name.to_string(), policy_name.to_string()), outcome);
+        }
+    }
+    out
+}
+
+/// Table 1: the head-to-head sweep.
+fn head_to_head_table(results: &BTreeMap<(String, String), PolicyOutcome>) -> Table {
+    let mut t = Table::new(
+        "Frequency policies head-to-head (scaling tier only, paper presets)",
+        &[
+            "workload",
+            "policy",
+            "GPU energy (kJ)",
+            "system energy (kJ)",
+            "time (s)",
+            "EDP (kJ*s)",
+            "switches",
+            "regret",
+            "vs wma energy",
+        ],
+    );
+    for wl in WORKLOADS {
+        let wma_energy = results[&(wl.to_string(), "wma".to_string())]
+            .report
+            .total_energy_j();
+        for policy in POLICIES {
+            let o = &results[&(wl.to_string(), policy.to_string())];
+            t.row(&[
+                wl.to_string(),
+                o.policy.clone(),
+                fnum(o.report.gpu_energy_j / 1e3, 2),
+                fnum(o.report.total_energy_j() / 1e3, 2),
+                fnum(o.report.total_time.as_secs_f64(), 1),
+                fnum(o.report.edp() / 1e3, 1),
+                o.telemetry.switches.to_string(),
+                fnum(o.telemetry.regret, 3),
+                signed_pct(o.report.total_energy_j() / wma_energy - 1.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 2: switching-aware bandits vs their no-penalty ablations.
+fn switching_ablation_table(results: &BTreeMap<(String, String), PolicyOutcome>) -> Table {
+    let mut t = Table::new(
+        "Switching-cost penalty ablation (same learner, penalty + hysteresis on/off)",
+        &[
+            "workload",
+            "bandit",
+            "switches (switching-aware)",
+            "switches (no penalty)",
+            "switch reduction",
+            "energy delta (aware vs ablation)",
+        ],
+    );
+    for wl in WORKLOADS {
+        for bandit in ["exp3", "ucb"] {
+            let aware = &results[&(wl.to_string(), bandit.to_string())];
+            let ablation = &results[&(wl.to_string(), format!("{bandit}-nosw"))];
+            let reduction = 1.0 - aware.telemetry.switches as f64 / ablation.telemetry.switches.max(1) as f64;
+            t.row(&[
+                wl.to_string(),
+                bandit.to_string(),
+                aware.telemetry.switches.to_string(),
+                ablation.telemetry.switches.to_string(),
+                super::pct(reduction),
+                signed_pct(
+                    aware.report.total_energy_j() / ablation.report.total_energy_j() - 1.0,
+                ),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3: the deadline-aware selector across slack factors on kmeans.
+/// The budget base is the model's peak-pair iteration time, so slack < 1
+/// is infeasible by construction (the selector degrades to the fastest
+/// feasible pair) and growing slack opens energy-saving headroom.
+fn deadline_slack_table(seed: u64) -> Table {
+    let gpu = geforce_8800_gtx();
+    let mut root = SplitMix64::new(seed ^ 0xDEAD);
+    let wl_seed = root.next_u64();
+    let model = pair_model_for(by_name_small("kmeans", wl_seed).expect("registered").as_ref(), &gpu);
+    let mut t = Table::new(
+        "Deadline-aware selection vs iteration time budget (kmeans, budget = slack x peak-pair time)",
+        &[
+            "slack",
+            "budget (s)",
+            "GPU energy (kJ)",
+            "time (s)",
+            "mean iter (s)",
+            "iters over budget",
+        ],
+    );
+    for slack in [0.9, 1.0, 1.1, 1.25, 1.5] {
+        let params = DeadlineParams {
+            time_budget_s: model.peak_time_s(),
+            slack,
+            ..DeadlineParams::default()
+        };
+        let budget_s = params.time_budget_s * params.slack;
+        let policy = PolicySpec::Deadline(params)
+            .build(6, 6, 0, Some(&model))
+            .expect("valid deadline spec");
+        let mut wl = by_name_small("kmeans", wl_seed).expect("registered");
+        let outcome = run_with_policy(
+            wl.as_mut(),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+            policy,
+        );
+        let iters = &outcome.report.iterations;
+        let mean_iter_s =
+            iters.iter().map(|it| it.tg_s).sum::<f64>() / iters.len().max(1) as f64;
+        let over = iters.iter().filter(|it| it.tg_s > budget_s * (1.0 + 1e-9)).count();
+        t.row(&[
+            fnum(slack, 2),
+            fnum(budget_s, 2),
+            fnum(outcome.report.gpu_energy_j / 1e3, 2),
+            fnum(outcome.report.total_time.as_secs_f64(), 1),
+            fnum(mean_iter_s, 2),
+            over.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs the full policies experiment.
+pub fn run(seed: u64) -> ExperimentOutput {
+    let results = sweep(seed);
+    ExperimentOutput {
+        id: "policies",
+        title: "Pluggable Tier-2 frequency policies: WMA vs switching-aware bandits vs deadline-aware selection",
+        tables: vec![
+            head_to_head_table(&results),
+            switching_ablation_table(&results),
+            deadline_slack_table(seed),
+        ],
+        notes: vec![
+            "All policies drive the same hardened controller through the FreqPolicy seam; only the Tier-2 decision rule differs.".to_string(),
+            "The switching-cost penalty plus hysteresis buys the bandits strictly fewer reclocks than their no-penalty ablations on every workload.".to_string(),
+            "Regret is charged loss (Table-I base + switching penalties) minus the best static pair in hindsight; WMA's windowed tracker stays close to the static best on these stationary workloads.".to_string(),
+            "The deadline selector exposes the energy/latency dial: an infeasible budget (slack < 1) degrades to the fastest pair, and growing slack converts headroom into GPU energy savings.".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_to_head_covers_every_policy_and_workload() {
+        let results = sweep(1);
+        assert_eq!(results.len(), WORKLOADS.len() * POLICIES.len());
+        let t = head_to_head_table(&results);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 1 + WORKLOADS.len() * POLICIES.len());
+        for policy in POLICIES {
+            assert!(csv.contains(policy), "{policy} missing from table");
+        }
+    }
+
+    #[test]
+    fn switching_aware_bandits_switch_strictly_less() {
+        let results = sweep(2);
+        for wl in WORKLOADS {
+            for bandit in ["exp3", "ucb"] {
+                let aware = results[&(wl.to_string(), bandit.to_string())].telemetry.switches;
+                let ablation =
+                    results[&(wl.to_string(), format!("{bandit}-nosw"))].telemetry.switches;
+                assert!(
+                    aware < ablation,
+                    "{wl}/{bandit}: {aware} switches with penalty vs {ablation} without"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_slack_trades_energy_for_budget() {
+        let t = deadline_slack_table(3);
+        let rows: Vec<Vec<String>> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        assert_eq!(rows.len(), 5);
+        // The loosest budget must not burn more GPU energy than the
+        // infeasible one (which pins the fastest pair).
+        let energy = |r: &[String]| -> f64 { r[2].parse().unwrap() };
+        assert!(energy(&rows[4]) <= energy(&rows[0]) + 1e-9);
+        // An infeasible budget overruns on every iteration.
+        let over: usize = rows[0][5].parse().unwrap();
+        assert!(over > 0, "slack 0.9 must overrun its budget");
+    }
+
+    #[test]
+    fn experiment_is_byte_deterministic_per_seed() {
+        let a: Vec<String> = run(7).tables.iter().map(|t| t.to_csv()).collect();
+        let b: Vec<String> = run(7).tables.iter().map(|t| t.to_csv()).collect();
+        assert_eq!(a, b, "same seed must reproduce the CSVs byte-for-byte");
+    }
+}

@@ -5,6 +5,13 @@
 //! fixed period (the frequency-scaling tier's invocation) and
 //! `on_iteration_end` at every iteration boundary (the workload-division
 //! tier's invocation).
+//!
+//! The runtime deliberately knows nothing about *how* levels are chosen:
+//! inside `on_dvfs_tick` the GreenGPU controller delegates the pair
+//! decision to a pluggable `FreqPolicy` (the `greengpu-policy` crate —
+//! the paper's WMA, switching-aware bandits, or deadline-aware
+//! selection), so every policy runs under the same sensing, actuation
+//! verification, and power-cap masking.
 
 use greengpu_hw::Platform;
 use greengpu_sim::{SimDuration, SimTime};
