@@ -1,0 +1,162 @@
+//! Per-node circuit breaker for the fleet scheduler.
+//!
+//! A node that just crashed should not immediately receive the retried
+//! jobs it lost — the classic breaker pattern gates dispatch instead:
+//!
+//! * **Closed** — dispatch allowed (the healthy default).
+//! * **Open** — dispatch blocked for a cooldown that doubles on every
+//!   consecutive trip (deterministic exponential backoff, capped).
+//! * **Half-open** — the cooldown elapsed; the scheduler may send *probe*
+//!   work. A success (a completed job or a cleared probation) closes the
+//!   breaker and resets the backoff; another failure re-opens it with a
+//!   longer cooldown.
+//!
+//! Everything is driven by the simulator's virtual clock, so breaker
+//! transitions are as deterministic as the chaos schedule that causes
+//! them.
+
+use greengpu_sim::{SimDuration, SimTime};
+
+/// Breaker states (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Dispatch allowed.
+    Closed,
+    /// Dispatch blocked until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; probe dispatch allowed.
+    HalfOpen,
+}
+
+/// One node's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Base cooldown; trip `n` (0-based) waits `cooldown · 2^min(n, cap)`.
+    cooldown_s: f64,
+    max_backoff_exp: u32,
+    /// Consecutive trips since the last success.
+    backoff_exp: u32,
+    open_until: SimTime,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given base cooldown and backoff cap.
+    pub fn new(cooldown_s: f64, max_backoff_exp: u32) -> Self {
+        assert!(cooldown_s.is_finite() && cooldown_s > 0.0, "cooldown_s must be positive");
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            cooldown_s,
+            max_backoff_exp,
+            backoff_exp: 0,
+            open_until: SimTime::ZERO,
+            trips: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total times the breaker opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the scheduler may send this node work right now
+    /// (closed or probing — only `Open` blocks).
+    pub fn allows_dispatch(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Records a failure (crash, lost job): opens the breaker for the
+    /// current backoff cooldown and doubles the next one (capped).
+    pub fn record_failure(&mut self, now: SimTime) {
+        let exp = self.backoff_exp.min(self.max_backoff_exp);
+        let cooldown = self.cooldown_s * f64::from(1u32 << exp);
+        self.open_until = now + SimDuration::from_secs_f64(cooldown);
+        self.state = BreakerState::Open;
+        self.backoff_exp = self.backoff_exp.saturating_add(1).min(self.max_backoff_exp + 1);
+        self.trips += 1;
+    }
+
+    /// Records a success (completed job, cleared probation): closes the
+    /// breaker and resets the backoff.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.backoff_exp = 0;
+    }
+
+    /// Advances the clock: an open breaker whose cooldown elapsed becomes
+    /// half-open (probe dispatch allowed).
+    pub fn tick(&mut self, now: SimTime) {
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(4.0, 4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_dispatch());
+
+        b.record_failure(at(10.0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_dispatch());
+        assert_eq!(b.trips(), 1);
+
+        b.tick(at(13.9));
+        assert_eq!(b.state(), BreakerState::Open, "cooldown not elapsed");
+        b.tick(at(14.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows_dispatch(), "half-open allows probe work");
+
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn consecutive_trips_double_the_cooldown_up_to_the_cap() {
+        let mut b = CircuitBreaker::new(2.0, 2);
+        // Trip 1: 2 s, trip 2: 4 s, trip 3: 8 s, trip 4+: still 8 s.
+        for (trip, expect_s) in [(1u64, 2.0), (2, 4.0), (3, 8.0), (4, 8.0)] {
+            b.record_failure(at(100.0));
+            assert_eq!(b.trips(), trip);
+            b.tick(at(100.0 + expect_s - 0.01));
+            assert_eq!(b.state(), BreakerState::Open, "trip {trip} too short");
+            b.tick(at(100.0 + expect_s));
+            assert_eq!(b.state(), BreakerState::HalfOpen, "trip {trip} too long");
+        }
+        // A success resets the backoff to the base cooldown.
+        b.record_success();
+        b.record_failure(at(200.0));
+        b.tick(at(202.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn failure_while_half_open_reopens() {
+        let mut b = CircuitBreaker::new(1.0, 4);
+        b.record_failure(at(0.0));
+        b.tick(at(1.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure(at(1.0));
+        assert_eq!(b.state(), BreakerState::Open);
+        b.tick(at(2.9));
+        assert_eq!(b.state(), BreakerState::Open, "second cooldown is 2 s");
+        b.tick(at(3.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

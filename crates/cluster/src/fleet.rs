@@ -1,32 +1,47 @@
-//! The fleet simulator: nodes + scheduler + power capping on one event
-//! spine.
+//! The fleet simulator: nodes + scheduler + power capping + failure
+//! lifecycle on one event spine.
 //!
-//! Two event kinds drive the run: job **arrivals** (pre-generated from
-//! the seed) and **control ticks** (fixed period). Between consecutive
-//! events every node's frequency pair is constant, so job progress
-//! advances in closed form and completions land at exact instants — the
-//! discrete-event analog of the single-node engine's piecewise-constant
-//! stepping. Each tick does, in order:
+//! Three event kinds drive the run: job **arrivals** (pre-generated from
+//! the seed), **control ticks** (fixed period), and **chaos events**
+//! (crashes and thermal emergencies from an optional
+//! [`greengpu_hw::ChaosPlan`]; telemetry blackouts are installed into the
+//! nodes' sensor stacks up front). Between consecutive events every
+//! node's frequency pair is constant, so job progress advances in closed
+//! form and completions land at exact instants — the discrete-event
+//! analog of the single-node engine's piecewise-constant stepping. Each
+//! tick does, in order:
 //!
-//! 1. re-apportion the fleet budget into per-node caps from the nodes'
-//!    current demands ([`crate::power::apportion`]);
-//! 2. run every node's hardened controller under its cap (sense → masked
-//!    WMA → verified actuation) and record cap compliance;
-//! 3. dispatch queued jobs to idle healthy nodes per the placement
-//!    policy;
-//! 4. append a telemetry row.
+//! 1. advance every node's failure FSM ([`Node::lifecycle_tick`]) and the
+//!    circuit breakers' clocks; completions and cleared probations close
+//!    breakers;
+//! 2. re-apportion the fleet budget into per-node caps from the nodes'
+//!    current demands ([`crate::power::apportion`]) — a node crashed
+//!    since the last tick demands nothing, so its milliwatts flow back to
+//!    the live nodes *this* interval;
+//! 3. run every live node's hardened controller under its cap (sense →
+//!    masked policy → verified actuation) and record cap compliance;
+//! 4. re-admit crash-lost jobs whose retry backoff elapsed (ahead of
+//!    fresh arrivals), then dispatch queued jobs to idle healthy alive
+//!    nodes behind the circuit-breaker mask;
+//! 5. checkpoint every `Up` node's learner each
+//!    [`LifecycleParams::checkpoint_period`] ticks;
+//! 6. append a telemetry row.
 //!
-//! Determinism: arrivals, workload profiles, and any fault plans all
-//! derive from `FleetConfig::seed` via `greengpu_sim::rng`; node order is
-//! fixed; every map keyed by workload name is a `BTreeMap`. Same config
-//! and seed ⇒ byte-identical trace CSV.
+//! Determinism: arrivals, workload profiles, chaos schedules, and any
+//! fault plans all derive from `FleetConfig::seed` via
+//! `greengpu_sim::rng`; node order is fixed; every map keyed by workload
+//! name is a `BTreeMap`. Same config and seed ⇒ byte-identical trace CSV.
 
-use crate::job::{generate_arrivals, ArrivalConfig, JobRecord};
-use crate::node::{Node, NodeConfig};
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::job::{generate_arrivals, ArrivalConfig, JobRecord, JobSpec};
+use crate::lifecycle::LifecycleParams;
+use crate::node::{LifecycleEvent, Node, NodeConfig, RecoveryRecord};
 use crate::policy::Policy;
-use crate::power::{apportion, mw_floor};
+use crate::power::{apportion, mw_floor, MilliWatts};
+use crate::retry::RetryQueue;
 use crate::scheduler::Scheduler;
 use crate::telemetry::{FleetTrace, TraceRow};
+use greengpu_hw::{ChaosEvent, ChaosKind, ChaosPlan};
 use greengpu_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
 
@@ -49,6 +64,12 @@ pub struct FleetConfig {
     pub queue_capacity: usize,
     /// Arrival stream shape.
     pub arrivals: ArrivalConfig,
+    /// Optional chaos schedule (crashes, thermal emergencies, telemetry
+    /// blackouts); `None` runs the fleet failure-free.
+    pub chaos: Option<ChaosPlan>,
+    /// Failure-lifecycle tuning (restart/probation durations, checkpoint
+    /// period, retry budget, breaker cooldowns).
+    pub lifecycle: LifecycleParams,
     /// Master seed; every stream in the run derives from it.
     pub seed: u64,
 }
@@ -107,8 +128,22 @@ impl FleetConfig {
             horizon,
             queue_capacity: 32,
             arrivals,
+            chaos: None,
+            lifecycle: LifecycleParams::default(),
             seed,
         }
+    }
+
+    /// Attaches a chaos schedule (builder style).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Overrides the failure-lifecycle tuning (builder style).
+    pub fn with_lifecycle(mut self, params: LifecycleParams) -> Self {
+        self.lifecycle = params;
+        self
     }
 
     /// Non-panicking configuration check, naming the offending field —
@@ -134,6 +169,12 @@ impl FleetConfig {
         if self.arrivals.mix.is_empty() {
             return Err("arrivals.mix must not be empty".to_string());
         }
+        if let Some(plan) = &self.chaos {
+            plan.try_validate().map_err(|msg| format!("chaos: {msg}"))?;
+        }
+        self.lifecycle
+            .try_validate()
+            .map_err(|msg| format!("lifecycle: {msg}"))?;
         for (i, node) in self.nodes.iter().enumerate() {
             node.freq_policy
                 .try_validate()
@@ -141,6 +182,23 @@ impl FleetConfig {
         }
         Ok(())
     }
+}
+
+/// The power-capping audit of one crash: the dark node's cap before the
+/// crash and at the first re-apportionment after it. The reclamation
+/// criterion is `cap_after_mw == Some(0)` — the crashed node's milliwatts
+/// are back in the pool within one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashRecord {
+    /// The crashed node's id.
+    pub node: usize,
+    /// Crash instant, seconds.
+    pub at_s: f64,
+    /// The node's cap at the last apportionment before the crash.
+    pub cap_before_mw: MilliWatts,
+    /// The node's cap at the first apportionment after the crash (`None`
+    /// only if the run ended before another tick).
+    pub cap_after_mw: Option<MilliWatts>,
 }
 
 /// Everything a fleet run produced.
@@ -165,6 +223,37 @@ pub struct FleetReport {
     pub total_energy_j: f64,
     /// The horizon, seconds.
     pub horizon_s: f64,
+    /// Jobs admitted by the scheduler (for conservation checks:
+    /// `admitted == completed + dead_letter + in_flight_at_end`).
+    pub admitted: u64,
+    /// Jobs still in the system at the horizon (queued, in service, or
+    /// waiting out a retry backoff).
+    pub in_flight_at_end: u64,
+    /// Chaos crashes that landed on live nodes.
+    pub crashes: u64,
+    /// Restarts that restored a checkpoint.
+    pub warm_restarts: u64,
+    /// Restarts that cold-started.
+    pub cold_restarts: u64,
+    /// Checkpoints rejected at restore time (each also counts a cold
+    /// restart).
+    pub restore_failures: u64,
+    /// Thermal emergencies that landed on live nodes.
+    pub thermal_events: u64,
+    /// Telemetry-blackout windows installed across the fleet.
+    pub blackout_windows: u64,
+    /// Jobs lost to crashes (each enters the retry queue or dead-letters).
+    pub jobs_lost: u64,
+    /// Re-dispatches queued by the retry machinery.
+    pub jobs_retried: u64,
+    /// Jobs that exhausted their retry budget.
+    pub dead_letter: Vec<JobSpec>,
+    /// Circuit-breaker openings across the fleet.
+    pub breaker_trips: u64,
+    /// Post-restart learner recoveries, in node order then crash order.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Per-crash power-capping audit, in crash order.
+    pub crash_records: Vec<CrashRecord>,
 }
 
 impl FleetReport {
@@ -191,6 +280,19 @@ impl FleetReport {
         }
         self.gpu_energy_j / self.completed.len() as f64
     }
+
+    /// Mean control intervals to re-reach the pre-crash argmax pair,
+    /// over warm (or cold) recoveries; `None` when no such recovery
+    /// completed.
+    pub fn mean_recovery_intervals(&self, warm: bool) -> Option<f64> {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        for r in self.recoveries.iter().filter(|r| r.warm == warm) {
+            n += 1;
+            sum += r.intervals;
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
 }
 
 /// Event payloads on the fleet spine.
@@ -199,6 +301,9 @@ enum Event {
     Arrival(usize),
     /// A control tick.
     Tick,
+    /// Index into the pre-generated chaos event vector (crashes and
+    /// thermal emergencies; blackouts are installed at setup).
+    Chaos(usize),
 }
 
 /// Runs one fleet to its horizon.
@@ -217,6 +322,34 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         .enumerate()
         .map(|(i, nc)| Node::new(i, nc, &mix_names, profile_seed))
         .collect();
+    for node in &mut nodes {
+        node.set_lifecycle(cfg.lifecycle.restart_s, cfg.lifecycle.probation_intervals);
+    }
+
+    // Chaos: blackout windows go straight into the nodes' sensor stacks
+    // (before any control tick); crashes and thermal emergencies go on
+    // the event spine.
+    let mut blackout_windows = 0u64;
+    let mut chaos_events: Vec<ChaosEvent> = Vec::new();
+    if let Some(plan) = &cfg.chaos {
+        let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); nodes.len()];
+        for ev in plan.schedule(nodes.len(), cfg.horizon.as_secs_f64()) {
+            match ev.kind {
+                ChaosKind::TelemetryBlackout { duration_s } => {
+                    per_node[ev.node].push((ev.at, ev.at + SimDuration::from_secs_f64(duration_s)));
+                    blackout_windows += 1;
+                }
+                ChaosKind::Crash { .. } | ChaosKind::ThermalEmergency { .. } => {
+                    chaos_events.push(ev);
+                }
+            }
+        }
+        for (node, windows) in nodes.iter_mut().zip(per_node) {
+            if !windows.is_empty() {
+                node.set_blackouts(windows);
+            }
+        }
+    }
 
     // Budget sanity: DVFS can only shed power down to the floor pair.
     let floor_sum_mw: u64 = nodes.iter().map(|n| n.demand().floor_mw).sum();
@@ -250,13 +383,30 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     for (i, job) in jobs.iter().enumerate() {
         spine.schedule(job.arrival, Event::Arrival(i));
     }
+    // Chaos last, so a crash at a tick/arrival instant lands after them:
+    // the crashed node's cap is reclaimed at the *next* tick — within one
+    // interval, the reclamation criterion.
+    for (i, ev) in chaos_events.iter().enumerate() {
+        spine.schedule(ev.at, Event::Chaos(i));
+    }
 
     let mut scheduler = Scheduler::new(cfg.policy, cfg.queue_capacity);
+    let mut breakers: Vec<CircuitBreaker> = (0..nodes.len())
+        .map(|_| {
+            CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp)
+        })
+        .collect();
+    let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
+    let mut last_completed: Vec<u64> = vec![0; nodes.len()];
+    let mut last_caps: Vec<MilliWatts> = vec![0; nodes.len()];
+    let mut crash_records: Vec<CrashRecord> = Vec::new();
+    let mut jobs_lost = 0u64;
     let mut completed: Vec<JobRecord> = Vec::new();
     let mut deadline_misses = 0u64;
     let mut rows = Vec::new();
     let mut t = SimTime::ZERO;
     let mut interval = 0u64;
+    let mut tick_no = 0u64;
 
     while let Some((at, event)) = spine.pop() {
         for node in &mut nodes {
@@ -272,14 +422,88 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             Event::Arrival(i) => {
                 scheduler.submit(jobs[i].clone());
             }
+            Event::Chaos(i) => {
+                let ev = &chaos_events[i];
+                match ev.kind {
+                    ChaosKind::Crash { outage_s } => {
+                        if nodes[ev.node].is_alive() {
+                            if let Some(job) = nodes[ev.node].crash(t, outage_s) {
+                                jobs_lost += 1;
+                                retry.job_lost(job, t);
+                            }
+                            breakers[ev.node].record_failure(t);
+                            crash_records.push(CrashRecord {
+                                node: ev.node,
+                                at_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
+                                cap_before_mw: last_caps[ev.node],
+                                cap_after_mw: None,
+                            });
+                        }
+                    }
+                    ChaosKind::ThermalEmergency { duration_s } => {
+                        if nodes[ev.node].is_alive() {
+                            nodes[ev.node].thermal_emergency(t, duration_s);
+                        }
+                    }
+                    ChaosKind::TelemetryBlackout { .. } => {
+                        unreachable!("blackouts are installed at setup")
+                    }
+                }
+            }
             Event::Tick => {
+                // 1. Failure FSMs and breaker clocks. A cleared probation
+                // or a completion since the last tick closes the breaker.
+                for i in 0..nodes.len() {
+                    for ev in nodes[i].lifecycle_tick(t) {
+                        if ev == LifecycleEvent::ProbationCleared {
+                            breakers[i].record_success();
+                        }
+                    }
+                }
+                for b in &mut breakers {
+                    b.tick(t);
+                }
+                for (i, node) in nodes.iter().enumerate() {
+                    if node.completed() > last_completed[i] {
+                        breakers[i].record_success();
+                        last_completed[i] = node.completed();
+                    }
+                }
+                // 2. Caps from the *current* demands: a node crashed since
+                // the last tick demands nothing, so its budget is already
+                // back in the pool here.
                 let demands: Vec<_> = nodes.iter().map(Node::demand).collect();
                 let caps = apportion(budget_mw, &demands);
+                for rec in crash_records.iter_mut().filter(|r| r.cap_after_mw.is_none()) {
+                    rec.cap_after_mw = Some(caps[rec.node]);
+                }
+                last_caps.copy_from_slice(&caps);
+                // 3. Control ticks on live nodes only.
                 let mut max_over_w = 0.0f64;
                 for (node, &cap) in nodes.iter_mut().zip(&caps) {
-                    max_over_w = max_over_w.max(node.control_tick(t, cap));
+                    if node.is_alive() {
+                        max_over_w = max_over_w.max(node.control_tick(t, cap));
+                    }
                 }
-                scheduler.dispatch(&mut nodes, t);
+                // 4. Retries re-enter ahead of fresh arrivals (reversed so
+                // the earliest-ready job ends up frontmost), then dispatch
+                // behind the breaker mask.
+                for job in retry.drain_ready(t).into_iter().rev() {
+                    scheduler.requeue_front(job);
+                }
+                let allowed: Vec<bool> = breakers.iter().map(CircuitBreaker::allows_dispatch).collect();
+                scheduler.dispatch(&mut nodes, &allowed, t);
+                // 5. Periodic learner checkpoints on fully-Up nodes.
+                if let Some(k) = cfg.lifecycle.checkpoint_period {
+                    if tick_no > 0 && tick_no.is_multiple_of(k) {
+                        for node in &mut nodes {
+                            if node.state() == crate::lifecycle::NodeState::Up {
+                                node.take_checkpoint();
+                            }
+                        }
+                    }
+                }
+                tick_no += 1;
                 if t > SimTime::ZERO {
                     interval += 1;
                     let window_start = SimTime::ZERO + cfg.control_period.mul_f64((interval - 1) as f64);
@@ -309,6 +533,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                         deadline_misses,
                         cap_violations: nodes.iter().map(Node::cap_violations).sum(),
                         max_pair_over_cap_w: max_over_w,
+                        up_nodes: nodes.iter().filter(|n| n.is_alive()).count(),
+                        open_breakers: breakers
+                            .iter()
+                            .filter(|b| b.state() == BreakerState::Open)
+                            .count(),
+                        retry_depth: retry.pending_len(),
+                        dead_lettered: retry.dead_letter().len() as u64,
                     });
                 }
             }
@@ -340,6 +571,25 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             .map(|n| n.platform().total_energy_j(SimTime::ZERO, end))
             .sum(),
         horizon_s: cfg.horizon.as_secs_f64(),
+        admitted: scheduler.admitted(),
+        in_flight_at_end: scheduler.depth() as u64
+            + retry.pending_len() as u64
+            + nodes.iter().filter(|n| !n.is_idle()).count() as u64,
+        crashes: nodes.iter().map(Node::crashes).sum(),
+        warm_restarts: nodes.iter().map(Node::warm_restarts).sum(),
+        cold_restarts: nodes.iter().map(Node::cold_restarts).sum(),
+        restore_failures: nodes.iter().map(Node::restore_failures).sum(),
+        thermal_events: nodes.iter().map(Node::thermal_events).sum(),
+        blackout_windows,
+        jobs_lost,
+        jobs_retried: retry.retried(),
+        dead_letter: retry.dead_letter().to_vec(),
+        breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
+        recoveries: nodes
+            .iter()
+            .flat_map(|n| n.recoveries().iter().copied())
+            .collect(),
+        crash_records,
         completed,
     }
 }

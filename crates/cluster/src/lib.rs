@@ -24,8 +24,17 @@
 //!    restricted to frequency pairs whose modeled worst-case board power
 //!    fits under the cap.
 //! 3. **Fleet telemetry** ([`telemetry`]): a per-interval trace (queue
-//!    depth, node utilization, power, caps, violations, deadline misses)
-//!    rendered as CSV through [`greengpu_sim::Table`].
+//!    depth, node utilization, power, caps, violations, deadline misses,
+//!    lifecycle/breaker/retry state) rendered as CSV through
+//!    [`greengpu_sim::Table`].
+//! 4. **Failure lifecycle** ([`lifecycle`], [`breaker`], [`retry`]): a
+//!    deterministic chaos schedule ([`greengpu_hw::ChaosPlan`]) crashes,
+//!    thermally throttles, and blinds nodes; crashed nodes walk the
+//!    `Up → Crashed → Restarting → Probation → Up` FSM, restore their
+//!    learners from periodic checkpoints (warm restart) when possible,
+//!    and re-enter service behind a per-node circuit breaker while lost
+//!    jobs are re-dispatched with bounded exponential-backoff retries or
+//!    dead-lettered.
 //!
 //! Everything derives from one seed through [`greengpu_sim::rng`], so the
 //! same configuration and seed reproduce byte-identical traces. The
@@ -35,19 +44,25 @@
 //! to it while the capping layer accounts its pinned-peak draw as cap
 //! violations.
 
+pub mod breaker;
 pub mod fleet;
 pub mod job;
+pub mod lifecycle;
 pub mod node;
 pub mod policy;
 pub mod power;
 pub mod profile;
+pub mod retry;
 pub mod scheduler;
 pub mod telemetry;
 
-pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use fleet::{run_fleet, CrashRecord, FleetConfig, FleetReport};
 pub use job::{ArrivalConfig, JobRecord, JobSpec};
-pub use node::{Node, NodeConfig};
+pub use lifecycle::{LifecycleParams, NodeState};
+pub use node::{LifecycleEvent, Node, NodeConfig, RecoveryRecord};
 pub use policy::Policy;
+pub use retry::RetryQueue;
 // Convenience re-export: the per-node Tier-2 frequency-policy registry.
 pub use greengpu::PolicySpec;
 pub use power::{apportion, NodeDemand};

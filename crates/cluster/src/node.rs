@@ -15,10 +15,14 @@
 //! a real run would respond to DVFS.
 
 use crate::job::{JobRecord, JobSpec};
+use crate::lifecycle::NodeState;
 use crate::power::{mw, MilliWatts, NodeDemand};
 use crate::profile::ServiceProfile;
 use greengpu::{GreenGpuConfig, GreenGpuController, PairModel, PolicySpec};
-use greengpu_hw::{calib, CpuSpec, FaultPlan, GpuSpec, Platform};
+use greengpu_hw::{
+    calib, BlackoutSensors, CleanSensors, CpuSpec, DirectActuator, FaultPlan, FaultyActuator,
+    FaultySensor, FreqActuator, GpuSpec, Platform, SensorSource,
+};
 use greengpu_runtime::Controller as _;
 use greengpu_sim::{SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
@@ -113,6 +117,30 @@ struct RunningJob {
     progress: f64,
 }
 
+/// A lifecycle transition surfaced to the fleet supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The supervisor finished rebuilding the controller; `warm` is true
+    /// when the last checkpoint restored cleanly.
+    RestartComplete {
+        /// Whether learner state was restored from a checkpoint.
+        warm: bool,
+    },
+    /// The node served its probation and is fully `Up` again.
+    ProbationCleared,
+}
+
+/// One completed post-restart learner recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Whether the restart restored a checkpoint (warm) or cold-started.
+    pub warm: bool,
+    /// Control ticks from restart completion until the policy's desired
+    /// pair matched the pre-crash pair again (0 = immediately on
+    /// restore).
+    pub intervals: u64,
+}
+
 /// One live node.
 pub struct Node {
     id: usize,
@@ -124,6 +152,32 @@ pub struct Node {
     busy_s: f64,
     completed: u64,
     cap_violations: u64,
+    // --- controller rebuild recipe (crash restarts re-run it) ---
+    policy_spec: PolicySpec,
+    fault: Option<FaultPlan>,
+    blackouts: Vec<(SimTime, SimTime)>,
+    policy_seed: u64,
+    model: Option<PairModel>,
+    // --- failure lifecycle ---
+    state: NodeState,
+    /// When the current `Crashed`/`Restarting` phase ends.
+    state_until: SimTime,
+    probation_left: u64,
+    restart_s: f64,
+    probation_intervals: u64,
+    checkpoint: Option<String>,
+    thermal_until: SimTime,
+    thermal_active: bool,
+    /// Pre-crash desired pair, pending recovery measurement.
+    pending_target: Option<(usize, usize)>,
+    /// In-flight recovery: (target pair, warm flag, ticks so far).
+    recovering: Option<((usize, usize), bool, u64)>,
+    recoveries: Vec<RecoveryRecord>,
+    crashes: u64,
+    warm_restarts: u64,
+    cold_restarts: u64,
+    restore_failures: u64,
+    thermal_events: u64,
 }
 
 impl Node {
@@ -173,25 +227,78 @@ impl Node {
             _ => None,
         };
         let policy_seed = SplitMix64::new(profile_seed.wrapping_add(id as u64)).next_u64();
-        let policy = cfg
-            .freq_policy
-            .build(n_core, n_mem, policy_seed, model.as_ref())?;
-        let control = GreenGpuConfig::scaling_only();
-        let ctl = match &cfg.fault {
-            Some(plan) => GreenGpuController::with_policy_faulted(control, policy, plan),
-            None => GreenGpuController::with_policy(control, policy),
-        };
-        Ok(Node {
+        let mut node = Node {
             id,
             platform,
-            ctl,
+            // Placeholder until the recipe fields are in place below; the
+            // real controller is installed right after.
+            ctl: GreenGpuController::with_policy(
+                GreenGpuConfig::scaling_only(),
+                cfg.freq_policy.build(n_core, n_mem, policy_seed, model.as_ref())?,
+            ),
             profiles,
             cap_w: f64::INFINITY,
             job: None,
             busy_s: 0.0,
             completed: 0,
             cap_violations: 0,
-        })
+            policy_spec: cfg.freq_policy.clone(),
+            fault: cfg.fault,
+            blackouts: Vec::new(),
+            policy_seed,
+            model,
+            state: NodeState::Up,
+            state_until: SimTime::ZERO,
+            probation_left: 0,
+            restart_s: 2.0,
+            probation_intervals: 3,
+            checkpoint: None,
+            thermal_until: SimTime::ZERO,
+            thermal_active: false,
+            pending_target: None,
+            recovering: None,
+            recoveries: Vec::new(),
+            crashes: 0,
+            warm_restarts: 0,
+            cold_restarts: 0,
+            restore_failures: 0,
+            thermal_events: 0,
+        };
+        node.ctl = node.build_controller()?;
+        Ok(node)
+    }
+
+    /// Rebuilds the controller from the stored recipe: fresh policy (from
+    /// the spec and the node's derived seed), fresh sensor/actuator
+    /// providers (re-wrapping the fault injectors and blackout windows).
+    /// Used at construction and on every crash restart — a restart gets
+    /// fresh providers; only checkpointed learner state survives.
+    fn build_controller(&self) -> Result<GreenGpuController, String> {
+        let spec = self.platform.gpu().spec();
+        let n_core = spec.core_levels_mhz.len();
+        let n_mem = spec.mem_levels_mhz.len();
+        let policy = self
+            .policy_spec
+            .build(n_core, n_mem, self.policy_seed, self.model.as_ref())?;
+        let sensors: Box<dyn SensorSource> = match &self.fault {
+            Some(plan) => Box::new(FaultySensor::new(plan)),
+            None => Box::new(CleanSensors::new()),
+        };
+        let sensors: Box<dyn SensorSource> = if self.blackouts.is_empty() {
+            sensors
+        } else {
+            Box::new(BlackoutSensors::new(sensors, self.blackouts.clone()))
+        };
+        let actuator: Box<dyn FreqActuator> = match &self.fault {
+            Some(plan) => Box::new(FaultyActuator::new(plan)),
+            None => Box::new(DirectActuator),
+        };
+        Ok(GreenGpuController::with_policy_providers(
+            GreenGpuConfig::scaling_only(),
+            policy,
+            sensors,
+            actuator,
+        ))
     }
 
     /// Node id.
@@ -208,6 +315,187 @@ impl Node {
     /// The scheduler routes around unhealthy nodes.
     pub fn healthy(&self) -> bool {
         !self.ctl.fallback_engaged()
+    }
+
+    /// Where the node is in the failure lifecycle.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Whether the node is controllable this interval (`Up` or
+    /// `Probation`). Dead nodes take no control ticks and no work.
+    pub fn is_alive(&self) -> bool {
+        matches!(self.state, NodeState::Up | NodeState::Probation)
+    }
+
+    /// Configures the restart duration and probation length (the fleet
+    /// applies its [`crate::LifecycleParams`] here at construction).
+    pub fn set_lifecycle(&mut self, restart_s: f64, probation_intervals: u64) {
+        assert!(restart_s.is_finite() && restart_s > 0.0);
+        assert!(probation_intervals > 0);
+        self.restart_s = restart_s;
+        self.probation_intervals = probation_intervals;
+    }
+
+    /// Installs telemetry-blackout windows by rebuilding the controller
+    /// with [`BlackoutSensors`]-wrapped providers. Call before the first
+    /// control tick — the rebuild discards learner state.
+    pub fn set_blackouts(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        self.blackouts = windows;
+        self.ctl = self.build_controller().expect("recipe validated at construction");
+    }
+
+    /// Snapshots the controller's learner state as the node's current
+    /// checkpoint (the fleet calls this every checkpoint period).
+    pub fn take_checkpoint(&mut self) {
+        self.checkpoint = Some(self.ctl.snapshot());
+    }
+
+    /// Replaces the stored checkpoint verbatim — the corruption-injection
+    /// seam for tests; a garbage string is rejected at restore time and
+    /// the restart falls back to a cold start (counted).
+    pub fn load_checkpoint(&mut self, checkpoint: String) {
+        self.checkpoint = Some(checkpoint);
+    }
+
+    /// The stored checkpoint, if any.
+    pub fn checkpoint_data(&self) -> Option<&str> {
+        self.checkpoint.as_deref()
+    }
+
+    /// Crashes the node at `now`: the in-flight job (returned for retry)
+    /// and all live learner state are lost, the card drops to floor
+    /// clocks with zero activity (the PSU-trickle draw of a dark board is
+    /// the floor idle power), and the node stays dark for `outage_s`.
+    /// No-op returning `None` when the node is already down.
+    pub fn crash(&mut self, now: SimTime, outage_s: f64) -> Option<JobSpec> {
+        if !self.is_alive() {
+            return None;
+        }
+        self.crashes += 1;
+        // The recovery target is what the learner preferred just before
+        // dying — reaching it again is the warm-vs-cold regret metric.
+        self.pending_target = Some(self.ctl.desired_pair());
+        self.recovering = None;
+        let lost = self.job.take().map(|run| run.spec);
+        self.platform.set_gpu_levels(now, 0, 0);
+        self.platform.set_cpu_level(now, 0);
+        self.refresh_activity(now);
+        self.state = NodeState::Crashed;
+        self.state_until = now + SimDuration::from_secs_f64(outage_s);
+        lost
+    }
+
+    /// Enters a thermal emergency: for `duration_s` the node is pinned to
+    /// its floor pair by the (modeled) hardware throttle — the controller
+    /// is bypassed and the node's power demand collapses to the floor.
+    pub fn thermal_emergency(&mut self, now: SimTime, duration_s: f64) {
+        self.thermal_events += 1;
+        self.thermal_until = now + SimDuration::from_secs_f64(duration_s);
+        self.thermal_active = true;
+    }
+
+    /// Whether the thermal throttle was active at the last lifecycle tick.
+    pub fn thermal_active(&self) -> bool {
+        self.thermal_active
+    }
+
+    /// One supervisor tick: advances the failure FSM (at most one
+    /// transition per tick, so recovery time is measured in whole control
+    /// intervals) and refreshes the thermal-throttle flag. Returns the
+    /// transitions that fired, for the fleet's breaker and counters.
+    pub fn lifecycle_tick(&mut self, now: SimTime) -> Vec<LifecycleEvent> {
+        self.thermal_active = now < self.thermal_until;
+        let mut events = Vec::new();
+        match self.state {
+            NodeState::Crashed if now >= self.state_until => {
+                self.state = NodeState::Restarting;
+                self.state_until = now + SimDuration::from_secs_f64(self.restart_s);
+            }
+            NodeState::Restarting if now >= self.state_until => {
+                let warm = self.perform_restart(now);
+                self.state = NodeState::Probation;
+                self.probation_left = self.probation_intervals;
+                events.push(LifecycleEvent::RestartComplete { warm });
+            }
+            NodeState::Probation => {
+                self.probation_left = self.probation_left.saturating_sub(1);
+                if self.probation_left == 0 {
+                    self.state = NodeState::Up;
+                    events.push(LifecycleEvent::ProbationCleared);
+                }
+            }
+            _ => {}
+        }
+        events
+    }
+
+    /// The supervisor restart: rebuild the controller from the recipe and
+    /// try to restore the last checkpoint. Returns whether the restart
+    /// was warm. A checkpoint that fails to parse or validate is
+    /// *discarded* (cold start, `restore_failures` counted) — resuming
+    /// from garbage would be worse than re-exploring.
+    fn perform_restart(&mut self, now: SimTime) -> bool {
+        let mut ctl = self.build_controller().expect("recipe validated at construction");
+        let warm = match &self.checkpoint {
+            Some(cp) => match ctl.restore(cp) {
+                Ok(()) => {
+                    self.warm_restarts += 1;
+                    true
+                }
+                Err(_) => {
+                    self.restore_failures += 1;
+                    self.checkpoint = None;
+                    self.cold_restarts += 1;
+                    false
+                }
+            },
+            None => {
+                self.cold_restarts += 1;
+                false
+            }
+        };
+        self.ctl = ctl;
+        self.refresh_activity(now);
+        if let Some(target) = self.pending_target.take() {
+            if self.ctl.desired_pair() == target {
+                // A warm restore can put the argmax back instantly.
+                self.recoveries.push(RecoveryRecord { warm, intervals: 0 });
+            } else {
+                self.recovering = Some((target, warm, 0));
+            }
+        }
+        warm
+    }
+
+    /// Crashes suffered so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Restarts that restored a checkpoint.
+    pub fn warm_restarts(&self) -> u64 {
+        self.warm_restarts
+    }
+
+    /// Restarts that cold-started (no checkpoint, or a rejected one).
+    pub fn cold_restarts(&self) -> u64 {
+        self.cold_restarts
+    }
+
+    /// Checkpoints that failed to restore (subset of cold restarts).
+    pub fn restore_failures(&self) -> u64 {
+        self.restore_failures
+    }
+
+    /// Thermal emergencies entered so far.
+    pub fn thermal_events(&self) -> u64 {
+        self.thermal_events
+    }
+
+    /// Completed post-restart recoveries, in order.
+    pub fn recoveries(&self) -> &[RecoveryRecord] {
+        &self.recoveries
     }
 
     /// Current power cap, watts.
@@ -268,9 +556,41 @@ impl Node {
         )
     }
 
-    /// What this node asks of the apportioner right now.
+    /// What this node asks of the apportioner right now. A crashed node
+    /// demands *nothing* — its milliwatts flow back to the live nodes the
+    /// same interval the crash lands (the reclamation criterion). A
+    /// restarting node holds only its floor; a thermally throttled node
+    /// desires its floor but keeps its real peak (the throttle could lift
+    /// mid-interval).
     pub fn demand(&self) -> NodeDemand {
         let (floor_w, peak_w) = self.spec_powers();
+        match self.state {
+            NodeState::Crashed => {
+                return NodeDemand {
+                    floor_mw: 0,
+                    desired_mw: 0,
+                    peak_mw: 0,
+                    busy: false,
+                };
+            }
+            NodeState::Restarting => {
+                return NodeDemand {
+                    floor_mw: mw(floor_w),
+                    desired_mw: mw(floor_w),
+                    peak_mw: mw(floor_w),
+                    busy: false,
+                };
+            }
+            NodeState::Up | NodeState::Probation => {}
+        }
+        if self.thermal_active {
+            return NodeDemand {
+                floor_mw: mw(floor_w),
+                desired_mw: mw(floor_w),
+                peak_mw: mw(peak_w),
+                busy: self.job.is_some(),
+            };
+        }
         let desired_w = if self.ctl.fallback_engaged() {
             // Fallback pins peak clocks; budget accordingly.
             peak_w
@@ -362,9 +682,40 @@ impl Node {
     /// expected violator.
     pub fn control_tick(&mut self, now: SimTime, cap: MilliWatts) -> f64 {
         self.cap_w = cap as f64 / 1000.0;
+        if self.thermal_active {
+            // Hardware throttle: floor clocks, controller bypassed. The
+            // learner neither observes nor is blamed for these intervals.
+            self.platform.set_gpu_levels(now, 0, 0);
+            self.platform.set_cpu_level(now, 0);
+            self.refresh_activity(now);
+            let over = (self.enforced_pair_power_w() - self.cap_w).max(0.0);
+            if over > 1e-9 {
+                self.cap_violations += 1;
+            }
+            return over;
+        }
         self.ctl.set_power_cap_w(Some(self.cap_w));
         self.ctl.on_dvfs_tick(&mut self.platform, now);
         self.refresh_activity(now);
+        if self.recovering.is_some() {
+            // Count intervals until the learner's argmax matches the
+            // pre-crash pair again (the warm-vs-cold regret metric).
+            let desired = self.ctl.desired_pair();
+            let mut done = None;
+            if let Some((target, warm, ticks)) = self.recovering.as_mut() {
+                *ticks += 1;
+                if desired == *target {
+                    done = Some(RecoveryRecord {
+                        warm: *warm,
+                        intervals: *ticks,
+                    });
+                }
+            }
+            if let Some(rec) = done {
+                self.recoveries.push(rec);
+                self.recovering = None;
+            }
+        }
         let over = (self.enforced_pair_power_w() - self.cap_w).max(0.0);
         if over > 1e-9 {
             self.cap_violations += 1;
@@ -493,5 +844,131 @@ mod tests {
         let (t, e) = node.estimate("kmeans", 1.0).unwrap();
         assert!(t > 0.0 && e > 0.0);
         assert!(node.estimate("nbody", 1.0).is_none(), "not in the mix");
+    }
+
+    /// Warms a node up under a cap for `ticks` one-second intervals.
+    fn warm_up(node: &mut Node, ticks: u64) -> SimTime {
+        let cap = mw(0.8 * node.platform().gpu().spec().peak_power_w());
+        node.dispatch(job("kmeans", 50.0), SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for k in 1..=ticks {
+            let next = SimTime::from_secs(k);
+            node.advance(t, next);
+            node.control_tick(next, cap);
+            t = next;
+        }
+        t
+    }
+
+    #[test]
+    fn crash_zeroes_demand_and_walks_the_fsm_back_to_up() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        node.set_lifecycle(2.0, 2);
+        let t = warm_up(&mut node, 5);
+        assert_eq!(node.state(), NodeState::Up);
+
+        let lost = node.crash(t, 3.0).expect("busy node loses its job");
+        assert_eq!(lost.workload, "kmeans");
+        assert_eq!(node.state(), NodeState::Crashed);
+        assert!(!node.is_alive());
+        assert!(node.is_idle(), "the in-flight job is gone");
+        let d = node.demand();
+        assert_eq!((d.floor_mw, d.desired_mw, d.peak_mw), (0, 0, 0), "dark node demands nothing");
+
+        // Crashing again while down is a no-op.
+        assert!(node.crash(t, 3.0).is_none());
+        assert_eq!(node.crashes(), 1);
+
+        // Outage 3 s → Restarting, restart 2 s → Probation (2 ticks) → Up.
+        let mut now = t;
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            now += SimDuration::from_secs_f64(1.0);
+            seen.extend(node.lifecycle_tick(now));
+            if node.state() == NodeState::Up {
+                break;
+            }
+        }
+        assert_eq!(node.state(), NodeState::Up);
+        assert_eq!(
+            seen,
+            vec![
+                LifecycleEvent::RestartComplete { warm: false },
+                LifecycleEvent::ProbationCleared
+            ]
+        );
+        assert_eq!(node.cold_restarts(), 1, "no checkpoint was ever taken");
+        assert_eq!(node.warm_restarts(), 0);
+    }
+
+    #[test]
+    fn checkpointed_restart_is_warm_and_restores_the_argmax() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        node.set_lifecycle(1.0, 1);
+        let t = warm_up(&mut node, 20);
+        let pre_crash = node.controller().desired_pair();
+        node.take_checkpoint();
+        node.crash(t, 1.0);
+
+        let mut now = t;
+        while node.state() != NodeState::Probation {
+            now += SimDuration::from_secs_f64(1.0);
+            node.lifecycle_tick(now);
+        }
+        assert_eq!(node.warm_restarts(), 1);
+        assert_eq!(node.cold_restarts(), 0);
+        assert_eq!(
+            node.controller().desired_pair(),
+            pre_crash,
+            "warm restore puts the learner's argmax back"
+        );
+        assert_eq!(node.recoveries(), &[RecoveryRecord { warm: true, intervals: 0 }]);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_falls_back_to_cold_start() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        node.set_lifecycle(1.0, 1);
+        let t = warm_up(&mut node, 5);
+        node.take_checkpoint();
+        let cp = node.checkpoint_data().unwrap().to_string();
+        // Truncation makes the JSON unparseable.
+        node.load_checkpoint(cp[..cp.len() / 2].to_string());
+        node.crash(t, 1.0);
+        let mut now = t;
+        while node.state() != NodeState::Probation {
+            now += SimDuration::from_secs_f64(1.0);
+            node.lifecycle_tick(now);
+        }
+        assert_eq!(node.restore_failures(), 1);
+        assert_eq!(node.cold_restarts(), 1);
+        assert_eq!(node.warm_restarts(), 0);
+        assert!(node.checkpoint_data().is_none(), "garbage checkpoint is discarded");
+    }
+
+    #[test]
+    fn thermal_emergency_pins_the_floor_then_lifts() {
+        let mut node = Node::new(0, &NodeConfig::default_node(), &mix(), 1);
+        let t = warm_up(&mut node, 5);
+        let cap = mw(0.8 * node.platform().gpu().spec().peak_power_w());
+        node.thermal_emergency(t, 2.5);
+        let mut now = t;
+        for _ in 0..2 {
+            let prev = now;
+            now += SimDuration::from_secs_f64(1.0);
+            node.lifecycle_tick(now);
+            assert!(node.thermal_active());
+            node.advance(prev, now);
+            let over = node.control_tick(now, cap);
+            assert_eq!(node.current_pair(), (0, 0), "throttle pins floor clocks");
+            assert_eq!(over, 0.0);
+            let d = node.demand();
+            assert_eq!(d.desired_mw, d.floor_mw, "throttled node desires only its floor");
+        }
+        // 2.5 s elapse → the throttle lifts on the next lifecycle tick.
+        now += SimDuration::from_secs_f64(1.0);
+        node.lifecycle_tick(now);
+        assert!(!node.thermal_active());
+        assert_eq!(node.thermal_events(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Pluggable placement policies.
 //!
-//! A policy picks which idle, healthy node serves the next queued job.
+//! A policy picks which idle, healthy, alive node serves the next queued
+//! job, further filtered by the scheduler's circuit-breaker mask.
 //! All three policies are deterministic: candidates are scanned in node
 //! order and ties break toward the lowest id, so a fleet run is a pure
 //! function of its seed.
@@ -42,11 +43,21 @@ impl Policy {
     }
 }
 
-/// Picks a node for `job` among idle, healthy nodes; `None` when no node
-/// can take work. `rr_cursor` carries the round-robin position across
-/// calls.
-pub fn pick_node(policy: Policy, job: &JobSpec, nodes: &[Node], rr_cursor: &mut usize, now: SimTime) -> Option<usize> {
-    let available = |n: &Node| n.is_idle() && n.healthy();
+/// Picks a node for `job` among idle, healthy, alive nodes; `None` when
+/// no node can take work. `rr_cursor` carries the round-robin position
+/// across calls. `allowed` is the scheduler's circuit-breaker mask —
+/// `allowed[i] == false` excludes node `i`; an empty slice allows all.
+pub fn pick_node(
+    policy: Policy,
+    job: &JobSpec,
+    nodes: &[Node],
+    allowed: &[bool],
+    rr_cursor: &mut usize,
+    now: SimTime,
+) -> Option<usize> {
+    let available = |n: &Node| {
+        allowed.get(n.id()).copied().unwrap_or(true) && n.is_idle() && n.healthy() && n.is_alive()
+    };
     match policy {
         Policy::RoundRobin => {
             let n = nodes.len();
@@ -133,10 +144,10 @@ mod tests {
     fn round_robin_rotates() {
         let nodes = fleet(3);
         let mut cursor = 0;
-        let a = pick_node(Policy::RoundRobin, &job(), &nodes, &mut cursor, SimTime::ZERO);
-        let b = pick_node(Policy::RoundRobin, &job(), &nodes, &mut cursor, SimTime::ZERO);
-        let c = pick_node(Policy::RoundRobin, &job(), &nodes, &mut cursor, SimTime::ZERO);
-        let d = pick_node(Policy::RoundRobin, &job(), &nodes, &mut cursor, SimTime::ZERO);
+        let a = pick_node(Policy::RoundRobin, &job(), &nodes, &[], &mut cursor, SimTime::ZERO);
+        let b = pick_node(Policy::RoundRobin, &job(), &nodes, &[], &mut cursor, SimTime::ZERO);
+        let c = pick_node(Policy::RoundRobin, &job(), &nodes, &[], &mut cursor, SimTime::ZERO);
+        let d = pick_node(Policy::RoundRobin, &job(), &nodes, &[], &mut cursor, SimTime::ZERO);
         assert_eq!((a, b, c, d), (Some(0), Some(1), Some(2), Some(0)));
     }
 
@@ -146,11 +157,11 @@ mod tests {
         nodes[0].dispatch(job(), SimTime::ZERO);
         let mut cursor = 0;
         for p in Policy::ALL {
-            assert_eq!(pick_node(p, &job(), &nodes, &mut cursor, SimTime::ZERO), Some(1));
+            assert_eq!(pick_node(p, &job(), &nodes, &[], &mut cursor, SimTime::ZERO), Some(1));
         }
         nodes[1].dispatch(job(), SimTime::ZERO);
         for p in Policy::ALL {
-            assert_eq!(pick_node(p, &job(), &nodes, &mut cursor, SimTime::ZERO), None);
+            assert_eq!(pick_node(p, &job(), &nodes, &[], &mut cursor, SimTime::ZERO), None);
         }
     }
 
@@ -162,7 +173,7 @@ mod tests {
         nodes[0].advance(SimTime::ZERO, SimTime::from_secs(1000));
         let mut cursor = 0;
         assert_eq!(
-            pick_node(Policy::LeastLoaded, &job(), &nodes, &mut cursor, SimTime::ZERO),
+            pick_node(Policy::LeastLoaded, &job(), &nodes, &[], &mut cursor, SimTime::ZERO),
             Some(1)
         );
     }
@@ -172,9 +183,32 @@ mod tests {
         let nodes = fleet(3);
         let mut cursor = 0;
         assert_eq!(
-            pick_node(Policy::EnergyAware, &job(), &nodes, &mut cursor, SimTime::ZERO),
+            pick_node(Policy::EnergyAware, &job(), &nodes, &[], &mut cursor, SimTime::ZERO),
             Some(0),
             "ties break toward the lowest id"
         );
+    }
+
+    #[test]
+    fn breaker_mask_and_dead_nodes_are_excluded() {
+        let mut nodes = fleet(3);
+        let mut cursor = 0;
+        for p in Policy::ALL {
+            assert_eq!(
+                pick_node(p, &job(), &nodes, &[false, true, true], &mut cursor, SimTime::ZERO),
+                Some(1),
+                "{} must respect the breaker mask", p.name()
+            );
+            cursor = 0;
+        }
+        nodes[1].crash(SimTime::ZERO, 5.0);
+        for p in Policy::ALL {
+            assert_eq!(
+                pick_node(p, &job(), &nodes, &[false, true, true], &mut cursor, SimTime::ZERO),
+                Some(2),
+                "{} must skip the crashed node", p.name()
+            );
+            cursor = 0;
+        }
     }
 }

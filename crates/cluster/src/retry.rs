@@ -1,0 +1,161 @@
+//! Bounded-retry re-dispatch of jobs lost to crashes.
+//!
+//! When a node crashes mid-job, the job is not gone — the fleet hands it
+//! to the [`RetryQueue`], which re-submits it after an exponential
+//! backoff (`retry_backoff_s · 2^(attempt−1)`). A job that exceeds
+//! [`max_retries`](crate::LifecycleParams::max_retries) lost attempts is
+//! *dead-lettered*: parked in an inspectable queue instead of retried
+//! forever, so one poisonous workload cannot monopolize the fleet.
+//! Everything is keyed on virtual time and job ids — fully deterministic.
+
+use crate::job::JobSpec;
+use greengpu_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A job waiting out its re-dispatch backoff.
+#[derive(Debug, Clone)]
+struct PendingRetry {
+    job: JobSpec,
+    ready_at: SimTime,
+}
+
+/// The crash-loss retry machinery: backoff queue + dead-letter queue.
+#[derive(Debug, Clone)]
+pub struct RetryQueue {
+    max_retries: u32,
+    backoff_s: f64,
+    /// Lost-attempt count per job id (a dispatch that crashes counts; a
+    /// completed job is simply never reported lost again).
+    attempts: BTreeMap<u64, u32>,
+    pending: Vec<PendingRetry>,
+    dead: Vec<JobSpec>,
+    retried: u64,
+}
+
+impl RetryQueue {
+    /// A queue allowing `max_retries` re-dispatches with exponential
+    /// backoff base `backoff_s`.
+    pub fn new(max_retries: u32, backoff_s: f64) -> Self {
+        assert!(backoff_s.is_finite() && backoff_s > 0.0, "backoff_s must be positive");
+        RetryQueue {
+            max_retries,
+            backoff_s,
+            attempts: BTreeMap::new(),
+            pending: Vec::new(),
+            dead: Vec::new(),
+            retried: 0,
+        }
+    }
+
+    /// Reports a job lost to a crash at `now`. Queues it for re-dispatch
+    /// after the backoff, or dead-letters it when its retry budget is
+    /// spent. Returns `true` when the job will be retried.
+    pub fn job_lost(&mut self, job: JobSpec, now: SimTime) -> bool {
+        let attempts = self.attempts.entry(job.id).or_insert(0);
+        *attempts += 1;
+        if *attempts > self.max_retries {
+            self.dead.push(job);
+            return false;
+        }
+        // Attempt n waits backoff · 2^(n−1).
+        let wait = self.backoff_s * f64::from(1u32 << (*attempts - 1).min(20));
+        self.pending.push(PendingRetry {
+            job,
+            ready_at: now + SimDuration::from_secs_f64(wait),
+        });
+        self.retried += 1;
+        true
+    }
+
+    /// Removes and returns every job whose backoff elapsed by `now`,
+    /// ordered by `(ready_at, id)` so re-submission order is
+    /// deterministic.
+    pub fn drain_ready(&mut self, now: SimTime) -> Vec<JobSpec> {
+        let mut ready: Vec<PendingRetry> = Vec::new();
+        let mut still_waiting = Vec::new();
+        for p in self.pending.drain(..) {
+            if p.ready_at <= now {
+                ready.push(p);
+            } else {
+                still_waiting.push(p);
+            }
+        }
+        self.pending = still_waiting;
+        ready.sort_by_key(|p| (p.ready_at, p.job.id));
+        ready.into_iter().map(|p| p.job).collect()
+    }
+
+    /// Jobs parked after exhausting their retry budget.
+    pub fn dead_letter(&self) -> &[JobSpec] {
+        &self.dead
+    }
+
+    /// Total re-dispatches queued so far.
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Jobs currently waiting out a backoff.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn job(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            workload: "kmeans".to_string(),
+            arrival: SimTime::ZERO,
+            size: 1.0,
+            deadline: None,
+        }
+    }
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_then_dead_letter() {
+        let mut q = RetryQueue::new(2, 2.0);
+        // Attempt 1: ready after 2 s.
+        assert!(q.job_lost(job(7), at(10.0)));
+        assert!(q.drain_ready(at(11.9)).is_empty());
+        assert_eq!(q.drain_ready(at(12.0)).len(), 1);
+        // Attempt 2: ready after 4 s.
+        assert!(q.job_lost(job(7), at(20.0)));
+        assert!(q.drain_ready(at(23.9)).is_empty());
+        assert_eq!(q.drain_ready(at(24.0)).len(), 1);
+        // Attempt 3 exceeds max_retries = 2 → dead letter.
+        assert!(!q.job_lost(job(7), at(30.0)));
+        assert_eq!(q.dead_letter().len(), 1);
+        assert_eq!(q.dead_letter()[0].id, 7);
+        assert_eq!(q.retried(), 2);
+    }
+
+    #[test]
+    fn drain_orders_by_ready_time_then_id() {
+        let mut q = RetryQueue::new(3, 1.0);
+        q.job_lost(job(5), at(0.5)); // ready 1.5
+        q.job_lost(job(3), at(0.0)); // ready 1.0
+        q.job_lost(job(9), at(0.0)); // ready 1.0
+        let ids: Vec<u64> = q.drain_ready(at(2.0)).iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![3, 9, 5]);
+        assert_eq!(q.pending_len(), 0);
+    }
+
+    #[test]
+    fn independent_jobs_have_independent_budgets() {
+        let mut q = RetryQueue::new(1, 1.0);
+        assert!(q.job_lost(job(1), at(0.0)));
+        assert!(q.job_lost(job(2), at(0.0)));
+        assert!(!q.job_lost(job(1), at(5.0)), "job 1 budget spent");
+        assert!(!q.job_lost(job(2), at(5.0)), "job 2 budget spent");
+        assert_eq!(q.dead_letter().len(), 2);
+    }
+}

@@ -51,12 +51,22 @@ impl Scheduler {
         true
     }
 
-    /// Dispatches queued jobs to idle, healthy nodes until the policy
-    /// finds no taker; returns how many were placed.
-    pub fn dispatch(&mut self, nodes: &mut [Node], now: SimTime) -> usize {
+    /// Re-admits a job at the *front* of the queue (a crash-retry keeps
+    /// its place ahead of newer arrivals). Exempt from the capacity bound:
+    /// the job was already admitted once, and dropping it here would turn
+    /// backpressure into silent loss.
+    pub fn requeue_front(&mut self, job: JobSpec) {
+        self.queue.push_front(job);
+        self.peak_depth = self.peak_depth.max(self.queue.len());
+    }
+
+    /// Dispatches queued jobs to idle, healthy, alive nodes until the
+    /// policy finds no taker; returns how many were placed. `allowed` is
+    /// the circuit-breaker mask (`false` = blocked; empty = all allowed).
+    pub fn dispatch(&mut self, nodes: &mut [Node], allowed: &[bool], now: SimTime) -> usize {
         let mut placed = 0;
         while let Some(job) = self.queue.front() {
-            match pick_node(self.policy, job, nodes, &mut self.rr_cursor, now) {
+            match pick_node(self.policy, job, nodes, allowed, &mut self.rr_cursor, now) {
                 Some(i) => {
                     let job = self.queue.pop_front().expect("non-empty");
                     nodes[i].dispatch(job, now);
@@ -133,9 +143,42 @@ mod tests {
         for id in 0..3 {
             s.submit(job(id));
         }
-        let placed = s.dispatch(&mut nodes, SimTime::ZERO);
+        let placed = s.dispatch(&mut nodes, &[], SimTime::ZERO);
         assert_eq!(placed, 2, "two nodes, two placements");
         assert_eq!(s.depth(), 1, "third job stays queued");
         assert!(nodes.iter().all(|n| !n.is_idle()));
+    }
+
+    #[test]
+    fn requeue_front_jumps_the_line_and_ignores_capacity() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 2);
+        assert!(s.submit(job(0)));
+        assert!(s.submit(job(1)));
+        s.requeue_front(job(9));
+        assert_eq!(s.depth(), 3, "retries bypass the admission bound");
+        let mut nodes: Vec<Node> = (0..1)
+            .map(|i| Node::new(i, &NodeConfig::default_node(), &mix(), 1))
+            .collect();
+        s.dispatch(&mut nodes, &[], SimTime::ZERO);
+        assert_eq!(s.depth(), 2, "one node, one placement");
+        // The retried job went first.
+        assert_eq!(nodes[0].completed(), 0);
+        let rec = nodes[0]
+            .advance(SimTime::ZERO, SimTime::from_secs(100_000))
+            .expect("finishes");
+        assert_eq!(rec.spec.id, 9);
+    }
+
+    #[test]
+    fn breaker_mask_blocks_dispatch() {
+        let mut nodes: Vec<Node> = (0..2)
+            .map(|i| Node::new(i, &NodeConfig::default_node(), &mix(), 1))
+            .collect();
+        let mut s = Scheduler::new(Policy::RoundRobin, 8);
+        s.submit(job(0));
+        s.submit(job(1));
+        assert_eq!(s.dispatch(&mut nodes, &[false, false], SimTime::ZERO), 0);
+        assert_eq!(s.dispatch(&mut nodes, &[false, true], SimTime::ZERO), 1);
+        assert!(nodes[0].is_idle() && !nodes[1].is_idle());
     }
 }

@@ -38,6 +38,14 @@ pub struct TraceRow {
     /// Worst per-node excess of enforced-pair power over cap this
     /// interval, watts (0 when every node complies).
     pub max_pair_over_cap_w: f64,
+    /// Nodes in lifecycle state `Up` or `Probation`.
+    pub up_nodes: usize,
+    /// Circuit breakers currently `Open`.
+    pub open_breakers: usize,
+    /// Jobs waiting out a retry backoff.
+    pub retry_depth: usize,
+    /// Jobs dead-lettered so far.
+    pub dead_lettered: u64,
 }
 
 /// The full per-interval trace of one fleet run.
@@ -67,6 +75,10 @@ impl FleetTrace {
                 "deadline_misses",
                 "cap_violations",
                 "max_pair_over_cap_w",
+                "up_nodes",
+                "open_breakers",
+                "retry_depth",
+                "dead_lettered",
             ],
         );
         for r in &self.rows {
@@ -85,6 +97,10 @@ impl FleetTrace {
                 r.deadline_misses.to_string(),
                 r.cap_violations.to_string(),
                 format!("{:.3}", r.max_pair_over_cap_w),
+                r.up_nodes.to_string(),
+                r.open_breakers.to_string(),
+                r.retry_depth.to_string(),
+                r.dead_lettered.to_string(),
             ]);
         }
         t
@@ -124,6 +140,10 @@ mod tests {
             deadline_misses: 0,
             cap_violations: 0,
             max_pair_over_cap_w: 0.0,
+            up_nodes: 2,
+            open_breakers: 0,
+            retry_depth: 0,
+            dead_lettered: 0,
         }
     }
 

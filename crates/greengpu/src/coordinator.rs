@@ -19,6 +19,10 @@ use greengpu_policy::{FreqPolicy, PolicyTelemetry};
 use greengpu_runtime::{Controller, IterationInfo};
 use greengpu_sim::{SimDuration, SimTime};
 
+/// Format version written into every controller checkpoint; restores
+/// reject any other version (bump on incompatible schema changes).
+pub const CHECKPOINT_VERSION: u64 = 1;
+
 /// Which division algorithm tier 1 runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivisionAlgo {
@@ -362,6 +366,71 @@ impl GreenGpuController {
         &self.governor
     }
 
+    /// Serializes the controller's learner state — the Tier-2 policy's
+    /// warm state plus the Tier-1 division ratio — as a versioned JSON
+    /// checkpoint string. Sensor/actuator state, hardening counters, and
+    /// telemetry are *not* checkpointed: a restarted node gets fresh
+    /// providers and fresh counters, only the learned knowledge survives.
+    pub fn snapshot(&self) -> String {
+        use greengpu_sim::JsonValue;
+        let division = match &self.division {
+            DivisionImpl::Stepwise(c) => c.snapshot(),
+            // The model-based jump recalibrates from its first iteration;
+            // there is no warm state worth carrying across a restart.
+            DivisionImpl::ModelBased(_) => JsonValue::Null,
+        };
+        JsonValue::Obj(vec![
+            ("version".to_string(), JsonValue::u64(CHECKPOINT_VERSION)),
+            ("policy".to_string(), JsonValue::str(self.policy.name())),
+            ("state".to_string(), self.policy.snapshot()),
+            ("division".to_string(), division),
+        ])
+        .to_string()
+    }
+
+    /// Restores a checkpoint produced by [`GreenGpuController::snapshot`].
+    ///
+    /// Rejects (with a field-naming error) anything unparsable, any
+    /// version other than [`CHECKPOINT_VERSION`], and a policy name that
+    /// does not match the live policy. Each layer validates its value
+    /// before mutating, so a rejected checkpoint leaves a *fresh*
+    /// controller unchanged; on the node-restart path a failure means the
+    /// whole controller is discarded for a cold start anyway, so partial
+    /// restoration across layers is harmless.
+    pub fn restore(&mut self, checkpoint: &str) -> Result<(), String> {
+        use greengpu_policy::snap;
+        use greengpu_sim::JsonValue;
+        let v = JsonValue::parse(checkpoint)?;
+        let version = snap::parse_u64(&v, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} is not the supported version {CHECKPOINT_VERSION}"
+            ));
+        }
+        let name = snap::field(&v, "policy")?
+            .as_str()
+            .ok_or_else(|| "policy must be a string".to_string())?;
+        if name != self.policy.name() {
+            return Err(format!(
+                "checkpoint is for policy {name:?}, controller runs {:?}",
+                self.policy.name()
+            ));
+        }
+        self.policy.restore(snap::field(&v, "state")?)?;
+        let division = snap::field(&v, "division")?;
+        match (&mut self.division, division.is_null()) {
+            (DivisionImpl::Stepwise(c), false) => c.restore(division)?,
+            (DivisionImpl::Stepwise(_), true) => {
+                return Err("division must be present for a step-wise controller".to_string());
+            }
+            (DivisionImpl::ModelBased(_), true) => {}
+            (DivisionImpl::ModelBased(_), false) => {
+                return Err("division must be null for a model-based controller".to_string());
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the best-performance fallback has engaged.
     pub fn fallback_engaged(&self) -> bool {
         self.fallback
@@ -477,6 +546,14 @@ impl Controller for GreenGpuController {
         } else {
             0.0
         }
+    }
+
+    fn checkpoint(&self) -> Option<String> {
+        Some(self.snapshot())
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &str) -> Result<(), String> {
+        self.restore(checkpoint)
     }
 
     fn dvfs_period(&self) -> Option<SimDuration> {

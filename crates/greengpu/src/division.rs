@@ -114,6 +114,55 @@ impl DivisionController {
         self.moves
     }
 
+    /// Serializes the Tier-1 warm state: the grid position `k` (the
+    /// division ratio is `k · step`), the hold/move counters, and the
+    /// last observed per-share rates the `r = 0` extrapolation needs.
+    pub fn snapshot(&self) -> greengpu_sim::JsonValue {
+        use greengpu_sim::JsonValue;
+        let rate = |r: Option<f64>| r.map_or(JsonValue::Null, JsonValue::f64);
+        JsonValue::Obj(vec![
+            ("k".to_string(), JsonValue::i64(self.k)),
+            ("held".to_string(), JsonValue::u64(self.held)),
+            ("moves".to_string(), JsonValue::u64(self.moves)),
+            ("tc_rate".to_string(), rate(self.tc_rate)),
+            ("tg_rate".to_string(), rate(self.tg_rate)),
+        ])
+    }
+
+    /// Restores state captured by [`DivisionController::snapshot`].
+    /// Validates everything (including that `k` lies inside this
+    /// controller's clamp range) before mutating anything.
+    pub fn restore(&mut self, state: &greengpu_sim::JsonValue) -> Result<(), String> {
+        use greengpu_policy::snap;
+        let k = snap::field(state, "k")?
+            .as_i64()
+            .ok_or_else(|| "k must be an integer".to_string())?;
+        if !(self.k_min..=self.k_max).contains(&k) {
+            return Err(format!("k = {k} outside the clamp range [{}, {}]", self.k_min, self.k_max));
+        }
+        let held = snap::parse_u64(state, "held")?;
+        let moves = snap::parse_u64(state, "moves")?;
+        let rate = |name: &str| -> Result<Option<f64>, String> {
+            let v = snap::field(state, name)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            let r = v.as_f64().ok_or_else(|| format!("{name} must be a number or null"))?;
+            if r <= 0.0 {
+                return Err(format!("{name} must be positive, got {r}"));
+            }
+            Ok(Some(r))
+        };
+        let tc_rate = rate("tc_rate")?;
+        let tg_rate = rate("tg_rate")?;
+        self.k = k;
+        self.held = held;
+        self.moves = moves;
+        self.tc_rate = tc_rate;
+        self.tg_rate = tg_rate;
+        Ok(())
+    }
+
     /// One division decision from the measured iteration times. Returns
     /// the share for the next iteration.
     ///

@@ -97,6 +97,14 @@ impl FreqPolicy for WmaPolicy {
         self.tracker.reset();
     }
 
+    fn snapshot(&self) -> greengpu_sim::JsonValue {
+        self.scaler.snapshot()
+    }
+
+    fn restore(&mut self, state: &greengpu_sim::JsonValue) -> Result<(), String> {
+        self.scaler.restore(state)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -307,6 +307,39 @@ impl WmaScaler {
         self.intervals = 0;
         self.empty_mask_fallbacks = 0;
     }
+
+    /// Serializes the learner's warm state for checkpointing: the weight
+    /// table plus the interval counters. The `umean` maps are derived
+    /// from the grid shape at construction and are not stored.
+    pub fn snapshot(&self) -> greengpu_sim::JsonValue {
+        use greengpu_sim::JsonValue;
+        JsonValue::Obj(vec![
+            ("weights".to_string(), JsonValue::f64_array(&self.weights)),
+            ("intervals".to_string(), JsonValue::u64(self.intervals)),
+            (
+                "empty_mask_fallbacks".to_string(),
+                JsonValue::u64(self.empty_mask_fallbacks),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`WmaScaler::snapshot`]. Validates the
+    /// whole value before mutating anything, so a failed restore leaves
+    /// the scaler unchanged.
+    pub fn restore(&mut self, state: &greengpu_sim::JsonValue) -> Result<(), String> {
+        use greengpu_policy::snap;
+        let weights =
+            snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
+        if weights.iter().any(|&w| !(0.0..=1.0).contains(&w)) {
+            return Err("weights must lie in [0, 1] (max-renormalized table)".to_string());
+        }
+        let intervals = snap::parse_u64(state, "intervals")?;
+        let fallbacks = snap::parse_u64(state, "empty_mask_fallbacks")?;
+        self.weights = weights;
+        self.intervals = intervals;
+        self.empty_mask_fallbacks = fallbacks;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use crate::cpu::CpuModel;
 use crate::gpu::GpuModel;
 use crate::platform::Platform;
 use crate::smi::{CpuReading, Smi, SmiReading};
-use greengpu_sim::rng::Pcg32;
+use greengpu_sim::rng::{Pcg32, SplitMix64};
 use greengpu_sim::SimTime;
 
 /// A source of utilization readings for the control tiers.
@@ -588,6 +588,300 @@ impl FreqActuator for FaultyActuator {
     }
 }
 
+// ---------------------------------------------------------------------
+// Chaos schedule: node-level failure events
+// ---------------------------------------------------------------------
+
+/// Stream ids for the chaos channels, continuing the fault streams above.
+const STREAM_CHAOS_CRASH: u64 = 0xFA05;
+const STREAM_CHAOS_THERMAL: u64 = 0xFA06;
+const STREAM_CHAOS_BLACKOUT: u64 = 0xFA07;
+
+/// What happens to a node at a chaos event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosKind {
+    /// The node dies: learner state and the in-flight job are lost, the
+    /// node draws no budget, and it stays dark for `outage_s` before its
+    /// restart begins.
+    Crash {
+        /// Seconds between the crash and the start of the restart.
+        outage_s: f64,
+    },
+    /// A thermal emergency: the node survives but must run at its floor
+    /// frequency pair for `duration_s` (its power demand collapses to the
+    /// floor and the budget is re-apportioned around it).
+    ThermalEmergency {
+        /// Seconds the node is pinned to its floor pair.
+        duration_s: f64,
+    },
+    /// A telemetry blackout: every sensor poll in the window returns NaN
+    /// fields, exercising the controller's last-known-good hold.
+    TelemetryBlackout {
+        /// Seconds the node's sensors read nothing.
+        duration_s: f64,
+    },
+}
+
+impl ChaosKind {
+    /// Stable ordering rank so same-instant events sort deterministically.
+    fn rank(&self) -> u8 {
+        match self {
+            ChaosKind::Crash { .. } => 0,
+            ChaosKind::ThermalEmergency { .. } => 1,
+            ChaosKind::TelemetryBlackout { .. } => 2,
+        }
+    }
+}
+
+/// One scheduled failure: when, which node, what kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// Virtual time the event fires.
+    pub at: SimTime,
+    /// Index of the affected node.
+    pub node: usize,
+    /// What happens.
+    pub kind: ChaosKind,
+}
+
+/// Seeded configuration of node-level failures for one fleet run.
+///
+/// Each channel is a per-node Poisson process: event gaps are drawn as
+/// `-ln(1-u)/rate` from a dedicated [`Pcg32`] stream derived from
+/// `seed + node`, so (a) the schedule for node *i* never depends on how
+/// many nodes exist, and (b) a channel whose rate is zero draws nothing —
+/// a quiet plan perturbs no stream anywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Root seed; per-node sub-seeds derive from it.
+    pub seed: u64,
+    /// Mean crashes per node-second (0 disables crashes).
+    pub crash_rate_per_s: f64,
+    /// Uniform range of the dark period after a crash, seconds.
+    pub outage_s: (f64, f64),
+    /// Mean thermal emergencies per node-second (0 disables them).
+    pub thermal_rate_per_s: f64,
+    /// Uniform range of thermal-emergency duration, seconds.
+    pub thermal_s: (f64, f64),
+    /// Mean telemetry blackouts per node-second (0 disables them).
+    pub blackout_rate_per_s: f64,
+    /// Uniform range of blackout duration, seconds.
+    pub blackout_s: (f64, f64),
+}
+
+impl ChaosPlan {
+    /// A plan that schedules nothing.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            crash_rate_per_s: 0.0,
+            outage_s: (2.0, 6.0),
+            thermal_rate_per_s: 0.0,
+            thermal_s: (3.0, 8.0),
+            blackout_rate_per_s: 0.0,
+            blackout_s: (2.0, 5.0),
+        }
+    }
+
+    /// Crashes only, at `rate` per node-second with `outage_s` dark time.
+    pub fn crashes_only(seed: u64, rate: f64, outage_s: (f64, f64)) -> Self {
+        ChaosPlan {
+            crash_rate_per_s: rate,
+            outage_s,
+            ..ChaosPlan::quiet(seed)
+        }
+    }
+
+    /// Adds thermal emergencies at `rate` per node-second.
+    pub fn with_thermal(mut self, rate: f64, duration_s: (f64, f64)) -> Self {
+        self.thermal_rate_per_s = rate;
+        self.thermal_s = duration_s;
+        self
+    }
+
+    /// Adds telemetry blackouts at `rate` per node-second.
+    pub fn with_blackouts(mut self, rate: f64, duration_s: (f64, f64)) -> Self {
+        self.blackout_rate_per_s = rate;
+        self.blackout_s = duration_s;
+        self
+    }
+
+    /// Whether the plan schedules nothing on any channel.
+    pub fn is_quiet(&self) -> bool {
+        self.crash_rate_per_s == 0.0
+            && self.thermal_rate_per_s == 0.0
+            && self.blackout_rate_per_s == 0.0
+    }
+
+    /// Non-panicking parameter check, naming the offending field.
+    pub fn try_validate(&self) -> Result<(), String> {
+        let rate = |name: &str, v: f64| -> Result<(), String> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+            Ok(())
+        };
+        let range = |name: &str, (lo, hi): (f64, f64)| -> Result<(), String> {
+            if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+                return Err(format!(
+                    "{name} must be a positive ordered range, got ({lo}, {hi})"
+                ));
+            }
+            Ok(())
+        };
+        rate("crash_rate_per_s", self.crash_rate_per_s)?;
+        rate("thermal_rate_per_s", self.thermal_rate_per_s)?;
+        rate("blackout_rate_per_s", self.blackout_rate_per_s)?;
+        range("outage_s", self.outage_s)?;
+        range("thermal_s", self.thermal_s)?;
+        range("blackout_s", self.blackout_s)?;
+        Ok(())
+    }
+
+    /// Materializes the full event schedule for `n_nodes` nodes over
+    /// `[0, horizon_s)`, sorted by `(time, node, kind)`. Deterministic:
+    /// same plan, node count, and horizon ⇒ identical schedule.
+    pub fn schedule(&self, n_nodes: usize, horizon_s: f64) -> Vec<ChaosEvent> {
+        let mut events = Vec::new();
+        for node in 0..n_nodes {
+            let node_seed = SplitMix64::new(self.seed.wrapping_add(node as u64)).next_u64();
+            self.channel(
+                &mut events,
+                node,
+                horizon_s,
+                Pcg32::new(node_seed, STREAM_CHAOS_CRASH),
+                self.crash_rate_per_s,
+                self.outage_s,
+                |d| ChaosKind::Crash { outage_s: d },
+            );
+            self.channel(
+                &mut events,
+                node,
+                horizon_s,
+                Pcg32::new(node_seed, STREAM_CHAOS_THERMAL),
+                self.thermal_rate_per_s,
+                self.thermal_s,
+                |d| ChaosKind::ThermalEmergency { duration_s: d },
+            );
+            self.channel(
+                &mut events,
+                node,
+                horizon_s,
+                Pcg32::new(node_seed, STREAM_CHAOS_BLACKOUT),
+                self.blackout_rate_per_s,
+                self.blackout_s,
+                |d| ChaosKind::TelemetryBlackout { duration_s: d },
+            );
+        }
+        events.sort_by_key(|e| (e.at, e.node, e.kind.rank()));
+        events
+    }
+
+    /// Draws one channel's Poisson arrivals and uniform durations.
+    #[allow(clippy::too_many_arguments)]
+    fn channel(
+        &self,
+        events: &mut Vec<ChaosEvent>,
+        node: usize,
+        horizon_s: f64,
+        mut rng: Pcg32,
+        rate: f64,
+        duration_s: (f64, f64),
+        make: impl Fn(f64) -> ChaosKind,
+    ) {
+        if rate <= 0.0 {
+            return;
+        }
+        let mut t = 0.0;
+        loop {
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / rate;
+            if t >= horizon_s {
+                return;
+            }
+            let d = rng.uniform(duration_s.0, duration_s.1);
+            events.push(ChaosEvent {
+                at: SimTime::from_secs_f64(t),
+                node,
+                kind: make(d),
+            });
+        }
+    }
+}
+
+/// A [`SensorSource`] decorator that blanks every poll inside scheduled
+/// blackout windows: both readings come back with NaN fields, which the
+/// hardened controller's NaN rejection turns into a last-known-good hold.
+///
+/// The inner source is *always* polled first so its windowing/fault state
+/// stays identical to an un-blanked run. `injection_log` reports only the
+/// blackout events; the inner source's own log is unreachable through the
+/// wrapper (the fleet records blackout windows at schedule level instead).
+pub struct BlackoutSensors {
+    inner: Box<dyn SensorSource>,
+    /// Half-open `[start, end)` windows, assumed non-overlapping.
+    windows: Vec<(SimTime, SimTime)>,
+    log: Vec<InjectionEvent>,
+}
+
+impl BlackoutSensors {
+    /// Wraps `inner`, blanking polls inside `windows`.
+    pub fn new(inner: Box<dyn SensorSource>, windows: Vec<(SimTime, SimTime)>) -> Self {
+        BlackoutSensors {
+            inner,
+            windows,
+            log: Vec::new(),
+        }
+    }
+
+    fn dark_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|&(start, end)| start <= now && now < end)
+    }
+}
+
+impl SensorSource for BlackoutSensors {
+    fn poll_gpu(&mut self, gpu: &GpuModel, now: SimTime) -> SmiReading {
+        let truth = self.inner.poll_gpu(gpu, now);
+        if self.dark_at(now) {
+            self.log.push(InjectionEvent {
+                at: now,
+                channel: FaultChannel::GpuUtil,
+                kind: FaultKind::Drop,
+            });
+            return SmiReading {
+                u_core: f64::NAN,
+                u_mem: f64::NAN,
+                ..truth
+            };
+        }
+        truth
+    }
+
+    fn poll_cpu(&mut self, cpu: &CpuModel, now: SimTime) -> CpuReading {
+        let truth = self.inner.poll_cpu(cpu, now);
+        if self.dark_at(now) {
+            self.log.push(InjectionEvent {
+                at: now,
+                channel: FaultChannel::CpuUtil,
+                kind: FaultKind::Drop,
+            });
+            return CpuReading {
+                util: f64::NAN,
+                ..truth
+            };
+        }
+        truth
+    }
+
+    fn observe_iteration(&mut self, tc_s: f64, tg_s: f64) -> (f64, f64) {
+        self.inner.observe_iteration(tc_s, tg_s)
+    }
+
+    fn injection_log(&self) -> &[InjectionEvent] {
+        &self.log
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,5 +1077,91 @@ mod tests {
         assert!(FaultPlan::with_intensity(1, 0.0).is_clean());
         assert!(!FaultPlan::with_intensity(1, 1.0).is_clean());
         assert!(FaultPlan::clean(1).is_clean());
+    }
+
+    #[test]
+    fn quiet_chaos_plan_schedules_nothing() {
+        let plan = ChaosPlan::quiet(9);
+        assert!(plan.is_quiet());
+        assert!(plan.try_validate().is_ok());
+        assert!(plan.schedule(8, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_and_sorted() {
+        let plan = ChaosPlan::crashes_only(42, 0.05, (2.0, 6.0))
+            .with_thermal(0.02, (3.0, 8.0))
+            .with_blackouts(0.03, (2.0, 5.0));
+        let a = plan.schedule(4, 300.0);
+        let b = plan.schedule(4, 300.0);
+        assert_eq!(a, b, "same plan ⇒ identical schedule");
+        assert!(!a.is_empty(), "rates this high must produce events");
+        for w in a.windows(2) {
+            assert!(w[0].at <= w[1].at, "sorted by time");
+        }
+        for e in &a {
+            assert!(e.node < 4);
+            assert!(e.at < SimTime::from_secs(300));
+            match e.kind {
+                ChaosKind::Crash { outage_s: d }
+                | ChaosKind::ThermalEmergency { duration_s: d }
+                | ChaosKind::TelemetryBlackout { duration_s: d } => {
+                    assert!(d > 0.0 && d.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_per_node_is_independent_of_fleet_size() {
+        // Node 2's events must not change when the fleet grows.
+        let plan = ChaosPlan::crashes_only(7, 0.04, (2.0, 6.0));
+        let small: Vec<_> = plan.schedule(3, 200.0).into_iter().filter(|e| e.node == 2).collect();
+        let large: Vec<_> = plan.schedule(8, 200.0).into_iter().filter(|e| e.node == 2).collect();
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn chaos_validation_names_the_offending_field() {
+        let mut plan = ChaosPlan::quiet(1);
+        plan.crash_rate_per_s = -1.0;
+        assert!(plan.try_validate().unwrap_err().contains("crash_rate_per_s"));
+        let mut plan = ChaosPlan::quiet(1);
+        plan.outage_s = (5.0, 2.0);
+        assert!(plan.try_validate().unwrap_err().contains("outage_s"));
+        let mut plan = ChaosPlan::quiet(1);
+        plan.blackout_s = (0.0, 2.0);
+        assert!(plan.try_validate().unwrap_err().contains("blackout_s"));
+        let mut plan = ChaosPlan::quiet(1);
+        plan.thermal_rate_per_s = f64::NAN;
+        assert!(plan.try_validate().unwrap_err().contains("thermal_rate_per_s"));
+    }
+
+    #[test]
+    fn blackout_sensors_blank_polls_inside_the_window_only() {
+        let gpu = gpu_at_half();
+        let cpu = CpuModel::new(phenom_ii_x2(), 0);
+        let windows = vec![(SimTime::from_secs(5), SimTime::from_secs(8))];
+        let mut dark = BlackoutSensors::new(Box::new(CleanSensors::new()), windows);
+        let mut clean = CleanSensors::new();
+        for t in 1..12 {
+            let now = SimTime::from_secs(t);
+            let d = dark.poll_gpu(&gpu, now);
+            let c = clean.poll_gpu(&gpu, now);
+            let dc = dark.poll_cpu(&cpu, now);
+            if (5..8).contains(&t) {
+                assert!(d.u_core.is_nan() && d.u_mem.is_nan(), "t={t} must be dark");
+                assert!(dc.util.is_nan());
+            } else {
+                assert_eq!(d, c, "t={t} must match the clean poll");
+                assert!(dc.util.is_finite());
+            }
+        }
+        // 3 dark seconds × 2 channels.
+        assert_eq!(dark.injection_log().len(), 6);
+        assert!(dark
+            .injection_log()
+            .iter()
+            .all(|e| e.kind == FaultKind::Drop));
     }
 }

@@ -26,7 +26,10 @@
 //!   controllers and the testbed, plus a deterministic, seeded fault
 //!   injector ([`FaultPlan`], [`FaultySensor`], [`FaultyActuator`]) that
 //!   recreates noisy polls, stale/lost readings, misapplied reclocks, and
-//!   miscalibrated meters.
+//!   miscalibrated meters — and the node-level chaos schedule
+//!   ([`ChaosPlan`]: seeded crash, thermal-emergency, and
+//!   telemetry-blackout events) plus the [`BlackoutSensors`] decorator
+//!   that blanks polls inside blackout windows.
 //! * [`nvml`] — an NVML-vocabulary compatibility facade over the same
 //!   sensors/actuators (utilization percentages, clock tables,
 //!   application-clock setting, power/energy in NVML units).
@@ -46,8 +49,8 @@ pub mod smi;
 
 pub use cpu::{CpuModel, CpuSpec};
 pub use faults::{
-    CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator,
-    SensorSource,
+    BlackoutSensors, ChaosEvent, ChaosKind, ChaosPlan, CleanSensors, DirectActuator, FaultPlan,
+    FaultyActuator, FaultySensor, FreqActuator, SensorSource,
 };
 pub use freq::FrequencyDomain;
 pub use gpu::{GpuModel, GpuSpec};

@@ -32,8 +32,8 @@
 
 use crate::loss::{LossModel, LossParams};
 use crate::telemetry::{DecisionTracker, PolicyTelemetry};
-use crate::{hold_masked, FreqPolicy};
-use greengpu_sim::Pcg32;
+use crate::{hold_masked, snap, FreqPolicy};
+use greengpu_sim::{JsonValue, Pcg32};
 
 /// Switching-cost shaping shared by both bandits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -285,6 +285,36 @@ impl FreqPolicy for Exp3Policy {
         self.tracker.reset();
     }
 
+    fn snapshot(&self) -> JsonValue {
+        let (rng_state, rng_inc) = self.rng.state();
+        JsonValue::Obj(vec![
+            ("weights".to_string(), JsonValue::f64_array(&self.weights)),
+            ("rng_state".to_string(), JsonValue::u64(rng_state)),
+            ("rng_inc".to_string(), JsonValue::u64(rng_inc)),
+            ("current".to_string(), snap::pair(self.current)),
+        ])
+    }
+
+    fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let weights =
+            snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
+        if weights.iter().any(|&w| w < 0.0) {
+            return Err("weights must be non-negative".to_string());
+        }
+        let rng_state = snap::parse_u64(state, "rng_state")?;
+        let rng_inc = snap::parse_u64(state, "rng_inc")?;
+        let current = snap::parse_pair(
+            snap::field(state, "current")?,
+            "current",
+            self.n_core,
+            self.n_mem,
+        )?;
+        self.weights = weights;
+        self.rng = Pcg32::from_state(rng_state, rng_inc);
+        self.current = current;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -485,6 +515,40 @@ impl FreqPolicy for UcbPolicy {
         self.t = 0;
         self.current = None;
         self.tracker.reset();
+    }
+
+    fn snapshot(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("counts".to_string(), JsonValue::u64_array(&self.counts)),
+            ("mean_loss".to_string(), JsonValue::f64_array(&self.mean_loss)),
+            ("t".to_string(), JsonValue::u64(self.t)),
+            ("current".to_string(), snap::pair(self.current)),
+        ])
+    }
+
+    fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let counts =
+            snap::parse_u64_vec(snap::field(state, "counts")?, "counts", self.counts.len())?;
+        let mean_loss = snap::parse_f64_vec(
+            snap::field(state, "mean_loss")?,
+            "mean_loss",
+            self.mean_loss.len(),
+        )?;
+        let t = snap::parse_u64(state, "t")?;
+        if counts.iter().sum::<u64>() != t {
+            return Err(format!("t = {t} does not equal the sum of counts"));
+        }
+        let current = snap::parse_pair(
+            snap::field(state, "current")?,
+            "current",
+            self.n_core,
+            self.n_mem,
+        )?;
+        self.counts = counts;
+        self.mean_loss = mean_loss;
+        self.t = t;
+        self.current = current;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

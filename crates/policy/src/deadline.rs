@@ -17,7 +17,8 @@
 
 use crate::loss::{LossModel, LossParams};
 use crate::telemetry::{DecisionTracker, PolicyTelemetry};
-use crate::{hold_masked, FreqPolicy};
+use crate::{hold_masked, snap, FreqPolicy};
+use greengpu_sim::JsonValue;
 use greengpu_hw::gpu::GpuSpec;
 use greengpu_hw::perf::{gpu_timing, WorkUnits};
 
@@ -304,6 +305,24 @@ impl FreqPolicy for DeadlinePolicy {
         self.current = None;
         self.deadline_misses = 0;
         self.tracker.reset();
+    }
+
+    fn snapshot(&self) -> JsonValue {
+        // The selection is a pure function of the (static) model, so the
+        // incumbent pair plus the miss counter is the whole warm state.
+        JsonValue::Obj(vec![
+            ("current".to_string(), snap::pair(self.current)),
+            ("deadline_misses".to_string(), JsonValue::u64(self.deadline_misses)),
+        ])
+    }
+
+    fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let (n_core, n_mem) = self.model.shape();
+        let current = snap::parse_pair(snap::field(state, "current")?, "current", n_core, n_mem)?;
+        let misses = snap::parse_u64(state, "deadline_misses")?;
+        self.current = current;
+        self.deadline_misses = misses;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -38,6 +38,7 @@ pub mod telemetry;
 
 pub use bandit::{Exp3Params, Exp3Policy, SwitchingParams, UcbParams, UcbPolicy};
 pub use deadline::{DeadlineParams, DeadlinePolicy, PairModel};
+pub use greengpu_sim::JsonValue;
 pub use loss::{LossModel, LossParams};
 pub use telemetry::{DecisionTracker, PolicyTelemetry};
 
@@ -83,9 +84,106 @@ pub trait FreqPolicy: Send {
     /// Resets all learner state and telemetry to the initial state.
     fn reset(&mut self);
 
+    /// Serializes the learner's warm state (weights, counts, RNG
+    /// position, current pair) for checkpointing. Telemetry is *not*
+    /// included — a restored policy reports fresh counters. The default
+    /// (for stateless or test policies) is an empty object.
+    fn snapshot(&self) -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Restores learner state captured by [`FreqPolicy::snapshot`].
+    /// Implementations validate the whole value *before* mutating any
+    /// state, so a failed restore leaves the policy unchanged and the
+    /// caller can fall back to a cold start. The default accepts
+    /// anything and restores nothing.
+    fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let _ = state;
+        Ok(())
+    }
+
     /// Downcast hook (e.g. to reach the wrapped `WmaScaler` behind the
     /// adapter in the `greengpu` crate).
     fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Shared checkpoint (de)serialization helpers used by every
+/// [`FreqPolicy::snapshot`]/[`FreqPolicy::restore`] implementation (the
+/// `greengpu` crate reuses them for the WMA scaler and the division
+/// controller). All parsers validate *fully* before the caller mutates
+/// anything, and every error names the offending field.
+pub mod snap {
+    use greengpu_sim::JsonValue;
+
+    /// Encodes an optional `(i, j)` pair as `[i, j]` or `null`.
+    pub fn pair(current: Option<(usize, usize)>) -> JsonValue {
+        match current {
+            Some((i, j)) => JsonValue::Arr(vec![JsonValue::usize(i), JsonValue::usize(j)]),
+            None => JsonValue::Null,
+        }
+    }
+
+    /// Looks up a required field of an object snapshot.
+    pub fn field<'a>(v: &'a JsonValue, name: &str) -> Result<&'a JsonValue, String> {
+        v.get(name).ok_or_else(|| format!("snapshot missing field {name:?}"))
+    }
+
+    /// Decodes an optional in-range pair encoded by [`pair`].
+    pub fn parse_pair(
+        v: &JsonValue,
+        name: &str,
+        n_core: usize,
+        n_mem: usize,
+    ) -> Result<Option<(usize, usize)>, String> {
+        if v.is_null() {
+            return Ok(None);
+        }
+        let arr = v.as_arr().ok_or_else(|| format!("{name} must be [i, j] or null"))?;
+        if arr.len() != 2 {
+            return Err(format!("{name} must have exactly 2 elements, got {}", arr.len()));
+        }
+        let i = arr[0].as_usize().ok_or_else(|| format!("{name}[0] must be an index"))?;
+        let j = arr[1].as_usize().ok_or_else(|| format!("{name}[1] must be an index"))?;
+        if i >= n_core || j >= n_mem {
+            return Err(format!("{name} ({i}, {j}) out of {n_core}x{n_mem} grid"));
+        }
+        Ok(Some((i, j)))
+    }
+
+    /// Decodes a fixed-length array of finite `f64`s.
+    pub fn parse_f64_vec(v: &JsonValue, name: &str, len: usize) -> Result<Vec<f64>, String> {
+        let arr = v.as_arr().ok_or_else(|| format!("{name} must be an array"))?;
+        if arr.len() != len {
+            return Err(format!("{name} must have {len} elements, got {}", arr.len()));
+        }
+        arr.iter()
+            .enumerate()
+            .map(|(k, x)| {
+                x.as_f64().ok_or_else(|| format!("{name}[{k}] must be a finite number"))
+            })
+            .collect()
+    }
+
+    /// Decodes a fixed-length array of `u64`s (exact, no float detour).
+    pub fn parse_u64_vec(v: &JsonValue, name: &str, len: usize) -> Result<Vec<u64>, String> {
+        let arr = v.as_arr().ok_or_else(|| format!("{name} must be an array"))?;
+        if arr.len() != len {
+            return Err(format!("{name} must have {len} elements, got {}", arr.len()));
+        }
+        arr.iter()
+            .enumerate()
+            .map(|(k, x)| {
+                x.as_u64().ok_or_else(|| format!("{name}[{k}] must be a non-negative integer"))
+            })
+            .collect()
+    }
+
+    /// Decodes a required `u64` field.
+    pub fn parse_u64(v: &JsonValue, name: &str) -> Result<u64, String> {
+        field(v, name)?
+            .as_u64()
+            .ok_or_else(|| format!("{name} must be a non-negative integer"))
+    }
 }
 
 /// Shared helper: hold `current` under the mask — keep it if feasible,

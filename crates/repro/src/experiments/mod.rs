@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper table/figure.
 
 pub mod ablations;
+pub mod chaos;
 pub mod cluster;
 pub mod fig1;
 pub mod fig2;
@@ -116,7 +117,7 @@ fn update_manifest(dir: &Path, experiment: &str, files: &[String], seed: u64) ->
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 14] = [
+pub const ALL_IDS: [&str; 15] = [
     "table1",
     "table2",
     "fig1",
@@ -130,6 +131,7 @@ pub const ALL_IDS: [&str; 14] = [
     "policies",
     "robustness",
     "cluster",
+    "chaos",
     "scorecard",
 ];
 
@@ -149,6 +151,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "policies" => policies::run(seed),
         "robustness" => robustness::run(seed),
         "cluster" => cluster::run(seed),
+        "chaos" => chaos::run(seed),
         "scorecard" => scorecard::run(seed),
         _ => return None,
     })

@@ -8,9 +8,10 @@
 //! Prints markdown to stdout; `--csv <dir>` additionally writes each table
 //! as CSV for plotting and appends provenance rows to
 //! `<dir>/MANIFEST.csv`. `--nodes`/`--seconds` select a custom
-//! small-fleet configuration for the `cluster` experiment (the CI smoke).
+//! small-fleet configuration for the `cluster` and `chaos` experiments
+//! (the CI smokes).
 
-use greengpu_repro::experiments::{cluster, run_by_id, ALL_IDS, DEFAULT_SEED};
+use greengpu_repro::experiments::{chaos, cluster, run_by_id, ALL_IDS, DEFAULT_SEED};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -79,8 +80,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if (args.nodes.is_some() || args.seconds.is_some()) && args.experiment != "cluster" {
-        return Err("--nodes/--seconds only apply to --experiment cluster".to_string());
+    if (args.nodes.is_some() || args.seconds.is_some())
+        && args.experiment != "cluster"
+        && args.experiment != "chaos"
+    {
+        return Err("--nodes/--seconds only apply to --experiment cluster or chaos".to_string());
     }
     if args.nodes == Some(0) {
         return Err("--nodes must be at least 1".to_string());
@@ -105,9 +109,15 @@ fn main() -> ExitCode {
 
     println!("# GreenGPU reproduction — experiment output (seed {})\n", args.seed);
     for id in ids {
-        let custom_cluster = id == "cluster" && (args.nodes.is_some() || args.seconds.is_some());
-        let output = if custom_cluster {
+        let custom = args.nodes.is_some() || args.seconds.is_some();
+        let output = if custom && id == "cluster" {
             Some(cluster::run_custom(
+                args.seed,
+                args.nodes.unwrap_or(3),
+                args.seconds.unwrap_or(30),
+            ))
+        } else if custom && id == "chaos" {
+            Some(chaos::run_custom(
                 args.seed,
                 args.nodes.unwrap_or(3),
                 args.seconds.unwrap_or(30),

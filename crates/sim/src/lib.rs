@@ -15,6 +15,8 @@
 //!
 //! * [`time`] — [`SimTime`]/[`SimDuration`] microsecond fixed-point clock.
 //! * [`event`] — [`EventQueue`], a stable priority queue keyed by `SimTime`.
+//! * [`json`] — [`JsonValue`], a hand-rolled JSON writer/parser with exact
+//!   integer round-trips (learner checkpoints).
 //! * [`rng`] — [`SplitMix64`] and [`Pcg32`] seeded generators plus
 //!   distribution helpers.
 //! * [`trace`] — [`StepTrace`] piecewise-constant signals with exact
@@ -25,6 +27,7 @@
 //!   exploration.
 
 pub mod event;
+pub mod json;
 pub mod plot;
 pub mod rng;
 pub mod stats;
@@ -33,6 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use json::JsonValue;
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::{summarize, OnlineStats, Summary};
 pub use table::Table;
