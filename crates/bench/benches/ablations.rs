@@ -41,16 +41,40 @@ fn bench_wma_params(c: &mut Criterion) {
     };
     run("defaults".to_string(), WmaParams::default());
     for alpha_core in [0.05, 0.30] {
-        run(format!("alpha_core_{alpha_core}"), WmaParams { alpha_core, ..WmaParams::default() });
+        run(
+            format!("alpha_core_{alpha_core}"),
+            WmaParams {
+                alpha_core,
+                ..WmaParams::default()
+            },
+        );
     }
     for phi in [0.1, 0.7] {
-        run(format!("phi_{phi}"), WmaParams { phi, ..WmaParams::default() });
+        run(
+            format!("phi_{phi}"),
+            WmaParams {
+                phi,
+                ..WmaParams::default()
+            },
+        );
     }
     for beta in [0.1, 0.5] {
-        run(format!("beta_{beta}"), WmaParams { beta, ..WmaParams::default() });
+        run(
+            format!("beta_{beta}"),
+            WmaParams {
+                beta,
+                ..WmaParams::default()
+            },
+        );
     }
     for history in [0.6, 1.0] {
-        run(format!("history_{history}"), WmaParams { history, ..WmaParams::default() });
+        run(
+            format!("history_{history}"),
+            WmaParams {
+                history,
+                ..WmaParams::default()
+            },
+        );
     }
     g.finish();
 }

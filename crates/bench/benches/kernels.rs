@@ -71,5 +71,10 @@ fn bench_full_small_runs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_workload_iterations, bench_divided_iterations, bench_full_small_runs);
+criterion_group!(
+    benches,
+    bench_workload_iterations,
+    bench_divided_iterations,
+    bench_full_small_runs
+);
 criterion_main!(benches);

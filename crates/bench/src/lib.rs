@@ -5,6 +5,8 @@
 //! for `kernels`, measures the *functional* Rust re-implementations of the
 //! Rodinia workloads themselves.
 
+#![forbid(unsafe_code)]
+
 /// A deterministic seed family for bench runs (distinct from the repro
 /// binary's default so cached results never alias).
 pub const BENCH_SEED: u64 = 0x67_67_70_75; // "ggpu"

@@ -44,7 +44,10 @@ pub struct CircuitBreaker {
 impl CircuitBreaker {
     /// A closed breaker with the given base cooldown and backoff cap.
     pub fn new(cooldown_s: f64, max_backoff_exp: u32) -> Self {
-        assert!(cooldown_s.is_finite() && cooldown_s > 0.0, "cooldown_s must be positive");
+        assert!(
+            cooldown_s.is_finite() && cooldown_s > 0.0,
+            "cooldown_s must be positive"
+        );
         CircuitBreaker {
             state: BreakerState::Closed,
             cooldown_s,

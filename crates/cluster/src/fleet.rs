@@ -392,9 +392,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 
     let mut scheduler = Scheduler::new(cfg.policy, cfg.queue_capacity);
     let mut breakers: Vec<CircuitBreaker> = (0..nodes.len())
-        .map(|_| {
-            CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp)
-        })
+        .map(|_| CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp))
         .collect();
     let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
     let mut last_completed: Vec<u64> = vec![0; nodes.len()];
@@ -534,10 +532,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                         cap_violations: nodes.iter().map(Node::cap_violations).sum(),
                         max_pair_over_cap_w: max_over_w,
                         up_nodes: nodes.iter().filter(|n| n.is_alive()).count(),
-                        open_breakers: breakers
-                            .iter()
-                            .filter(|b| b.state() == BreakerState::Open)
-                            .count(),
+                        open_breakers: breakers.iter().filter(|b| b.state() == BreakerState::Open).count(),
                         retry_depth: retry.pending_len(),
                         dead_lettered: retry.dead_letter().len() as u64,
                     });
@@ -585,10 +580,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         jobs_retried: retry.retried(),
         dead_letter: retry.dead_letter().to_vec(),
         breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
-        recoveries: nodes
-            .iter()
-            .flat_map(|n| n.recoveries().iter().copied())
-            .collect(),
+        recoveries: nodes.iter().flat_map(|n| n.recoveries().iter().copied()).collect(),
         crash_records,
         completed,
     }

@@ -44,6 +44,8 @@
 //! to it while the capping layer accounts its pinned-peak draw as cap
 //! violations.
 
+#![forbid(unsafe_code)]
+
 pub mod breaker;
 pub mod fleet;
 pub mod job;

@@ -20,8 +20,8 @@ use crate::power::{mw, MilliWatts, NodeDemand};
 use crate::profile::ServiceProfile;
 use greengpu::{GreenGpuConfig, GreenGpuController, PairModel, PolicySpec};
 use greengpu_hw::{
-    calib, BlackoutSensors, CleanSensors, CpuSpec, DirectActuator, FaultPlan, FaultyActuator,
-    FaultySensor, FreqActuator, GpuSpec, Platform, SensorSource,
+    calib, BlackoutSensors, CleanSensors, CpuSpec, DirectActuator, FaultPlan, FaultyActuator, FaultySensor,
+    FreqActuator, GpuSpec, Platform, SensorSource,
 };
 use greengpu_runtime::Controller as _;
 use greengpu_sim::{SimDuration, SimTime, SplitMix64};
@@ -85,10 +85,7 @@ impl NodeConfig {
 /// profiled workloads gives the node one budget surface for a mixed
 /// stream; a single-workload mix degenerates to that workload's exact
 /// profile.
-fn mix_pair_model(
-    gpu: &GpuSpec,
-    profiles: &BTreeMap<String, ServiceProfile>,
-) -> Result<PairModel, String> {
+fn mix_pair_model(gpu: &GpuSpec, profiles: &BTreeMap<String, ServiceProfile>) -> Result<PairModel, String> {
     if profiles.is_empty() {
         return Err("deadline policy needs a non-empty workload mix".to_string());
     }
@@ -198,12 +195,7 @@ impl Node {
     /// per-pair service time/energy grids — the same tables the
     /// energy-aware placement estimates use; randomized policies draw
     /// per-node streams derived from `(profile_seed, id)`.
-    pub fn try_new(
-        id: usize,
-        cfg: &NodeConfig,
-        workloads: &[String],
-        profile_seed: u64,
-    ) -> Result<Self, String> {
+    pub fn try_new(id: usize, cfg: &NodeConfig, workloads: &[String], profile_seed: u64) -> Result<Self, String> {
         cfg.freq_policy.try_validate()?;
         let n_core = cfg.gpu.core_levels_mhz.len();
         let n_mem = cfg.gpu.mem_levels_mhz.len();
@@ -342,7 +334,12 @@ impl Node {
     /// control tick — the rebuild discards learner state.
     pub fn set_blackouts(&mut self, windows: Vec<(SimTime, SimTime)>) {
         self.blackouts = windows;
-        self.ctl = self.build_controller().expect("recipe validated at construction");
+        // The recipe was validated at construction; if the rebuild fails
+        // anyway, hold the existing controller rather than abort the fleet.
+        match self.build_controller() {
+            Ok(ctl) => self.ctl = ctl,
+            Err(_) => self.restore_failures += 1,
+        }
     }
 
     /// Snapshots the controller's learner state as the node's current
@@ -436,7 +433,13 @@ impl Node {
     /// *discarded* (cold start, `restore_failures` counted) — resuming
     /// from garbage would be worse than re-exploring.
     fn perform_restart(&mut self, now: SimTime) -> bool {
-        let mut ctl = self.build_controller().expect("recipe validated at construction");
+        // The recipe was validated at construction; if the rebuild fails
+        // anyway, keep the pre-crash controller and report a cold restart.
+        let Ok(mut ctl) = self.build_controller() else {
+            self.restore_failures += 1;
+            self.cold_restarts += 1;
+            return false;
+        };
         let warm = match &self.checkpoint {
             Some(cp) => match ctl.restore(cp) {
                 Ok(()) => {
@@ -655,7 +658,7 @@ impl Node {
             // Completes inside this window, at the exact instant.
             let finished = from + SimDuration::from_secs_f64(need_s.max(0.0));
             self.busy_s += need_s.max(0.0);
-            let run = self.job.take().expect("checked above");
+            let run = self.job.take()?;
             let missed_deadline = run.spec.deadline.is_some_and(|d| finished > d);
             let record = JobRecord {
                 node: self.id,
@@ -873,7 +876,11 @@ mod tests {
         assert!(!node.is_alive());
         assert!(node.is_idle(), "the in-flight job is gone");
         let d = node.demand();
-        assert_eq!((d.floor_mw, d.desired_mw, d.peak_mw), (0, 0, 0), "dark node demands nothing");
+        assert_eq!(
+            (d.floor_mw, d.desired_mw, d.peak_mw),
+            (0, 0, 0),
+            "dark node demands nothing"
+        );
 
         // Crashing again while down is a no-op.
         assert!(node.crash(t, 3.0).is_none());
@@ -922,7 +929,13 @@ mod tests {
             pre_crash,
             "warm restore puts the learner's argmax back"
         );
-        assert_eq!(node.recoveries(), &[RecoveryRecord { warm: true, intervals: 0 }]);
+        assert_eq!(
+            node.recoveries(),
+            &[RecoveryRecord {
+                warm: true,
+                intervals: 0
+            }]
+        );
     }
 
     #[test]

@@ -55,9 +55,8 @@ pub fn pick_node(
     rr_cursor: &mut usize,
     now: SimTime,
 ) -> Option<usize> {
-    let available = |n: &Node| {
-        allowed.get(n.id()).copied().unwrap_or(true) && n.is_idle() && n.healthy() && n.is_alive()
-    };
+    let available =
+        |n: &Node| allowed.get(n.id()).copied().unwrap_or(true) && n.is_idle() && n.healthy() && n.is_alive();
     match policy {
         Policy::RoundRobin => {
             let n = nodes.len();
@@ -73,7 +72,7 @@ pub fn pick_node(
         Policy::LeastLoaded => nodes
             .iter()
             .filter(|n| available(n))
-            .min_by(|a, b| a.busy_s().partial_cmp(&b.busy_s()).expect("finite"))
+            .min_by(|a, b| a.busy_s().total_cmp(&b.busy_s()))
             .map(Node::id),
         Policy::EnergyAware => {
             let candidates: Vec<(usize, f64, f64)> = nodes
@@ -89,20 +88,11 @@ pub fn pick_node(
                 let meets: Vec<&(usize, f64, f64)> = candidates.iter().filter(|(_, t, _)| *t <= slack_s).collect();
                 if meets.is_empty() {
                     // Nothing meets the deadline: minimize the damage.
-                    return candidates
-                        .iter()
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                        .map(|c| c.0);
+                    return candidates.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|c| c.0);
                 }
-                return meets
-                    .iter()
-                    .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
-                    .map(|c| c.0);
+                return meets.iter().min_by(|a, b| a.2.total_cmp(&b.2)).map(|c| c.0);
             }
-            candidates
-                .iter()
-                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
-                .map(|c| c.0)
+            candidates.iter().min_by(|a, b| a.2.total_cmp(&b.2)).map(|c| c.0)
         }
     }
 }
@@ -197,7 +187,8 @@ mod tests {
             assert_eq!(
                 pick_node(p, &job(), &nodes, &[false, true, true], &mut cursor, SimTime::ZERO),
                 Some(1),
-                "{} must respect the breaker mask", p.name()
+                "{} must respect the breaker mask",
+                p.name()
             );
             cursor = 0;
         }
@@ -206,7 +197,8 @@ mod tests {
             assert_eq!(
                 pick_node(p, &job(), &nodes, &[false, true, true], &mut cursor, SimTime::ZERO),
                 Some(2),
-                "{} must skip the crashed node", p.name()
+                "{} must skip the crashed node",
+                p.name()
             );
             cursor = 0;
         }

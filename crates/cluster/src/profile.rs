@@ -91,8 +91,8 @@ impl ServiceProfile {
     /// Estimated GPU energy of a full run at a pair (activity-aware),
     /// joules.
     pub fn energy_j(&self, spec: &GpuSpec, core: usize, mem: usize, size: f64) -> f64 {
-        let power = spec.power_at_levels_w(core, mem, self.u_core(core, mem), self.u_mem(core, mem));
-        self.time_s(core, mem) * size * power
+        let power_w = spec.power_at_levels_w(core, mem, self.u_core(core, mem), self.u_mem(core, mem));
+        self.time_s(core, mem) * size * power_w
     }
 
     /// Oracle-style estimate under a power cap: the (time, energy) of the

@@ -68,7 +68,7 @@ impl Scheduler {
         while let Some(job) = self.queue.front() {
             match pick_node(self.policy, job, nodes, allowed, &mut self.rr_cursor, now) {
                 Some(i) => {
-                    let job = self.queue.pop_front().expect("non-empty");
+                    let Some(job) = self.queue.pop_front() else { break };
                     nodes[i].dispatch(job, now);
                     placed += 1;
                 }

@@ -60,6 +60,7 @@ impl FleetTrace {
     pub fn to_table(&self, title: &str) -> Table {
         let mut t = Table::new(
             title,
+            // lint:contract(fleet_trace_columns)
             &[
                 "interval",
                 "time_s",

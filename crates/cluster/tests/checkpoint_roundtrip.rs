@@ -5,9 +5,8 @@
 //! without mutating the target.
 
 use greengpu::{
-    DivisionController, DivisionParams, Exp3Params, Exp3Policy, FreqPolicy, GreenGpuConfig,
-    GreenGpuController, PolicySpec, UcbParams, UcbPolicy, WmaParams, WmaScaler,
-    CHECKPOINT_VERSION,
+    DivisionController, DivisionParams, Exp3Params, Exp3Policy, FreqPolicy, GreenGpuConfig, GreenGpuController,
+    PolicySpec, UcbParams, UcbPolicy, WmaParams, WmaScaler, CHECKPOINT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -146,7 +145,11 @@ fn controller_checkpoint_round_trips_and_restores_idempotently() {
     let cp = ctl.snapshot();
     assert!(cp.contains(&format!("\"version\":{CHECKPOINT_VERSION}")));
     ctl.restore(&cp).expect("own checkpoint restores");
-    assert_eq!(ctl.snapshot(), cp, "restore(snapshot) must be the identity on the state");
+    assert_eq!(
+        ctl.snapshot(),
+        cp,
+        "restore(snapshot) must be the identity on the state"
+    );
 }
 
 #[test]

@@ -3,12 +3,11 @@
 //! breaker cycling, and byte determinism of chaotic runs — plus pins for
 //! the fleet-config validation satellites.
 
-use greengpu_cluster::{
-    run_fleet, BreakerState, CircuitBreaker, FleetConfig, LifecycleParams, Node, NodeConfig,
-    NodeState, Policy,
-};
 use greengpu_cluster::job::JobSpec;
 use greengpu_cluster::power::mw;
+use greengpu_cluster::{
+    run_fleet, BreakerState, CircuitBreaker, FleetConfig, LifecycleParams, Node, NodeConfig, NodeState, Policy,
+};
 use greengpu_hw::ChaosPlan;
 use greengpu_sim::{SimDuration, SimTime};
 
@@ -68,7 +67,10 @@ fn jobs_are_conserved_through_crashes() {
             r.jobs_retried <= r.jobs_lost * u64::from(LifecycleParams::default().max_retries),
             "retries must respect the per-job budget"
         );
-        assert!(!r.completed.is_empty(), "the fleet must still make progress under chaos");
+        assert!(
+            !r.completed.is_empty(),
+            "the fleet must still make progress under chaos"
+        );
     }
 }
 
@@ -78,12 +80,7 @@ fn jobs_are_conserved_through_crashes() {
 #[test]
 fn warm_restart_recovers_strictly_faster_than_cold() {
     let mk = || {
-        let mut n = Node::new(
-            0,
-            &NodeConfig::default_node(),
-            &["kmeans".to_string()],
-            1,
-        );
+        let mut n = Node::new(0, &NodeConfig::default_node(), &["kmeans".to_string()], 1);
         n.set_lifecycle(1.0, 1);
         n
     };
@@ -112,7 +109,11 @@ fn warm_restart_recovers_strictly_faster_than_cold() {
         t = next;
     }
     let target = warm.controller().desired_pair();
-    assert_eq!(target, cold.controller().desired_pair(), "identical drive, identical argmax");
+    assert_eq!(
+        target,
+        cold.controller().desired_pair(),
+        "identical drive, identical argmax"
+    );
 
     // Only one node checkpoints; both crash and restart identically.
     warm.take_checkpoint();
@@ -192,7 +193,10 @@ fn chaotic_runs_are_byte_deterministic() {
 #[test]
 fn breakers_cycle_open_and_closed_around_crashes() {
     let r = run_fleet(&chaotic_fleet(Some(10), 120));
-    assert_eq!(r.breaker_trips, r.crashes, "every crash trips its node's breaker exactly once");
+    assert_eq!(
+        r.breaker_trips, r.crashes,
+        "every crash trips its node's breaker exactly once"
+    );
     assert!(
         r.trace.rows.iter().any(|row| row.open_breakers > 0),
         "some interval must show an open breaker"
@@ -251,11 +255,15 @@ fn fleet_config_validates_chaos_and_lifecycle() {
 
     let mut bad_chaos = good.clone();
     bad_chaos.chaos = Some(ChaosPlan::crashes_only(1, -0.5, (2.0, 6.0)));
-    let err = bad_chaos.try_validate().expect_err("negative crash rate must be refused");
+    let err = bad_chaos
+        .try_validate()
+        .expect_err("negative crash rate must be refused");
     assert!(err.contains("chaos") && err.contains("crash_rate_per_s"), "{err}");
 
     let mut bad_lifecycle = good;
     bad_lifecycle.lifecycle.checkpoint_period = Some(0);
-    let err = bad_lifecycle.try_validate().expect_err("zero checkpoint period must be refused");
+    let err = bad_lifecycle
+        .try_validate()
+        .expect_err("zero checkpoint period must be refused");
     assert!(err.contains("lifecycle") && err.contains("checkpoint_period"), "{err}");
 }

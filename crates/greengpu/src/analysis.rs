@@ -56,9 +56,8 @@ pub fn util_stats(trace: &StepTrace, from: SimTime, to: SimTime) -> UtilStats {
         0.0
     } else {
         let mut sorted = fine.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite utilization"));
-        greengpu_sim::stats::percentile_sorted(&sorted, 95.0)
-            - greengpu_sim::stats::percentile_sorted(&sorted, 5.0)
+        sorted.sort_by(f64::total_cmp);
+        greengpu_sim::stats::percentile_sorted(&sorted, 95.0) - greengpu_sim::stats::percentile_sorted(&sorted, 5.0)
     };
     UtilStats { mean, stddev, swing }
 }

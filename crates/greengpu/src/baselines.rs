@@ -201,9 +201,9 @@ where
     let best = points
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.energy_j.partial_cmp(&b.1.energy_j).expect("finite energy"))
+        .min_by(|a, b| a.1.energy_j.total_cmp(&b.1.energy_j))
         .map(|(i, _)| i)
-        .expect("non-empty search");
+        .unwrap_or(0);
     (points, best)
 }
 

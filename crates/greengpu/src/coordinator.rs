@@ -12,8 +12,7 @@ use crate::governors::CpuGovernor;
 use crate::policy::WmaPolicy;
 use crate::wma::{WmaParams, WmaScaler};
 use greengpu_hw::{
-    CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator, Platform,
-    SensorSource,
+    CleanSensors, DirectActuator, FaultPlan, FaultyActuator, FaultySensor, FreqActuator, Platform, SensorSource,
 };
 use greengpu_policy::{FreqPolicy, PolicyTelemetry};
 use greengpu_runtime::{Controller, IterationInfo};
@@ -275,12 +274,7 @@ impl GreenGpuController {
 
     /// Builds a controller whose sensors and actuation are wrapped in the
     /// seeded fault injectors configured by `plan`.
-    pub fn faulted(
-        config: GreenGpuConfig,
-        n_core_levels: usize,
-        n_mem_levels: usize,
-        plan: &FaultPlan,
-    ) -> Self {
+    pub fn faulted(config: GreenGpuConfig, n_core_levels: usize, n_mem_levels: usize, plan: &FaultPlan) -> Self {
         GreenGpuController::with_providers(
             config,
             n_core_levels,
@@ -303,11 +297,7 @@ impl GreenGpuController {
 
     /// Builds a controller driving an arbitrary policy behind the seeded
     /// fault injectors configured by `plan`.
-    pub fn with_policy_faulted(
-        config: GreenGpuConfig,
-        policy: Box<dyn FreqPolicy>,
-        plan: &FaultPlan,
-    ) -> Self {
+    pub fn with_policy_faulted(config: GreenGpuConfig, policy: Box<dyn FreqPolicy>, plan: &FaultPlan) -> Self {
         GreenGpuController::with_policy_providers(
             config,
             policy,
@@ -329,10 +319,7 @@ impl GreenGpuController {
     /// The WMA scaler, when the active policy is the WMA adapter
     /// (inspection/tests); `None` under any other [`FreqPolicy`].
     pub fn wma(&self) -> Option<&WmaScaler> {
-        self.policy
-            .as_any()
-            .downcast_ref::<WmaPolicy>()
-            .map(WmaPolicy::scaler)
+        self.policy.as_any().downcast_ref::<WmaPolicy>().map(WmaPolicy::scaler)
     }
 
     /// The active Tier-2 frequency policy.
@@ -496,8 +483,7 @@ impl GreenGpuController {
         let mut attempts = 0;
         loop {
             self.actuator.set_gpu_levels(platform, now, core, mem);
-            let applied = platform.gpu().core().current_level() == core
-                && platform.gpu().mem().current_level() == mem;
+            let applied = platform.gpu().core().current_level() == core && platform.gpu().mem().current_level() == mem;
             if applied {
                 self.consecutive_failures = 0;
                 return;
@@ -594,8 +580,7 @@ impl Controller for GreenGpuController {
                         let n_core = spec.core_levels_mhz.len();
                         let n_mem = spec.mem_levels_mhz.len();
                         let feasible = |i: usize, j: usize| spec.power_at_levels_w(i, j, 1.0, 1.0) <= cap;
-                        let masked = (0..n_core)
-                            .any(|i| (0..n_mem).any(|j| !feasible(i, j)));
+                        let masked = (0..n_core).any(|i| (0..n_mem).any(|j| !feasible(i, j)));
                         if masked {
                             self.cap_masked_intervals += 1;
                         }
@@ -771,7 +756,11 @@ mod governor_integration_tests {
             run_with_config(&mut StreamCluster::paper(2), cfg, async_cfg())
         };
         let perf = run(GovernorKind::Performance);
-        for kind in [GovernorKind::Ondemand, GovernorKind::Conservative, GovernorKind::Proportional] {
+        for kind in [
+            GovernorKind::Ondemand,
+            GovernorKind::Conservative,
+            GovernorKind::Proportional,
+        ] {
             let throttled = run(kind);
             assert!(
                 throttled.cpu_energy_j < perf.cpu_energy_j,

@@ -11,7 +11,6 @@
 //! candidate ratio and *holds* the current ratio if the comparison would
 //! flip.
 
-
 /// Division tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DivisionParams {
@@ -138,7 +137,10 @@ impl DivisionController {
             .as_i64()
             .ok_or_else(|| "k must be an integer".to_string())?;
         if !(self.k_min..=self.k_max).contains(&k) {
-            return Err(format!("k = {k} outside the clamp range [{}, {}]", self.k_min, self.k_max));
+            return Err(format!(
+                "k = {k} outside the clamp range [{}, {}]",
+                self.k_min, self.k_max
+            ));
         }
         let held = snap::parse_u64(state, "held")?;
         let moves = snap::parse_u64(state, "moves")?;
@@ -264,7 +266,10 @@ mod tests {
         for initial in [0.0, 0.10, 0.30, 0.50, 0.70, 0.90] {
             let ctl = DivisionController::new(initial, DivisionParams::default());
             let trace = converge(ctl, 1.0, 1.0, 40);
-            assert!((trace.last().unwrap() - 0.50).abs() < 1e-12, "from {initial}: {trace:?}");
+            assert!(
+                (trace.last().unwrap() - 0.50).abs() < 1e-12,
+                "from {initial}: {trace:?}"
+            );
         }
     }
 
@@ -500,7 +505,7 @@ mod model_based_tests {
     fn refines_stepwise_after_the_jump() {
         let mut ctl = ModelBasedDivision::new(0.50, DivisionParams::default());
         ctl.update(2.25, 0.5); // jump to 0.20
-        // The model was slightly wrong: at 0.20 the CPU is still slower.
+                               // The model was slightly wrong: at 0.20 the CPU is still slower.
         let r = ctl.update(1.2, 0.8);
         assert!((r - 0.15).abs() < 1e-12, "refined to {r}");
     }
@@ -533,10 +538,7 @@ mod model_based_tests {
         let mut stepwise = DivisionController::new(0.05, DivisionParams::default());
         let model_iters = run(Box::new(move |tc, tg| model.update(tc, tg)), 0.05);
         let step_iters = run(Box::new(move |tc, tg| stepwise.update(tc, tg)), 0.05);
-        assert!(
-            model_iters < step_iters,
-            "model {model_iters} vs stepwise {step_iters}"
-        );
+        assert!(model_iters < step_iters, "model {model_iters} vs stepwise {step_iters}");
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl CpuGovernor {
                     return None;
                 }
                 let spec = platform.cpu().spec();
-                let peak_mhz = *spec.levels_mhz.last().expect("levels");
+                let &peak_mhz = spec.levels_mhz.last()?;
                 let demand_mhz = (util * *headroom).clamp(0.0, 1.0) * peak_mhz;
                 let level = spec
                     .levels_mhz

@@ -35,6 +35,8 @@
 //! assert!(green.total_energy_j() < default.total_energy_j());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod autotune;
 pub mod baselines;
@@ -50,8 +52,7 @@ pub mod wma;
 
 pub use baselines::{run_greengpu_faulted, run_with_policy, FaultedOutcome};
 pub use coordinator::{
-    DivisionAlgo, GovernorKind, GreenGpuConfig, GreenGpuController, RobustnessParams,
-    CHECKPOINT_VERSION,
+    DivisionAlgo, GovernorKind, GreenGpuConfig, GreenGpuController, RobustnessParams, CHECKPOINT_VERSION,
 };
 pub use division::{DivisionController, DivisionParams, ModelBasedDivision};
 pub use governors::CpuGovernor;
@@ -59,7 +60,7 @@ pub use ondemand::OndemandGovernor;
 pub use policy::{pair_model_for, PolicySpec, WmaPolicy};
 // Re-export the policy crate's surface so consumers need only `greengpu`.
 pub use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel,
-    PolicyTelemetry, SwitchingParams, UcbParams, UcbPolicy,
+    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, PolicyTelemetry, SwitchingParams,
+    UcbParams, UcbPolicy,
 };
 pub use wma::{WmaParams, WmaScaler};

@@ -10,7 +10,6 @@
 //! energy over a run, and the comparison against the savings the
 //! controller produces — the paper's "negligible" claim, quantified.
 
-
 /// Per-invocation cost of the paper's 8-bit shift-add unit at 65 nm.
 pub const ADDER_ENERGY_J: f64 = 12.5e-9;
 
@@ -105,7 +104,11 @@ mod tests {
         // count its intervals, and compare the on-chip controller energy
         // against the measured saving.
         let base = run_best_performance_with(&mut KMeans::paper(2), RunConfig::sweep());
-        let ours = run_with_config(&mut KMeans::paper(2), GreenGpuConfig::scaling_only(), RunConfig::sweep());
+        let ours = run_with_config(
+            &mut KMeans::paper(2),
+            GreenGpuConfig::scaling_only(),
+            RunConfig::sweep(),
+        );
         let saving = base.gpu_energy_j - ours.gpu_energy_j;
         assert!(saving > 0.0);
         let intervals = (ours.total_time.as_secs_f64() / 3.0).ceil() as u64;

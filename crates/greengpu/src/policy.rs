@@ -15,8 +15,8 @@ use crate::wma::{WmaParams, WmaScaler};
 use greengpu_hw::GpuSpec;
 use greengpu_policy::telemetry::DecisionTracker;
 use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, LossModel, LossParams,
-    PairModel, PolicyTelemetry, UcbParams, UcbPolicy,
+    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, LossModel, LossParams, PairModel,
+    PolicyTelemetry, UcbParams, UcbPolicy,
 };
 use greengpu_workloads::model::phase_gpu_timing;
 use greengpu_workloads::Workload;
@@ -63,12 +63,7 @@ impl FreqPolicy for WmaPolicy {
         (self.n_core, self.n_mem)
     }
 
-    fn decide(
-        &mut self,
-        u_core: f64,
-        u_mem: f64,
-        feasible: &dyn Fn(usize, usize) -> bool,
-    ) -> (usize, usize) {
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool) -> (usize, usize) {
         // Delegate with identical inputs — the scaler owns the NaN
         // rejection and the empty-mask degradation; the adapter only
         // mirrors them into the shared telemetry.
@@ -171,8 +166,7 @@ impl PolicySpec {
             PolicySpec::Ucb(p) => Ok(Box::new(UcbPolicy::new(n_core, n_mem, *p))),
             PolicySpec::Deadline(p) => {
                 let model = model.ok_or_else(|| {
-                    "deadline policy requires a PairModel (predicted per-pair time/energy)"
-                        .to_string()
+                    "deadline policy requires a PairModel (predicted per-pair time/energy)".to_string()
                 })?;
                 if model.shape() != (n_core, n_mem) {
                     return Err(format!(
@@ -214,6 +208,7 @@ pub fn pair_model_for(workload: &dyn Workload, spec: &GpuSpec) -> PairModel {
             energy_j[i * n_mem + j] = e_total;
         }
     }
+    // lint:allow(panic_freedom) construction-time model build from finite spec grids, not a control path
     PairModel::from_grids(n_core, n_mem, time_s, energy_j).expect("model grids are finite")
 }
 
@@ -237,10 +232,7 @@ mod tests {
         }
         for i in 0..6 {
             for j in 0..6 {
-                assert_eq!(
-                    policy.scaler().weight(i, j).to_bits(),
-                    bare.weight(i, j).to_bits()
-                );
+                assert_eq!(policy.scaler().weight(i, j).to_bits(), bare.weight(i, j).to_bits());
             }
         }
         assert_eq!(policy.preferred(), bare.argmax());

@@ -48,9 +48,7 @@ impl QuantizedWma {
     pub fn new(n_core: usize, n_mem: usize, params: WmaParams) -> Self {
         assert!(n_core >= 2 && n_mem >= 2);
         params.validate();
-        let linmap_q = |n: usize| -> Vec<u16> {
-            (0..n).map(|i| quantize(i as f64 / (n - 1) as f64)).collect()
-        };
+        let linmap_q = |n: usize| -> Vec<u16> { (0..n).map(|i| quantize(i as f64 / (n - 1) as f64)).collect() };
         QuantizedWma {
             n_core,
             n_mem,

@@ -22,7 +22,6 @@
 //! renormalized by the maximum each interval to prevent underflow, which
 //! cannot change the argmax.
 
-
 /// Tuning constants of the scaler (paper's fitted values as defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WmaParams {
@@ -274,7 +273,7 @@ impl WmaScaler {
 
     /// The current best pair without updating.
     pub fn argmax(&self) -> (usize, usize) {
-        self.argmax_masked(|_, _| true).expect("full mask is never empty")
+        self.argmax_masked(|_, _| true).unwrap_or((0, 0))
     }
 
     /// The best pair among those `feasible` admits, without updating;
@@ -328,8 +327,7 @@ impl WmaScaler {
     /// the scaler unchanged.
     pub fn restore(&mut self, state: &greengpu_sim::JsonValue) -> Result<(), String> {
         use greengpu_policy::snap;
-        let weights =
-            snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
+        let weights = snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
         if weights.iter().any(|&w| !(0.0..=1.0).contains(&w)) {
             return Err("weights must lie in [0, 1] (max-renormalized table)".to_string());
         }
@@ -555,7 +553,10 @@ mod tests {
             let u = (k % 10) as f64 / 10.0;
             s.observe(u, 1.0 - u);
         }
-        let max = (0..6).flat_map(|i| (0..6).map(move |j| (i, j))).map(|(i, j)| s.weight(i, j)).fold(0.0, f64::max);
+        let max = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .map(|(i, j)| s.weight(i, j))
+            .fold(0.0, f64::max);
         assert!((max - 1.0).abs() < 1e-12, "max weight must be renormalized to 1");
         for i in 0..6 {
             for j in 0..6 {
@@ -587,7 +588,14 @@ mod tests {
     #[test]
     fn history_controls_adaptation_speed() {
         let run = |history: f64| -> u64 {
-            let mut s = WmaScaler::new(6, 6, WmaParams { history, ..WmaParams::default() });
+            let mut s = WmaScaler::new(
+                6,
+                6,
+                WmaParams {
+                    history,
+                    ..WmaParams::default()
+                },
+            );
             for _ in 0..50 {
                 s.observe(1.0, 1.0);
             }
@@ -616,7 +624,14 @@ mod tests {
         // Larger β → smaller (1−β) → gentler weight decay for the same
         // loss.
         let weight_after_one = |beta: f64| -> f64 {
-            let mut s = WmaScaler::new(6, 6, WmaParams { beta, ..WmaParams::default() });
+            let mut s = WmaScaler::new(
+                6,
+                6,
+                WmaParams {
+                    beta,
+                    ..WmaParams::default()
+                },
+            );
             s.observe(1.0, 1.0);
             s.weight(0, 0) // heavily penalized pair, relative to max
         };
@@ -629,7 +644,14 @@ mod tests {
         // a fresh table with u = 0 makes all pure-energy losses strictly
         // ordered, but u = umean[k] gives level k zero loss — unique. Use
         // φ = 0 so core levels are all tied: argmax must take the lowest.
-        let mut s = WmaScaler::new(6, 6, WmaParams { phi: 0.0, ..WmaParams::default() });
+        let mut s = WmaScaler::new(
+            6,
+            6,
+            WmaParams {
+                phi: 0.0,
+                ..WmaParams::default()
+            },
+        );
         s.observe(0.5, 0.6);
         let (i, j) = s.argmax();
         assert_eq!(i, 0, "tied core levels must break low");
@@ -665,7 +687,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "beta must be in")]
     fn invalid_beta_panics() {
-        WmaScaler::new(6, 6, WmaParams { beta: 0.0, ..WmaParams::default() });
+        WmaScaler::new(
+            6,
+            6,
+            WmaParams {
+                beta: 0.0,
+                ..WmaParams::default()
+            },
+        );
     }
 
     #[test]

@@ -158,6 +158,7 @@ pub struct ChannelFaults {
 
 impl ChannelFaults {
     fn is_clean(&self) -> bool {
+        // lint:allow(float_eq) exact-zero means the knob was never set; values come only from literals
         self.jitter_sigma == 0.0 && self.stale_prob == 0.0 && self.drop_prob == 0.0
     }
 }
@@ -176,6 +177,7 @@ pub struct ActuationFaults {
 
 impl ActuationFaults {
     fn is_clean(&self) -> bool {
+        // lint:allow(float_eq) exact-zero means the knob was never set; values come only from literals
         self.drop_prob == 0.0 && self.offset_prob == 0.0 && self.delay_prob == 0.0
     }
 }
@@ -399,6 +401,7 @@ impl SensorSource for FaultySensor {
             u_mem: truth.u_mem + dm,
             ..truth
         };
+        // lint:allow(float_eq) jitter() returns literal 0.0 when the fault path is off
         if dc != 0.0 || dm != 0.0 {
             self.log(now, FaultChannel::GpuUtil, FaultKind::Jitter(dc.abs().max(dm.abs())));
         }
@@ -427,6 +430,7 @@ impl SensorSource for FaultySensor {
             util: truth.util + du,
             ..truth
         };
+        // lint:allow(float_eq) jitter() returns literal 0.0 when the fault path is off
         if du != 0.0 {
             self.log(now, FaultChannel::CpuUtil, FaultKind::Jitter(du.abs()));
         }
@@ -437,6 +441,7 @@ impl SensorSource for FaultySensor {
     fn observe_iteration(&mut self, tc_s: f64, tg_s: f64) -> (f64, f64) {
         // Relative jitter: timers mis-measure proportionally to the span.
         let (jc, jg) = (self.iter.jitter(), self.iter.jitter());
+        // lint:allow(float_eq) jitter() returns literal 0.0 when the fault path is off
         if jc != 0.0 || jg != 0.0 {
             self.log(
                 SimTime::ZERO,
@@ -708,9 +713,8 @@ impl ChaosPlan {
 
     /// Whether the plan schedules nothing on any channel.
     pub fn is_quiet(&self) -> bool {
-        self.crash_rate_per_s == 0.0
-            && self.thermal_rate_per_s == 0.0
-            && self.blackout_rate_per_s == 0.0
+        // lint:allow(float_eq) exact-zero means the rate was never configured; set only from literals
+        self.crash_rate_per_s == 0.0 && self.thermal_rate_per_s == 0.0 && self.blackout_rate_per_s == 0.0
     }
 
     /// Non-panicking parameter check, naming the offending field.
@@ -723,9 +727,7 @@ impl ChaosPlan {
         };
         let range = |name: &str, (lo, hi): (f64, f64)| -> Result<(), String> {
             if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
-                return Err(format!(
-                    "{name} must be a positive ordered range, got ({lo}, {hi})"
-                ));
+                return Err(format!("{name} must be a positive ordered range, got ({lo}, {hi})"));
             }
             Ok(())
         };
@@ -906,6 +908,15 @@ mod tests {
     }
 
     #[test]
+    fn clean_observe_iteration_passes_times_through() {
+        let mut clean = CleanSensors::new();
+        assert_eq!(clean.observe_iteration(1.25, 2.5), (1.25, 2.5));
+        let mut quiet = FaultySensor::new(&FaultPlan::clean(7));
+        assert_eq!(quiet.observe_iteration(1.25, 2.5), (1.25, 2.5));
+        assert!(quiet.injection_log().is_empty());
+    }
+
+    #[test]
     fn clean_actuator_is_transparent() {
         let mut p1 = Platform::default_testbed();
         let mut p2 = Platform::default_testbed();
@@ -915,10 +926,7 @@ mod tests {
             let now = SimTime::from_secs(t);
             direct.set_gpu_levels(&mut p1, now, c, m);
             faulty.set_gpu_levels(&mut p2, now, c, m);
-            assert_eq!(
-                p1.gpu().core().current_level(),
-                p2.gpu().core().current_level()
-            );
+            assert_eq!(p1.gpu().core().current_level(), p2.gpu().core().current_level());
             assert_eq!(p1.gpu().mem().current_level(), p2.gpu().mem().current_level());
         }
         assert!(faulty.injection_log().is_empty());
@@ -1065,10 +1073,7 @@ mod tests {
         };
         assert!((m.observed_w(50.0) - 60.0).abs() < 1e-12);
         assert_eq!(m.observed_w(200.0), 100.0, "saturates at the ceiling");
-        assert_eq!(
-            m.observed_series(&[10.0, 200.0]),
-            vec![16.0, 100.0]
-        );
+        assert_eq!(m.observed_series(&[10.0, 200.0]), vec![16.0, 100.0]);
         assert_eq!(MeterFaults::default().observed_w(42.0), 42.0);
     }
 
@@ -1159,9 +1164,6 @@ mod tests {
         }
         // 3 dark seconds × 2 channels.
         assert_eq!(dark.injection_log().len(), 6);
-        assert!(dark
-            .injection_log()
-            .iter()
-            .all(|e| e.kind == FaultKind::Drop));
+        assert!(dark.injection_log().iter().all(|e| e.kind == FaultKind::Drop));
     }
 }

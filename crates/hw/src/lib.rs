@@ -36,6 +36,8 @@
 //! * [`platform`] — [`Platform`]: the assembled two-meter testbed.
 //! * [`calib`] — the default 8800 GTX + Phenom II X2 calibration constants.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod cpu;
 pub mod faults;
@@ -49,8 +51,8 @@ pub mod smi;
 
 pub use cpu::{CpuModel, CpuSpec};
 pub use faults::{
-    BlackoutSensors, ChaosEvent, ChaosKind, ChaosPlan, CleanSensors, DirectActuator, FaultPlan,
-    FaultyActuator, FaultySensor, FreqActuator, SensorSource,
+    BlackoutSensors, ChaosEvent, ChaosKind, ChaosPlan, CleanSensors, DirectActuator, FaultPlan, FaultyActuator,
+    FaultySensor, FreqActuator, SensorSource,
 };
 pub use freq::FrequencyDomain;
 pub use gpu::{GpuModel, GpuSpec};

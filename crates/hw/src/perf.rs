@@ -14,7 +14,6 @@
 //! a factor `ovl`, and the measured utilizations are the fraction of the
 //! busy period each side is active.
 
-
 /// The cost of a kernel (or kernel phase) on a device: scalar operations to
 /// execute and DRAM bytes to move.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -60,6 +59,7 @@ impl WorkUnits {
 
     /// Arithmetic intensity (ops per byte); infinite for pure-compute work.
     pub fn intensity(&self) -> f64 {
+        // lint:allow(float_eq) guard against literal-zero byte counts before dividing
         if self.bytes == 0.0 {
             f64::INFINITY
         } else {

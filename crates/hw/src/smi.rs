@@ -64,10 +64,7 @@ impl Smi {
                 gpu.u_mem_trace().mean(self.last_poll, now),
             )
         } else {
-            (
-                gpu.u_core_trace().value_at(now),
-                gpu.u_mem_trace().value_at(now),
-            )
+            (gpu.u_core_trace().value_at(now), gpu.u_mem_trace().value_at(now))
         };
         self.last_poll = now;
         SmiReading {
@@ -125,7 +122,10 @@ mod tests {
         let _ = smi.poll_gpu(&gpu, SimTime::from_secs(1));
         gpu.set_activity(SimTime::from_secs(1), 0.0, 0.0);
         let r = smi.poll_gpu(&gpu, SimTime::from_secs(2));
-        assert!(r.u_core.abs() < 1e-9, "second window must not see first-window activity");
+        assert!(
+            r.u_core.abs() < 1e-9,
+            "second window must not see first-window activity"
+        );
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The checked-in suppression file (`lint-baseline.toml`).
+//!
+//! A tiny TOML subset — `key = value` pairs, one `[checkpoint]` table and
+//! repeated `[[suppress]]` tables, string/integer values — parsed by hand
+//! like everything else in this workspace. A suppression matches a
+//! finding by `(rule, path, snippet)`: line numbers churn on every edit,
+//! the offending line's text does not.
+
+use crate::findings::Finding;
+
+/// One `[[suppress]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule name the entry silences.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed source line this entry matches.
+    pub snippet: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The whole baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The checkpoint schema version the fingerprint was taken at.
+    pub checkpoint_version: Option<u64>,
+    /// FNV-1a fingerprint of the snapshot/restore field sets.
+    pub checkpoint_fingerprint: Option<String>,
+    /// Suppressed findings.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        #[derive(PartialEq)]
+        enum Section {
+            Top,
+            Checkpoint,
+            Suppress,
+        }
+        let mut section = Section::Top;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                b.suppressions.push(Suppression {
+                    rule: String::new(),
+                    path: String::new(),
+                    snippet: String::new(),
+                    reason: String::new(),
+                });
+                section = Section::Suppress;
+                continue;
+            }
+            if line == "[checkpoint]" {
+                section = Section::Checkpoint;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {lineno}: unknown section {line}"));
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let key = line[..eq].trim();
+            let value = line[eq + 1..].trim();
+            match section {
+                Section::Top => match key {
+                    "version" => {}
+                    _ => return Err(format!("line {lineno}: unknown top-level key {key}")),
+                },
+                Section::Checkpoint => match key {
+                    "version" => {
+                        b.checkpoint_version = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("line {lineno}: version must be an integer"))?,
+                        )
+                    }
+                    "fingerprint" => b.checkpoint_fingerprint = Some(unquote(value, lineno)?),
+                    _ => return Err(format!("line {lineno}: unknown checkpoint key {key}")),
+                },
+                Section::Suppress => {
+                    let Some(entry) = b.suppressions.last_mut() else {
+                        return Err(format!("line {lineno}: key outside a [[suppress]] table"));
+                    };
+                    let v = unquote(value, lineno)?;
+                    match key {
+                        "rule" => entry.rule = v,
+                        "path" => entry.path = v,
+                        "snippet" => entry.snippet = v,
+                        "reason" => entry.reason = v,
+                        _ => return Err(format!("line {lineno}: unknown suppress key {key}")),
+                    }
+                }
+            }
+        }
+        for (i, s) in b.suppressions.iter().enumerate() {
+            if s.rule.is_empty() || s.path.is_empty() || s.snippet.is_empty() {
+                return Err(format!("suppress entry {} is missing rule/path/snippet", i + 1));
+            }
+            if s.reason.is_empty() {
+                return Err(format!(
+                    "suppress entry {} ({} in {}) has no reason — every suppression must say why",
+                    i + 1,
+                    s.rule,
+                    s.path
+                ));
+            }
+        }
+        Ok(b)
+    }
+
+    /// Serializes back to TOML (used by `--update-baseline`).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# greengpu-lint baseline — pre-existing findings, each with a reason.\n\
+             # Remove entries as the underlying code is fixed; never add one without\n\
+             # a reason. `cargo run -p greengpu-lint` must exit 0 against this file.\n\
+             version = 1\n",
+        );
+        if let (Some(v), Some(fp)) = (self.checkpoint_version, &self.checkpoint_fingerprint) {
+            out.push_str(&format!(
+                "\n[checkpoint]\nversion = {v}\nfingerprint = \"{}\"\n",
+                quote(fp)
+            ));
+        }
+        for s in &self.suppressions {
+            out.push_str(&format!(
+                "\n[[suppress]]\nrule = \"{}\"\npath = \"{}\"\nsnippet = \"{}\"\nreason = \"{}\"\n",
+                quote(&s.rule),
+                quote(&s.path),
+                quote(&s.snippet),
+                quote(&s.reason)
+            ));
+        }
+        out
+    }
+
+    /// Splits `findings` into (kept, n_suppressed), flagging which
+    /// suppressions never matched anything (stale entries).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<&Suppression>) {
+        let mut used = vec![false; self.suppressions.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = self
+                .suppressions
+                .iter()
+                .position(|s| s.rule == f.rule && s.path == f.path && s.snippet == f.snippet);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        let stale = self
+            .suppressions
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(s, _)| s)
+            .collect();
+        (kept, suppressed, stale)
+    }
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string, got {v}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn quote(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+version = 1
+
+[checkpoint]
+version = 1
+fingerprint = "abcd1234"
+
+[[suppress]]
+rule = "panic_freedom"
+path = "crates/cluster/src/fleet.rs"
+snippet = "panic!(\"invalid fleet config: {msg}\");"
+reason = "validated-config entry point"
+"#;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        assert_eq!(b.checkpoint_version, Some(1));
+        assert_eq!(b.checkpoint_fingerprint.as_deref(), Some("abcd1234"));
+        assert_eq!(b.suppressions.len(), 1);
+        assert_eq!(b.suppressions[0].snippet, r#"panic!("invalid fleet config: {msg}");"#);
+        let again = Baseline::parse(&b.to_toml()).expect("reparse");
+        assert_eq!(again, b);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let bad = "[[suppress]]\nrule = \"x\"\npath = \"y\"\nsnippet = \"z\"\n";
+        assert!(Baseline::parse(bad).unwrap_err().contains("no reason"));
+    }
+
+    #[test]
+    fn apply_matches_on_snippet_and_reports_stale() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        let hit = Finding {
+            rule: "panic_freedom",
+            path: "crates/cluster/src/fleet.rs".into(),
+            line: 99,
+            message: "m".into(),
+            snippet: r#"panic!("invalid fleet config: {msg}");"#.into(),
+        };
+        let miss = Finding {
+            snippet: "other".into(),
+            ..hit.clone()
+        };
+        let (kept, n, stale) = b.apply(vec![hit, miss]);
+        assert_eq!((kept.len(), n, stale.len()), (1, 1, 0));
+        let (_, _, stale) = b.apply(vec![]);
+        assert_eq!(stale.len(), 1);
+    }
+}

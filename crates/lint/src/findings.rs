@@ -1,0 +1,83 @@
+//! Findings and their rendering.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`panic_freedom`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+    /// The trimmed offending source line (the baseline key).
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON report (stable field order, one finding per
+/// array element) for the CI artifact.
+pub fn to_json(findings: &[Finding], suppressed: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"findings\": {},\n", findings.len()));
+    out.push_str(&format!("  \"suppressed\": {suppressed},\n"));
+    out.push_str("  \"items\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_escaped_and_counted() {
+        let f = Finding {
+            rule: "float_eq",
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "no `==` on floats".into(),
+            snippet: "x == \"q\"".into(),
+        };
+        let j = to_json(&[f], 2);
+        assert!(j.contains("\"findings\": 1"));
+        assert!(j.contains("\"suppressed\": 2"));
+        assert!(j.contains("x == \\\"q\\\""));
+    }
+}

@@ -1,0 +1,444 @@
+//! A minimal Rust lexer — just enough structure for line/token rules.
+//!
+//! The rules in this crate never need types or full syntax; they need to
+//! tell *identifiers* from *string literals* (so `"Instant::now"` inside a
+//! lint message is not a finding), to skip comments, and to know which
+//! line every token sits on. This lexer produces exactly that: a flat
+//! token stream plus the `lint:` directives found in comments, in one
+//! pass, with no external dependencies — the same hand-rolled approach as
+//! `greengpu_sim::json`.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `as`, …).
+    Ident,
+    /// An integer literal (`42`, `0xE3`, `1_000u64`).
+    Int,
+    /// A float literal (`0.5`, `1e-3`, `2f64`).
+    Float,
+    /// A string literal (content, unquoted, escapes left as written).
+    Str,
+    /// A char literal.
+    Char,
+    /// A lifetime or loop label (`'a`).
+    Lifetime,
+    /// A single punctuation character (`==` arrives as two `=` tokens).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (string literals carry their *content*).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A `lint:` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// `allow` or `contract`.
+    pub kind: DirectiveKind,
+    /// The parenthesized argument (rule or contract name).
+    pub arg: String,
+    /// Trailing free text (the reason for an allow).
+    pub reason: String,
+}
+
+/// Directive discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `// lint:allow(rule) reason` — suppress findings of `rule` on this
+    /// line and the next.
+    Allow,
+    /// `// lint:contract(name)` — the literal list that follows is
+    /// checked against the matching contract block in EXPERIMENTS.md.
+    Contract,
+    /// A `lint:` comment that parsed as neither — always a finding.
+    Malformed,
+}
+
+/// Lexer output: the token stream and every comment directive.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All `lint:` directives, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let push = |out: &mut Lexed, kind: TokKind, text: String, line: u32| {
+        out.toks.push(Tok { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments. Only plain `//` comments carry directives —
+        // doc comments (`///`, `//!`) *describe* the directive syntax
+        // and must not trigger it.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let is_doc = i + 2 < n && (b[i + 2] == '/' || b[i + 2] == '!');
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            if !is_doc {
+                let text: String = b[start..i].iter().collect();
+                scan_directive(&text, line, &mut out.directives);
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, br#"…"# …
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            let start = j;
+            let tok_line = line;
+            'raw: while j < n {
+                if b[j] == '\n' {
+                    line += 1;
+                } else if b[j] == '"' {
+                    let mut k = 0;
+                    while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        let text: String = b[start..j].iter().collect();
+                        push(&mut out, TokKind::Str, text, tok_line);
+                        j += 1 + hashes;
+                        break 'raw;
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let start = j;
+            let tok_line = line;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                if b[j] == '"' {
+                    break;
+                }
+                j += 1;
+            }
+            let text: String = b[start..j.min(n)].iter().collect();
+            push(&mut out, TokKind::Str, text, tok_line);
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            let mut j = i + 1;
+            let mut ident = String::new();
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                ident.push(b[j]);
+                j += 1;
+            }
+            if !ident.is_empty() && (j >= n || b[j] != '\'') {
+                push(&mut out, TokKind::Lifetime, ident, line);
+                i = j;
+                continue;
+            }
+            // Char literal: consume to the closing quote (escape-aware).
+            let mut j = i + 1;
+            let start = j;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\'' {
+                    break;
+                }
+                j += 1;
+            }
+            let text: String = b[start..j.min(n)].iter().collect();
+            push(&mut out, TokKind::Char, text, line);
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // A '.' continues the number only before another digit
+                // (so `0..n` and `1.max(2)` stay integers).
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else if i < n
+                    && b[i] == '.'
+                    && (i + 1 >= n || !(b[i + 1] == '.' || b[i + 1].is_alphanumeric() || b[i + 1] == '_'))
+                {
+                    // Trailing-dot float like `1.`
+                    is_float = true;
+                    i += 1;
+                }
+                if i < n && (b[i] == 'e' || b[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (b[j] == '+' || b[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix.
+                let suffix_start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            let kind = if is_float { TokKind::Float } else { TokKind::Int };
+            push(&mut out, kind, text, line);
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            push(&mut out, TokKind::Ident, text, line);
+            continue;
+        }
+        // Everything else: one punct char at a time.
+        push(&mut out, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+/// `r"`, `r#`, `br"`, `br#` ahead?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    if b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Parses `lint:allow(rule) reason` / `lint:contract(name)` out of one
+/// comment's text, recording malformed `lint:` mentions as such.
+fn scan_directive(comment: &str, line: u32, out: &mut Vec<Directive>) {
+    let Some(pos) = comment.find("lint:") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:".len()..];
+    for (kw, kind) in [("allow", DirectiveKind::Allow), ("contract", DirectiveKind::Contract)] {
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let tail = tail.trim_start();
+            if let Some(tail) = tail.strip_prefix('(') {
+                if let Some(close) = tail.find(')') {
+                    let arg = tail[..close].trim().to_string();
+                    let reason = tail[close + 1..].trim().to_string();
+                    if !arg.is_empty() {
+                        out.push(Directive {
+                            line,
+                            kind,
+                            arg,
+                            reason,
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    out.push(Directive {
+        line,
+        kind: DirectiveKind::Malformed,
+        arg: String::new(),
+        reason: String::new(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_not_idents() {
+        let l = lex(r#"let x = "Instant::now"; y.unwrap();"#);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y", "unwrap"]);
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "Instant::now"));
+    }
+
+    #[test]
+    fn comments_are_skipped_but_directives_found() {
+        let l = lex("// lint:allow(panic_freedom) startup only\nlet a = 1; /* unwrap */\n");
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.directives.len(), 1);
+        assert_eq!(l.directives[0].arg, "panic_freedom");
+        assert_eq!(l.directives[0].reason, "startup only");
+        assert_eq!(l.directives[0].line, 1);
+    }
+
+    #[test]
+    fn numbers_classify() {
+        let l = lex("0.5 1e-3 2f64 42 0xE3 1_000 0..9 1.max(2)");
+        let kinds: Vec<TokKind> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_lines() {
+        let l = lex("let s = r#\"a \"quoted\" b\"#;\nlet t = 2;");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("quoted")));
+        let t2 = l.toks.iter().find(|t| t.is_ident("t")).expect("t");
+        assert_eq!(t2.line, 2);
+    }
+
+    #[test]
+    fn malformed_directive_is_recorded() {
+        let l = lex("// lint:allow panic please\n");
+        assert_eq!(l.directives.len(), 1);
+        assert_eq!(l.directives[0].kind, DirectiveKind::Malformed);
+    }
+}

@@ -1,0 +1,42 @@
+//! `greengpu-lint` — the workspace's static invariant checker.
+//!
+//! The compiler proves memory safety; it cannot prove that a fleet CSV
+//! is byte-identical per seed, that milliwatts never silently become
+//! watts, or that a controller degrades instead of panicking. Those are
+//! *project* invariants — the ones every GreenGPU result rests on — and
+//! this crate machine-checks them on every build:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `determinism` | no wall clocks / hash-order iteration in seeded crates |
+//! | `rng_discipline` | every RNG traces to a config seed |
+//! | `panic_freedom` | controller paths hold-on-invalid, never abort |
+//! | `float_eq` | no `==`/`!=` against float literals |
+//! | `unit_safety` | power identifiers carry `_w`/`_mw`, units never mix bare |
+//! | `checkpoint_version` | snapshot field changes bump `CHECKPOINT_VERSION` |
+//! | `contract_drift` | CSV headers match EXPERIMENTS.md; DESIGN.md numbering is contiguous |
+//! | `test_hygiene` | every seam-trait method is referenced from a test |
+//!
+//! Pre-existing findings live in `lint-baseline.toml` (keyed by
+//! rule/path/snippet, each with a reason); point escapes use
+//! `// lint:allow(rule) reason` on or above the offending line. Both are
+//! themselves linted — a reason-less escape is a finding.
+//!
+//! The analyzer is a hand-rolled lexer plus token rules (see
+//! [`lexer`]) with **zero dependencies**, so it builds and runs even
+//! when the rest of the workspace does not. Run it as
+//! `cargo run -p greengpu-lint`; see DESIGN.md §11 for the rule
+//! catalogue and the baseline workflow.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use baseline::Baseline;
+pub use findings::Finding;
+pub use workspace::{find_root, load_baseline, load_workspace, run, RunReport};

@@ -1,0 +1,164 @@
+//! Rule `checkpoint_version`: editing a snapshot/restore field set
+//! without bumping `CHECKPOINT_VERSION` breaks warm restarts silently.
+//!
+//! The restore path *rejects* checkpoints whose version does not match,
+//! so forgetting the bump does not corrupt state — it quietly turns every
+//! restart cold (or worse, accepts an old layout that happens to parse).
+//! The rule fingerprints the string literals inside every
+//! `snapshot`/`restore`/`checkpoint_data`/`restore_checkpoint` body (the
+//! JSON field keys) and compares `(CHECKPOINT_VERSION, fingerprint)`
+//! against the committed baseline:
+//!
+//! * fields changed, version unchanged → **bump the version**;
+//! * version or fields changed vs the baseline → **rerun with
+//!   `--update-baseline`** so the change is a visible diff in review.
+
+use super::{Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{match_delim, FileKind, SourceFile};
+
+/// Crates that participate in learner checkpointing.
+const SCOPE: &[&str] = &["greengpu", "policy", "cluster"];
+
+/// Function names whose bodies define the checkpoint wire format.
+const SNAPSHOT_FNS: &[&str] = &["snapshot", "restore", "checkpoint_data", "restore_checkpoint"];
+
+/// The rule.
+pub struct CheckpointVersion;
+
+/// The observed checkpoint state: the `CHECKPOINT_VERSION` literal, the
+/// field-set fingerprint, and where the version const lives.
+pub struct CheckpointState {
+    /// Value of the `CHECKPOINT_VERSION` const.
+    pub version: u64,
+    /// FNV-1a 64 hex over the sorted, deduplicated field literals.
+    pub fingerprint: String,
+    /// File declaring the const (findings anchor here).
+    pub decl_path: String,
+    /// Line of the const.
+    pub decl_line: u32,
+}
+
+/// Scans `files` for the checkpoint surface. `None` when the workspace
+/// has no `CHECKPOINT_VERSION` const (nothing to version).
+pub fn observe(files: &[SourceFile]) -> Option<CheckpointState> {
+    let mut version = None;
+    let mut literals: Vec<String> = Vec::new();
+    for file in files {
+        if file.kind != FileKind::Lib || !SCOPE.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("CHECKPOINT_VERSION") && version.is_none() {
+                // const CHECKPOINT_VERSION: u64 = <int>;
+                if let Some(eq) = toks[i..].iter().take(8).position(|t| t.is_punct('=')) {
+                    if let Some(v) = toks.get(i + eq + 1).filter(|t| t.kind == TokKind::Int) {
+                        version = Some((parse_int(&v.text), file.rel_path.clone(), toks[i].line));
+                    }
+                }
+            }
+            // fn <snapshot-name> … { body }
+            if toks[i].is_ident("fn")
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| SNAPSHOT_FNS.iter().any(|s| n.is_ident(s)) && !file.is_exempt(n.line))
+            {
+                let Some(open) = (i..toks.len()).find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';')) else {
+                    continue;
+                };
+                if toks[open].is_punct(';') {
+                    continue; // trait method declaration, no body
+                }
+                let close = match_delim(toks, open);
+                for t in &toks[open..close] {
+                    if t.kind == TokKind::Str {
+                        literals.push(t.text.clone());
+                    }
+                }
+            }
+        }
+    }
+    let (version, decl_path, decl_line) = version?;
+    literals.sort();
+    literals.dedup();
+    Some(CheckpointState {
+        version,
+        fingerprint: fnv1a(&literals.join("\n")),
+        decl_path,
+        decl_line,
+    })
+}
+
+/// Integer literal text → value (type suffixes tolerated, 0 on garbage).
+fn parse_int(text: &str) -> u64 {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x") {
+        let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        u64::from_str_radix(&digits, 16).unwrap_or(0)
+    } else {
+        let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().unwrap_or(0)
+    }
+}
+
+/// FNV-1a 64-bit, rendered as 16 hex digits.
+pub fn fnv1a(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+impl Rule for CheckpointVersion {
+    fn name(&self) -> &'static str {
+        "checkpoint_version"
+    }
+
+    fn describe(&self) -> &'static str {
+        "snapshot/restore field-set changes require a CHECKPOINT_VERSION bump (fingerprint vs baseline)"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        let Some(state) = observe(ctx.files) else {
+            return;
+        };
+        let push = |out: &mut Vec<Finding>, message: String| {
+            out.push(Finding {
+                rule: "checkpoint_version",
+                path: state.decl_path.clone(),
+                line: state.decl_line,
+                message,
+                snippet: String::new(),
+            });
+        };
+        match (ctx.baseline.checkpoint_version, &ctx.baseline.checkpoint_fingerprint) {
+            (Some(bv), Some(bf)) => {
+                if *bf != state.fingerprint && bv == state.version {
+                    push(
+                        out,
+                        format!(
+                            "checkpoint field set changed (fingerprint {} → {}) but CHECKPOINT_VERSION is still {} — bump it, then run `greengpu-lint --update-baseline`",
+                            bf, state.fingerprint, state.version
+                        ),
+                    );
+                } else if *bf != state.fingerprint || bv != state.version {
+                    push(
+                        out,
+                        format!(
+                            "checkpoint surface moved (version {} → {}) — run `greengpu-lint --update-baseline` to record it",
+                            bv, state.version
+                        ),
+                    );
+                }
+            }
+            _ => push(
+                out,
+                "checkpoint surface is not baselined — run `greengpu-lint --update-baseline`".to_string(),
+            ),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Rule `contract_drift`: code and documentation state the same facts.
+//!
+//! Two checks:
+//!
+//! 1. **Column contracts.** A `// lint:contract(name)` marker in code
+//!    names the CSV header list that follows (a `&[…]` of string
+//!    literals or one comma-separated literal). EXPERIMENTS.md declares
+//!    the same list in a fenced block opened with <code>```contract:name</code>.
+//!    The two must match element-for-element, and neither side may be
+//!    orphaned — so renaming a telemetry column without updating the
+//!    published schema (or vice versa) fails the build.
+//! 2. **Section numbering.** DESIGN.md `## N.` headings must run 1..K
+//!    contiguously and `### N.M` subsections must nest contiguously —
+//!    stale cross-references start with a skipped number.
+
+use super::{Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::{DirectiveKind, TokKind};
+use crate::source::{FileKind, SourceFile};
+
+/// The rule.
+pub struct ContractDrift;
+
+/// One side of a named contract.
+struct ContractSide {
+    path: String,
+    line: u32,
+    columns: Vec<String>,
+}
+
+/// Collects `lint:contract` lists from code.
+fn code_contracts(files: &[SourceFile]) -> Vec<(String, ContractSide)> {
+    let mut out = Vec::new();
+    for file in files {
+        for d in &file.directives {
+            if d.kind != DirectiveKind::Contract {
+                continue;
+            }
+            // String literals in the statement after the marker line —
+            // everything up to the first `;` at bracket depth zero, so
+            // array types like `[&str; 3]` don't end the scan early.
+            let Some(start) = file.toks.iter().position(|t| t.line > d.line) else {
+                continue;
+            };
+            let mut literals: Vec<String> = Vec::new();
+            let mut depth = 0i64;
+            for t in &file.toks[start..] {
+                match t.text.as_str() {
+                    "[" | "(" | "{" => depth += 1,
+                    // Dropping below the marker's own depth means the
+                    // enclosing expression (e.g. a call the marker sits
+                    // inside) closed — the list is over.
+                    "]" | ")" | "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                if t.kind == TokKind::Str {
+                    literals.push(t.text.clone());
+                }
+            }
+            // A single literal with commas is itself the column list.
+            let columns: Vec<String> = if literals.len() == 1 && literals[0].contains(',') {
+                literals[0].split(',').map(|s| s.trim().to_string()).collect()
+            } else {
+                literals
+            };
+            out.push((
+                d.arg.clone(),
+                ContractSide {
+                    path: file.rel_path.clone(),
+                    line: d.line,
+                    columns,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Collects ```contract:name fenced blocks from markdown docs.
+fn doc_contracts(files: &[SourceFile]) -> Vec<(String, ContractSide)> {
+    let mut out = Vec::new();
+    for file in files {
+        if file.kind != FileKind::Doc {
+            continue;
+        }
+        let mut i = 0;
+        while i < file.lines.len() {
+            let line = file.lines[i].trim();
+            if let Some(name) = line.strip_prefix("```contract:") {
+                let name = name.trim().to_string();
+                let open_line = (i + 1) as u32;
+                let mut body = String::new();
+                i += 1;
+                while i < file.lines.len() && !file.lines[i].trim().starts_with("```") {
+                    body.push_str(&file.lines[i]);
+                    body.push('\n');
+                    i += 1;
+                }
+                let columns = body
+                    .split([',', '\n'])
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                out.push((
+                    name,
+                    ContractSide {
+                        path: file.rel_path.clone(),
+                        line: open_line,
+                        columns,
+                    },
+                ));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Checks DESIGN.md-style numbered headings for contiguity.
+fn check_headings(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut top = 0u32;
+    let mut sub = 0u32;
+    for (i, raw) in file.lines.iter().enumerate() {
+        let line = (i + 1) as u32;
+        let mut fail = |msg: String| {
+            out.push(Finding {
+                rule: "contract_drift",
+                path: file.rel_path.clone(),
+                line,
+                message: msg,
+                snippet: raw.trim().to_string(),
+            });
+        };
+        if let Some(rest) = raw.strip_prefix("## ") {
+            if let Some(n) = leading_number(rest) {
+                if n != top + 1 {
+                    fail(format!(
+                        "section heading `## {n}.` breaks contiguity — expected `## {}.`",
+                        top + 1
+                    ));
+                }
+                top = n;
+                sub = 0;
+            }
+        } else if let Some(rest) = raw.strip_prefix("### ") {
+            if let Some((maj, min)) = leading_pair(rest) {
+                if maj != top {
+                    fail(format!("subsection `### {maj}.{min}` sits under section {top}"));
+                } else if min != sub + 1 {
+                    fail(format!(
+                        "subsection `### {maj}.{min}` breaks contiguity — expected `### {maj}.{}`",
+                        sub + 1
+                    ));
+                }
+                sub = min;
+            }
+        }
+    }
+}
+
+/// `"4. Models"` → `Some(4)` (requires the trailing dot).
+fn leading_number(s: &str) -> Option<u32> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() || !s[digits.len()..].starts_with('.') {
+        return None;
+    }
+    // `4.1` is a pair, not a top-level number.
+    if s[digits.len() + 1..].starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// `"4.1 GPU timing"` → `Some((4, 1))`.
+fn leading_pair(s: &str) -> Option<(u32, u32)> {
+    let maj: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let rest = s.get(maj.len()..)?.strip_prefix('.')?;
+    let min: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if maj.is_empty() || min.is_empty() {
+        return None;
+    }
+    Some((maj.parse().ok()?, min.parse().ok()?))
+}
+
+impl Rule for ContractDrift {
+    fn name(&self) -> &'static str {
+        "contract_drift"
+    }
+
+    fn describe(&self) -> &'static str {
+        "CSV header lists match their EXPERIMENTS.md contract blocks; DESIGN.md sections number contiguously"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        let code = code_contracts(ctx.files);
+        let docs = doc_contracts(ctx.files);
+        for (name, c) in &code {
+            match docs.iter().find(|(n, _)| n == name) {
+                None => out.push(Finding {
+                    rule: "contract_drift",
+                    path: c.path.clone(),
+                    line: c.line,
+                    message: format!("contract `{name}` has no ```contract:{name}``` block in EXPERIMENTS.md"),
+                    snippet: String::new(),
+                }),
+                Some((_, d)) if d.columns != c.columns => out.push(Finding {
+                    rule: "contract_drift",
+                    path: c.path.clone(),
+                    line: c.line,
+                    message: format!(
+                        "contract `{name}` drifted: code says [{}], {} says [{}]",
+                        c.columns.join(", "),
+                        d.path,
+                        d.columns.join(", ")
+                    ),
+                    snippet: String::new(),
+                }),
+                Some(_) => {}
+            }
+        }
+        for (name, d) in &docs {
+            if !code.iter().any(|(n, _)| n == name) {
+                out.push(Finding {
+                    rule: "contract_drift",
+                    path: d.path.clone(),
+                    line: d.line,
+                    message: format!("doc contract `{name}` has no `lint:contract({name})` marker in code"),
+                    snippet: String::new(),
+                });
+            }
+        }
+        for file in ctx.files {
+            if file.kind == FileKind::Doc && file.rel_path.ends_with("DESIGN.md") {
+                check_headings(file, out);
+            }
+        }
+    }
+}

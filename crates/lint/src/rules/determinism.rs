@@ -1,0 +1,63 @@
+//! Rule `determinism`: no wall clocks or env-dependent iteration in the
+//! crates whose outputs must be byte-identical per seed.
+//!
+//! Every experiment CSV, checkpoint, and golden trace in this workspace
+//! is asserted byte-identical for a fixed seed. A single `Instant::now`
+//! or `HashMap` iteration in those paths breaks that silently — results
+//! still *look* right, they just stop being reproducible.
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::source::FileKind;
+
+/// Crates whose library code must be wall-clock- and hash-order-free.
+pub const SCOPE: &[&str] = &["sim", "cluster", "policy", "greengpu", "repro", "runtime"];
+
+/// Forbidden identifier → what to use instead.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "take a `Clock`/simulated-time parameter (`greengpu_runtime::clock`)",
+    ),
+    ("SystemTime", "thread `SimTime` through from the caller"),
+    ("UNIX_EPOCH", "thread `SimTime` through from the caller"),
+    ("HashMap", "use `BTreeMap` — iteration order feeds deterministic output"),
+    ("HashSet", "use `BTreeSet` — iteration order feeds deterministic output"),
+    ("thread_rng", "use a seeded `Pcg32` stream derived from the config seed"),
+    ("RandomState", "use `BTreeMap`/`BTreeSet` — hashing is process-seeded"),
+];
+
+/// The rule.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no wall clocks (Instant/SystemTime) or hash-order iteration (HashMap/HashSet) in deterministic crates"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        for file in ctx.files {
+            if file.kind != FileKind::Lib || !SCOPE.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            for t in &file.toks {
+                if file.is_exempt(t.line) {
+                    continue;
+                }
+                if let Some((name, fix)) = FORBIDDEN.iter().find(|(name, _)| t.is_ident(name)) {
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        t.line,
+                        format!("`{name}` is nondeterministic here — {fix}"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Rule `float_eq`: no `==`/`!=` against float literals.
+//!
+//! Exact float comparison is occasionally *correct* (a `0.0` sentinel
+//! that is only ever assigned, never computed) — but each such site must
+//! say so with `lint:allow(float_eq) reason`. Everything else wants an
+//! epsilon or an integer representation (the fleet apportioner's
+//! integer milliwatts exist for exactly this reason).
+//!
+//! Lexical approximation: only comparisons with a float *literal* on
+//! either side are detectable without types. That already catches the
+//! dangerous idiom (`x == 0.3`-style threshold drift).
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::FileKind;
+
+/// The rule.
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float_eq"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no ==/!= against f32/f64 literals — compare with an epsilon or use integer units"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        for file in ctx.files {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let toks = &file.toks;
+            for i in 1..toks.len().saturating_sub(1) {
+                let (a, b) = (&toks[i], &toks[i + 1]);
+                let eq = a.is_punct('=') && b.is_punct('=');
+                let ne = a.is_punct('!') && b.is_punct('=');
+                if !(eq || ne) {
+                    continue;
+                }
+                // `==` must not be the tail of `<=`, `>=`, `!=`, `..=`.
+                if eq && toks[i - 1].kind == TokKind::Punct && "<>!=.".contains(&toks[i - 1].text) {
+                    continue;
+                }
+                let lhs_float = toks[i - 1].kind == TokKind::Float;
+                let rhs_float = toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Float);
+                if (lhs_float || rhs_float) && !file.is_exempt(a.line) {
+                    let op = if eq { "==" } else { "!=" };
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        a.line,
+                        format!("float `{op}` comparison — use an epsilon, integer units, or justify with lint:allow"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Rule `test_hygiene`: the pluggable seams stay tested.
+//!
+//! `FreqPolicy`, `SensorSource`, and `FreqActuator` are the workspace's
+//! extension points — third implementations plug in behind them, so an
+//! untested method on one of these traits is an unspecified contract.
+//! Every method declared on a seam trait must be referenced from at
+//! least one test (a `tests/` file or a `#[cfg(test)]` region) somewhere
+//! in the workspace.
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{match_delim, FileKind};
+
+/// The seam traits whose surface must be exercised.
+const SEAM_TRAITS: &[&str] = &["FreqPolicy", "SensorSource", "FreqActuator"];
+
+/// The rule.
+pub struct TestHygiene;
+
+impl Rule for TestHygiene {
+    fn name(&self) -> &'static str {
+        "test_hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every method on the FreqPolicy/SensorSource/FreqActuator seams is referenced from at least one test"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        // 1. Collect (trait, method, decl site) from seam definitions.
+        let mut methods: Vec<(String, String, usize, u32)> = Vec::new(); // (trait, fn, file idx, line)
+        for (fi, file) in ctx.files.iter().enumerate() {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let toks = &file.toks;
+            for i in 0..toks.len() {
+                if !toks[i].is_ident("trait")
+                    || !toks
+                        .get(i + 1)
+                        .is_some_and(|n| SEAM_TRAITS.iter().any(|s| n.is_ident(s)))
+                {
+                    continue;
+                }
+                let trait_name = toks[i + 1].text.clone();
+                let Some(open) = (i..toks.len()).find(|&k| toks[k].is_punct('{')) else {
+                    continue;
+                };
+                let close = match_delim(toks, open);
+                // Walk the body at depth 1: `fn name` introduces a
+                // method; skip nested braces (default bodies).
+                let mut k = open + 1;
+                while k < close {
+                    if toks[k].is_punct('{') {
+                        k = match_delim(toks, k) + 1;
+                        continue;
+                    }
+                    if toks[k].is_ident("fn") {
+                        if let Some(name) = toks.get(k + 1).filter(|t| t.kind == TokKind::Ident) {
+                            methods.push((trait_name.clone(), name.text.clone(), fi, name.line));
+                        }
+                        k += 2;
+                        continue;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // 2. For each method, look for an identifier reference in any
+        // test region anywhere in the workspace.
+        for (trait_name, method, fi, line) in methods {
+            let referenced = ctx.files.iter().any(|f| {
+                (f.kind == FileKind::TestDir || f.kind == FileKind::Lib)
+                    && f.toks
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && t.text == method && f.is_test_region(t.line))
+            });
+            if !referenced {
+                emit(
+                    out,
+                    &ctx.files[fi],
+                    self.name(),
+                    line,
+                    format!(
+                        "seam method `{trait_name}::{method}` is never referenced from any test — the contract is unspecified"
+                    ),
+                );
+            }
+        }
+    }
+}

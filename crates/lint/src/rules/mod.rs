@@ -1,0 +1,104 @@
+//! The rule registry and shared context.
+
+use crate::baseline::Baseline;
+use crate::findings::Finding;
+use crate::lexer::DirectiveKind;
+use crate::source::SourceFile;
+
+pub mod checkpoint;
+pub mod contract;
+pub mod determinism;
+pub mod float_eq;
+pub mod hygiene;
+pub mod panic;
+pub mod rng;
+pub mod units;
+
+/// Everything a rule can look at.
+pub struct Context<'a> {
+    /// Every scanned file, sources and docs alike.
+    pub files: &'a [SourceFile],
+    /// The committed baseline (checkpoint fingerprints live here).
+    pub baseline: &'a Baseline,
+}
+
+/// One static-invariant rule.
+pub trait Rule {
+    /// Stable snake_case name used in `lint:allow(...)` and the baseline.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Appends findings (pre-suppression) to `out`.
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>);
+}
+
+/// The full rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::Determinism),
+        Box::new(rng::RngDiscipline),
+        Box::new(panic::PanicFreedom),
+        Box::new(float_eq::FloatEq),
+        Box::new(units::UnitSafety),
+        Box::new(checkpoint::CheckpointVersion),
+        Box::new(contract::ContractDrift),
+        Box::new(hygiene::TestHygiene),
+    ]
+}
+
+/// Emits a finding unless an inline `lint:allow` covers it.
+pub(crate) fn emit(out: &mut Vec<Finding>, file: &SourceFile, rule: &'static str, line: u32, message: String) {
+    if file.allowed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line).to_string(),
+    });
+}
+
+/// Validates the `lint:` directives themselves: malformed syntax, unknown
+/// rule names, and reason-less allows are findings (rule
+/// `lint_directive`) — the escape hatch polices itself.
+pub fn check_directives(ctx: &Context, out: &mut Vec<Finding>) {
+    let rule_names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    for file in ctx.files {
+        for d in &file.directives {
+            let message = match d.kind {
+                DirectiveKind::Malformed => {
+                    "malformed lint directive — use `// lint:allow(rule) reason` or `// lint:contract(name)`"
+                        .to_string()
+                }
+                DirectiveKind::Allow if !rule_names.contains(&d.arg.as_str()) => {
+                    format!("lint:allow names unknown rule {:?}", d.arg)
+                }
+                DirectiveKind::Allow if d.reason.is_empty() => {
+                    format!("lint:allow({}) has no reason — say why the escape is sound", d.arg)
+                }
+                _ => continue,
+            };
+            out.push(Finding {
+                rule: "lint_directive",
+                path: file.rel_path.clone(),
+                line: d.line,
+                message,
+                snippet: file.snippet(d.line).to_string(),
+            });
+        }
+    }
+}
+
+/// Runs every rule plus directive validation, returning findings sorted
+/// by path/line/rule (pre-suppression).
+pub fn run_all(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in all_rules() {
+        rule.check(ctx, &mut out);
+    }
+    check_directives(ctx, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}

@@ -1,0 +1,101 @@
+//! Rule `panic_freedom`: controller paths degrade, they do not abort.
+//!
+//! The hardening contract since the fault-injection PR: invalid input
+//! holds the last known good state, empty feasible sets fall back to the
+//! lowest-power pair, failed restores cold-start. A stray `unwrap()` in a
+//! controller path turns a recoverable sensor glitch into a dead node.
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::FileKind;
+
+/// Crates whose library code sits on controller paths.
+pub const SCOPE: &[&str] = &["greengpu", "cluster", "policy", "runtime"];
+
+/// The rule.
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic_freedom"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap()/expect()/panic!/unguarded arithmetic indexing in controller-crate library code"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        for file in ctx.files {
+            if file.kind != FileKind::Lib || !SCOPE.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.toks;
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                if file.is_exempt(t.line) {
+                    continue;
+                }
+                // `.unwrap()` / `.expect(` — method calls only, so
+                // `unwrap_or` and friends stay legal.
+                if (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`.{}()` on a controller path — degrade (hold last-known-good, `unwrap_or`, `let-else`) instead of aborting",
+                            t.text
+                        ),
+                    );
+                    continue;
+                }
+                // panic!/unreachable!/todo!/unimplemented!
+                if ["panic", "unreachable", "todo", "unimplemented"]
+                    .iter()
+                    .any(|m| t.is_ident(m))
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`{}!` on a controller path — return a `Result` or hold state instead",
+                            t.text
+                        ),
+                    );
+                    continue;
+                }
+                // Arithmetic indexing `xs[i + 1]` / `xs[i - 1]`: the
+                // classic off-by-one panic. Plain `xs[i]` is accepted —
+                // flagging every index would drown the signal.
+                if t.is_punct('[')
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Ident
+                    && toks.get(i + 1).is_some_and(|a| a.kind == TokKind::Ident)
+                    && toks.get(i + 2).is_some_and(|o| o.is_punct('+') || o.is_punct('-'))
+                    && toks.get(i + 3).is_some_and(|b| b.kind == TokKind::Int)
+                    && toks.get(i + 4).is_some_and(|c| c.is_punct(']'))
+                {
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "unguarded arithmetic index `{}[{} {} {}]` — use `.get(..)` or prove the bound with a guard",
+                            toks[i - 1].text, toks[i + 1].text, toks[i + 2].text, toks[i + 3].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

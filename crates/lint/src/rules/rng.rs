@@ -1,0 +1,66 @@
+//! Rule `rng_discipline`: every RNG must trace to a config seed.
+//!
+//! `Pcg32::new(seed, STREAM)` with a *named* root seed is the workspace
+//! contract — per-node and per-channel streams all derive from the one
+//! seed the experiment publishes. A literal root seed buried in library
+//! code silently forks that provenance: the run is still deterministic,
+//! but no longer reproducible *from the config*.
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::FileKind;
+
+/// RNG types whose constructors are checked.
+const RNG_TYPES: &[&str] = &["Pcg32", "SplitMix64"];
+
+/// Constructor names whose *first argument* is a root seed.
+const SEED_CTORS: &[&str] = &["new", "seeded", "from_state"];
+
+/// The rule.
+pub struct RngDiscipline;
+
+impl Rule for RngDiscipline {
+    fn name(&self) -> &'static str {
+        "rng_discipline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "RNG constructors must take a named seed (config-traceable), never an integer literal, outside tests"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        for file in ctx.files {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let toks = &file.toks;
+            for i in 0..toks.len() {
+                if !(RNG_TYPES.iter().any(|t| toks[i].is_ident(t))) {
+                    continue;
+                }
+                // Pattern: Type :: ctor ( <int literal>
+                let Some(w) = toks.get(i + 1..i + 6) else { continue };
+                if !(w[0].is_punct(':') && w[1].is_punct(':')) {
+                    continue;
+                }
+                if !SEED_CTORS.iter().any(|c| w[2].is_ident(c)) || !w[3].is_punct('(') {
+                    continue;
+                }
+                if w[4].kind != TokKind::Int || file.is_exempt(toks[i].line) {
+                    continue;
+                }
+                emit(
+                    out,
+                    file,
+                    self.name(),
+                    toks[i].line,
+                    format!(
+                        "`{}::{}({}, …)` hardcodes a root seed — take it from the config or a named `SEED` constant",
+                        toks[i].text, w[2].text, w[4].text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Rule `unit_safety`: power values carry their unit in the name and
+//! never cross the milliwatt/watt boundary without a visible conversion.
+//!
+//! The fleet apportioner does exact integer-milliwatt accounting while
+//! the controller layer reports watts as `f64`; one silent `_mw`/`_w`
+//! mix-up is a 1000× budget error that every downstream table happily
+//! formats. Three lexical checks:
+//!
+//! 1. an `_mw` identifier and a `_w` identifier on the same expression
+//!    line with no conversion evidence (a `1000` factor or a
+//!    `*_to_*`/`from_*` helper) is a mixed-unit expression;
+//! 2. a bare `as` cast directly on a power identifier with no conversion
+//!    evidence launders the unit through the type system;
+//! 3. a `let` binding or typed field/parameter whose name says
+//!    power/watt/milliwatt must end in `_w` or `_mw`.
+
+use super::{emit, Context, Rule};
+use crate::findings::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::source::FileKind;
+
+/// The rule.
+pub struct UnitSafety;
+
+fn milli_suffixed(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && t.text.ends_with("_mw")
+}
+
+fn watt_suffixed(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && t.text.ends_with("_w") && !t.text.ends_with("_mw")
+}
+
+/// A `1000` factor or a named conversion helper on the line —
+/// `mw`/`mw_floor` are the workspace's blessed watt→milliwatt converters
+/// (`crates/cluster/src/power.rs`).
+fn conversion_evidence(line_toks: &[&Tok]) -> bool {
+    line_toks.iter().any(|t| {
+        (t.kind == TokKind::Int && matches!(t.text.replace('_', "").as_str(), "1000"))
+            || (t.kind == TokKind::Float && matches!(t.text.replace('_', "").as_str(), "1000.0" | "1e3" | "1.0e3"))
+            || (t.kind == TokKind::Ident
+                && (matches!(t.text.as_str(), "mw" | "mw_floor")
+                    || t.text.contains("_to_")
+                    || t.text.starts_with("from_")
+                    || t.text.contains("milli")))
+    })
+}
+
+/// Power-adjacent names that are *not* watt-valued: utilization shares,
+/// ratios, energies, and grids keep their own suffixes; `watts` *is* the
+/// unit.
+fn naming_exempt(name: &str) -> bool {
+    matches!(name, "watts" | "milliwatts")
+        || ["_util", "_frac", "_ratio", "_j", "_map", "_grid", "_model"]
+            .iter()
+            .any(|s| name.ends_with(s))
+}
+
+impl Rule for UnitSafety {
+    fn name(&self) -> &'static str {
+        "unit_safety"
+    }
+
+    fn describe(&self) -> &'static str {
+        "power identifiers end in _w/_mw and never mix units without an explicit 1000 conversion"
+    }
+
+    fn check(&self, ctx: &Context, out: &mut Vec<Finding>) {
+        for file in ctx.files {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let toks = &file.toks;
+            // Group token indices by line for the mixing check.
+            let mut by_line: Vec<(u32, Vec<&Tok>)> = Vec::new();
+            for t in toks {
+                match by_line.last_mut() {
+                    Some((line, v)) if *line == t.line => v.push(t),
+                    _ => by_line.push((t.line, vec![t])),
+                }
+            }
+            for (line, lt) in &by_line {
+                if file.is_exempt(*line) {
+                    continue;
+                }
+                let saw_milli = lt.iter().any(|t| milli_suffixed(t));
+                let saw_plain_w = lt.iter().any(|t| watt_suffixed(t));
+                // A `fn` signature carrying both units is a converter's
+                // parameter list, not a mixed-unit expression.
+                let is_signature = lt.iter().any(|t| t.is_ident("fn"));
+                if saw_milli && saw_plain_w && !is_signature && !conversion_evidence(lt) {
+                    emit(
+                        out,
+                        file,
+                        self.name(),
+                        *line,
+                        "`_mw` and `_w` identifiers mix on one line with no `1000` conversion in sight — a 1000× accounting bug"
+                            .to_string(),
+                    );
+                }
+            }
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                if file.is_exempt(t.line) {
+                    continue;
+                }
+                // Bare `as` cast on a power identifier.
+                if (milli_suffixed(t) || watt_suffixed(t)) && toks.get(i + 1).is_some_and(|n| n.is_ident("as")) {
+                    let lt: Vec<&Tok> = toks.iter().filter(|x| x.line == t.line).collect();
+                    if !conversion_evidence(&lt) {
+                        emit(
+                            out,
+                            file,
+                            self.name(),
+                            t.line,
+                            format!(
+                                "bare `{} as …` cast — convert units explicitly (×/÷ 1000) or keep the unit type",
+                                t.text
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                // Unsuffixed power-valued declarations.
+                if t.kind == TokKind::Ident
+                    && (t.text.contains("power") || t.text.contains("watt"))
+                    && !t.text.ends_with("_w")
+                    && !t.text.ends_with("_mw")
+                    && !t.text.ends_with("_kw")
+                    && !naming_exempt(&t.text)
+                    && t.text
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())
+                {
+                    // `name:` introduces a binding/field; `name::` is a
+                    // module path and stays legal.
+                    let typed = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                        && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'));
+                    let declared = (i > 0 && (toks[i - 1].is_ident("let") || toks[i - 1].is_ident("mut"))) || typed;
+                    if declared {
+                        emit(
+                            out,
+                            file,
+                            self.name(),
+                            t.line,
+                            format!("power-valued binding `{}` lacks a `_w`/`_mw` unit suffix", t.text),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The per-file model every rule consumes.
+
+use crate::lexer::{lex, Directive, DirectiveKind, Tok};
+
+/// Where a file sits in the workspace — rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a library or binary crate: rules apply in full.
+    Lib,
+    /// `tests/`: exempt from code rules, counts as test coverage.
+    TestDir,
+    /// `benches/` or `examples/`: exempt from code rules, does *not*
+    /// count as test coverage.
+    Aux,
+    /// A markdown document (EXPERIMENTS.md, DESIGN.md).
+    Doc,
+}
+
+/// One lexed source file plus everything rules ask about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The `crates/<name>` component, or `"suite"` for the root crate.
+    pub crate_name: String,
+    /// Location class.
+    pub kind: FileKind,
+    /// Raw lines (for snippets and doc rules).
+    pub lines: Vec<String>,
+    /// Token stream (empty for docs).
+    pub toks: Vec<Tok>,
+    /// Comment directives.
+    pub directives: Vec<Directive>,
+    /// `test_lines[i]` is true when 1-based line `i+1` is inside a
+    /// `#[cfg(test)]` module or a `#[test]` function.
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Builds the model from raw text.
+    pub fn new(rel_path: &str, content: &str) -> SourceFile {
+        let crate_name = crate_of(rel_path);
+        let kind = kind_of(rel_path);
+        let lines: Vec<String> = content.lines().map(str::to_string).collect();
+        let (toks, directives, test_lines) = if kind == FileKind::Doc {
+            (Vec::new(), Vec::new(), Vec::new())
+        } else {
+            let lexed = lex(content);
+            let test_lines = mark_test_lines(&lexed.toks, lines.len());
+            (lexed.toks, lexed.directives, test_lines)
+        };
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            kind,
+            lines,
+            toks,
+            directives,
+            test_lines,
+        }
+    }
+
+    /// True when 1-based `line` is exempt from code rules (test module,
+    /// test function, or the whole file for `tests/`/`benches/`).
+    pub fn is_exempt(&self, line: u32) -> bool {
+        if self.kind != FileKind::Lib {
+            return true;
+        }
+        self.test_lines.get(line as usize - 1).copied().unwrap_or(false)
+    }
+
+    /// True when 1-based `line` counts as *test* code for coverage
+    /// purposes (a `tests/` file or a `#[cfg(test)]` region).
+    pub fn is_test_region(&self, line: u32) -> bool {
+        self.kind == FileKind::TestDir || self.test_lines.get(line as usize - 1).copied().unwrap_or(false)
+    }
+
+    /// The trimmed text of 1-based `line` (empty when out of range).
+    pub fn snippet(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map(|l| l.trim()).unwrap_or("")
+    }
+
+    /// True when an `allow(rule)` directive with a reason covers `line`
+    /// (directive on the same line or the line above).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.directives.iter().any(|d| {
+            d.kind == DirectiveKind::Allow
+                && d.arg == rule
+                && !d.reason.is_empty()
+                && (d.line == line || d.line + 1 == line)
+        })
+    }
+}
+
+/// `crates/<name>/…` → `<name>`; everything else is the root crate.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "suite".to_string()
+}
+
+fn kind_of(rel_path: &str) -> FileKind {
+    if rel_path.ends_with(".md") {
+        return FileKind::Doc;
+    }
+    let in_dir = |d: &str| {
+        rel_path.split('/').any(|seg| seg == d) && !rel_path.split('/').take_while(|s| *s != d).any(|s| s == "src")
+    };
+    if in_dir("tests") {
+        FileKind::TestDir
+    } else if in_dir("benches") || in_dir("examples") {
+        FileKind::Aux
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Finds the token index of the delimiter matching `open_idx` (which must
+/// hold `(`, `[`, or `{`). Returns the last token on imbalance.
+pub fn match_delim(toks: &[Tok], open_idx: usize) -> usize {
+    let (open, close) = match toks[open_idx].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => ('{', '}'),
+    };
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Marks line ranges covered by `#[cfg(test)]` items and `#[test]` fns.
+fn mark_test_lines(toks: &[Tok], n_lines: usize) -> Vec<bool> {
+    let mut marked = vec![false; n_lines];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let close = match_delim(toks, i + 1);
+            let inner = &toks[i + 2..close];
+            let is_cfg_test = inner.len() >= 4
+                && inner[0].is_ident("cfg")
+                && inner.iter().any(|t| t.is_ident("test") || t.is_ident("bench"));
+            let is_test_attr = inner.len() == 1 && inner[0].is_ident("test");
+            if is_cfg_test || is_test_attr {
+                // Skip further attributes, then find the item's body.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    j = match_delim(toks, j + 1) + 1;
+                }
+                // Mark from the attribute to the end of the item's brace
+                // block (or its `;` for block-less items like `use`).
+                let mut k = j;
+                let mut end_line = toks[i].line;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        let body_close = match_delim(toks, k);
+                        end_line = toks[body_close].line;
+                        k = body_close;
+                        break;
+                    }
+                    if toks[k].is_punct(';') {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                    k += 1;
+                }
+                for line in toks[i].line..=end_line {
+                    if let Some(slot) = marked.get_mut(line as usize - 1) {
+                        *slot = true;
+                    }
+                }
+                i = k.max(close) + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+pub fn live() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+";
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let f = SourceFile::new("crates/greengpu/src/x.rs", SRC);
+        assert!(!f.is_exempt(1));
+        assert!(f.is_exempt(4));
+        assert!(f.is_exempt(6));
+        assert!(f.is_test_region(6));
+        assert!(!f.is_test_region(1));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_exempt() {
+        let f = SourceFile::new("crates/greengpu/tests/x.rs", "fn a() { b.unwrap(); }");
+        assert!(f.is_exempt(1));
+        assert!(f.is_test_region(1));
+        assert_eq!(f.crate_name, "greengpu");
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "// lint:allow(float_eq) exact sentinel\nlet a = x == 0.0;\nlet b = y == 0.0;\n";
+        let f = SourceFile::new("crates/sim/src/x.rs", src);
+        assert!(f.allowed("float_eq", 2));
+        assert!(!f.allowed("float_eq", 3));
+        assert!(!f.allowed("panic_freedom", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let f = SourceFile::new("crates/sim/src/x.rs", "let a = x == 0.0; // lint:allow(float_eq)\n");
+        assert!(!f.allowed("float_eq", 1));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(kind_of("crates/hw/src/gpu.rs"), FileKind::Lib);
+        assert_eq!(kind_of("crates/hw/tests/t.rs"), FileKind::TestDir);
+        assert_eq!(kind_of("crates/bench/benches/b.rs"), FileKind::Aux);
+        assert_eq!(kind_of("examples/demo.rs"), FileKind::Aux);
+        assert_eq!(kind_of("EXPERIMENTS.md"), FileKind::Doc);
+        assert_eq!(kind_of("src/lib.rs"), FileKind::Lib);
+    }
+}

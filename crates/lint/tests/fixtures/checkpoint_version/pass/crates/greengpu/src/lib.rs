@@ -1,0 +1,6 @@
+//! Fixture: a snapshot surface guarded by CHECKPOINT_VERSION.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+pub fn snapshot() -> Vec<(&'static str, f64)> {
+    vec![("weights", 1.0), ("ratio", 0.5)]
+}

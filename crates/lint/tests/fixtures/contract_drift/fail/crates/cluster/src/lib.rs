@@ -1,0 +1,3 @@
+//! Fixture: a CSV header bound to the experiment docs.
+// lint:contract(cols)
+pub const HEADER: [&str; 3] = ["interval", "time_s", "energy_j"];

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock read inside a seeded crate.
+use std::time::Instant;
+
+pub fn elapsed_s() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

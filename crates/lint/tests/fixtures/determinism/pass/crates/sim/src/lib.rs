@@ -1,0 +1,4 @@
+//! Fixture: time arrives as simulated-clock parameters.
+pub fn step(now_s: f64, dt_s: f64) -> f64 {
+    now_s + dt_s
+}

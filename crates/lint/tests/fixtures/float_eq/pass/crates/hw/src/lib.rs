@@ -1,0 +1,4 @@
+//! Fixture: epsilon comparison.
+pub fn is_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}

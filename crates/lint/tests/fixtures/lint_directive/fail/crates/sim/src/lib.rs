@@ -1,0 +1,10 @@
+//! Fixture: escape hatches used wrong.
+// lint:allow(float_eq)
+pub fn exact(x: f64) -> bool {
+    x == 0.0
+}
+
+// lint:allow(no_such_rule) the rule name is wrong
+pub fn other(x: f64) -> f64 {
+    x + 1.0
+}

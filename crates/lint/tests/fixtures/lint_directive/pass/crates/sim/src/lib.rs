@@ -1,0 +1,5 @@
+//! Fixture: a justified escape.
+pub fn exact(x: f64) -> bool {
+    // lint:allow(float_eq) exact-zero sentinel set only from literals
+    x == 0.0
+}

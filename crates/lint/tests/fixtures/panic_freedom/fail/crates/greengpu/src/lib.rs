@@ -1,0 +1,4 @@
+//! Fixture: aborting accessor on a controller path.
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}

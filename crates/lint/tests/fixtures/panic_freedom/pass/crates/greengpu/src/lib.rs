@@ -1,0 +1,4 @@
+//! Fixture: the same accessor degrading to a default.
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}

@@ -1,0 +1,18 @@
+//! Fixture: RNG seeded from a bare literal in library code.
+pub struct Pcg32 {
+    state: u64,
+}
+
+impl Pcg32 {
+    pub fn seeded(seed: u64) -> Self {
+        Pcg32 { state: seed }
+    }
+
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+pub fn policy_rng() -> Pcg32 {
+    Pcg32::seeded(42)
+}

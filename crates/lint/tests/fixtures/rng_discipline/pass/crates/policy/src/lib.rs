@@ -1,0 +1,18 @@
+//! Fixture: the seed is threaded in from config.
+pub struct Pcg32 {
+    state: u64,
+}
+
+impl Pcg32 {
+    pub fn seeded(seed: u64) -> Self {
+        Pcg32 { state: seed }
+    }
+
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+pub fn policy_rng(seed: u64) -> Pcg32 {
+    Pcg32::seeded(seed)
+}

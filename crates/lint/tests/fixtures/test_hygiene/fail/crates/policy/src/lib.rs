@@ -1,0 +1,12 @@
+//! Fixture: a seam trait whose methods need test coverage.
+pub trait FreqPolicy {
+    fn decide(&mut self) -> usize;
+}
+
+pub struct Fixed;
+
+impl FreqPolicy for Fixed {
+    fn decide(&mut self) -> usize {
+        3
+    }
+}

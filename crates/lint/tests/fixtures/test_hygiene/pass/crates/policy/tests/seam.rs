@@ -1,0 +1,19 @@
+//! Exercises the FreqPolicy seam.
+
+pub trait FreqPolicy {
+    fn decide(&mut self) -> usize;
+}
+
+struct Fixed;
+
+impl FreqPolicy for Fixed {
+    fn decide(&mut self) -> usize {
+        3
+    }
+}
+
+#[test]
+fn decide_returns_the_fixed_level() {
+    let mut p = Fixed;
+    assert_eq!(p.decide(), 3);
+}

@@ -1,0 +1,4 @@
+//! Fixture: milliwatts and watts mixed with no conversion.
+pub fn headroom(cap_mw: u64, draw_w: f64) -> f64 {
+    cap_mw as f64 - draw_w
+}

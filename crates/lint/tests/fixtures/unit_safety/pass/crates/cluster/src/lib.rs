@@ -1,0 +1,4 @@
+//! Fixture: the boundary crossing shows its 1000 factor.
+pub fn headroom_mw(cap_mw: u64, draw_w: f64) -> u64 {
+    cap_mw.saturating_sub((draw_w * 1000.0) as u64)
+}

@@ -1,0 +1,100 @@
+//! End-to-end rule tests: every rule has a failing fixture that trips it
+//! and a passing fixture that runs clean, exercised through the real
+//! binary so exit codes and output formats are covered too.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// All rules with a fixture pair under `tests/fixtures/<rule>/{pass,fail}`.
+const RULES: &[&str] = &[
+    "determinism",
+    "rng_discipline",
+    "panic_freedom",
+    "float_eq",
+    "unit_safety",
+    "checkpoint_version",
+    "contract_drift",
+    "test_hygiene",
+    "lint_directive",
+];
+
+fn fixture(rule: &str, variant: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(variant)
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_greengpu-lint"))
+        .args(args)
+        .output()
+        .expect("spawn greengpu-lint")
+}
+
+#[test]
+fn every_fail_fixture_trips_its_rule() {
+    for rule in RULES {
+        let root = fixture(rule, "fail");
+        let out = lint(&["--root", root.to_str().expect("utf-8 path")]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rule}/fail should exit 1\nstdout:\n{stdout}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "{rule}/fail should report a [{rule}] finding, got:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn every_pass_fixture_runs_clean() {
+    for rule in RULES {
+        let root = fixture(rule, "pass");
+        let out = lint(&["--root", root.to_str().expect("utf-8 path")]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{rule}/pass should exit 0\nstdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn json_report_carries_the_findings() {
+    let root = fixture("float_eq", "fail");
+    let out = lint(&["--root", root.to_str().expect("utf-8 path"), "--json", "-", "--quiet"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout.contains("\"rule\": \"float_eq\""),
+        "JSON missing the finding:\n{stdout}"
+    );
+    assert!(stdout.contains("\"findings\": 1"), "JSON missing the count:\n{stdout}");
+}
+
+#[test]
+fn unknown_arguments_exit_2() {
+    let out = lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in RULES {
+        if *rule == "lint_directive" {
+            continue; // the meta-rule is built in, not listed
+        }
+        assert!(stdout.contains(rule), "--list-rules is missing {rule}:\n{stdout}");
+    }
+}

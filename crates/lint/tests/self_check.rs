@@ -1,0 +1,38 @@
+//! The dogfood test: the workspace itself must lint clean against the
+//! committed `lint-baseline.toml`, with no stale baseline entries. This
+//! is the same check CI runs — if it fails here, fix the finding, add a
+//! reasoned `// lint:allow(rule)`, or (for pre-existing debt) extend the
+//! baseline with a reason.
+
+use std::path::Path;
+
+use greengpu_lint::{load_baseline, run};
+
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+
+    let baseline = load_baseline(&root.join("lint-baseline.toml")).expect("baseline parses");
+    let report = run(root, &baseline).expect("lint runs");
+
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "the workspace has {} unbaselined lint finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+    assert!(
+        report.stale.is_empty(),
+        "the baseline has stale entries (fixed code — remove them):\n{}",
+        report.stale.join("\n")
+    );
+}

@@ -188,12 +188,7 @@ impl FreqPolicy for Exp3Policy {
         (self.n_core, self.n_mem)
     }
 
-    fn decide(
-        &mut self,
-        u_core: f64,
-        u_mem: f64,
-        feasible: &dyn Fn(usize, usize) -> bool,
-    ) -> (usize, usize) {
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool) -> (usize, usize) {
         if !(u_core.is_finite() && u_mem.is_finite()) {
             // Reject garbage without consuming randomness or weights;
             // hold the incumbent inside the mask.
@@ -220,7 +215,7 @@ impl FreqPolicy for Exp3Policy {
         let prob = |w: f64| (1.0 - self.params.gamma) * w / total_w + self.params.gamma / k_f;
         let draw = self.rng.next_f64();
         let mut cum = 0.0;
-        let mut chosen = *feasible_arms.last().expect("non-empty");
+        let mut chosen = feasible_arms.last().copied().unwrap_or((0, 0));
         let mut p_chosen = prob(self.weight(chosen.0, chosen.1));
         for &(i, j) in &feasible_arms {
             let p = prob(self.weight(i, j));
@@ -296,19 +291,13 @@ impl FreqPolicy for Exp3Policy {
     }
 
     fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
-        let weights =
-            snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
+        let weights = snap::parse_f64_vec(snap::field(state, "weights")?, "weights", self.weights.len())?;
         if weights.iter().any(|&w| w < 0.0) {
             return Err("weights must be non-negative".to_string());
         }
         let rng_state = snap::parse_u64(state, "rng_state")?;
         let rng_inc = snap::parse_u64(state, "rng_inc")?;
-        let current = snap::parse_pair(
-            snap::field(state, "current")?,
-            "current",
-            self.n_core,
-            self.n_mem,
-        )?;
+        let current = snap::parse_pair(snap::field(state, "current")?, "current", self.n_core, self.n_mem)?;
         self.weights = weights;
         self.rng = Pcg32::from_state(rng_state, rng_inc);
         self.current = current;
@@ -429,12 +418,7 @@ impl FreqPolicy for UcbPolicy {
         (self.n_core, self.n_mem)
     }
 
-    fn decide(
-        &mut self,
-        u_core: f64,
-        u_mem: f64,
-        feasible: &dyn Fn(usize, usize) -> bool,
-    ) -> (usize, usize) {
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool) -> (usize, usize) {
         if !(u_core.is_finite() && u_mem.is_finite()) {
             self.tracker.note_invalid();
             return match hold_masked(self.current.unwrap_or((0, 0)), self.n_core, self.n_mem, feasible) {
@@ -458,8 +442,7 @@ impl FreqPolicy for UcbPolicy {
                 let mut score = self.index(i, j);
                 if let Some(cur) = self.current {
                     if (i, j) != cur {
-                        score += self.params.switching.switch_cost
-                            * dist_norm((i, j), cur, self.n_core, self.n_mem);
+                        score += self.params.switching.switch_cost * dist_norm((i, j), cur, self.n_core, self.n_mem);
                     }
                 }
                 if best.is_none() || score < best_score {
@@ -527,23 +510,13 @@ impl FreqPolicy for UcbPolicy {
     }
 
     fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
-        let counts =
-            snap::parse_u64_vec(snap::field(state, "counts")?, "counts", self.counts.len())?;
-        let mean_loss = snap::parse_f64_vec(
-            snap::field(state, "mean_loss")?,
-            "mean_loss",
-            self.mean_loss.len(),
-        )?;
+        let counts = snap::parse_u64_vec(snap::field(state, "counts")?, "counts", self.counts.len())?;
+        let mean_loss = snap::parse_f64_vec(snap::field(state, "mean_loss")?, "mean_loss", self.mean_loss.len())?;
         let t = snap::parse_u64(state, "t")?;
         if counts.iter().sum::<u64>() != t {
             return Err(format!("t = {t} does not equal the sum of counts"));
         }
-        let current = snap::parse_pair(
-            snap::field(state, "current")?,
-            "current",
-            self.n_core,
-            self.n_mem,
-        )?;
+        let current = snap::parse_pair(snap::field(state, "current")?, "current", self.n_core, self.n_mem)?;
         self.counts = counts;
         self.mean_loss = mean_loss;
         self.t = t;
@@ -566,6 +539,13 @@ mod tests {
 
     fn ucb() -> UcbPolicy {
         UcbPolicy::new(6, 6, UcbParams::default())
+    }
+
+    #[test]
+    fn as_any_downcasts_to_the_concrete_policy() {
+        let policy: Box<dyn FreqPolicy> = Box::new(ucb());
+        assert!(policy.as_any().downcast_ref::<UcbPolicy>().is_some());
+        assert!(policy.as_any().downcast_ref::<Exp3Policy>().is_none());
     }
 
     const ALL: fn(usize, usize) -> bool = |_, _| true;
@@ -613,7 +593,9 @@ mod tests {
             p.decide(0.5, 0.5, &ALL);
         }
         let snapshot = |p: &Exp3Policy| -> Vec<f64> {
-            (0..6).flat_map(|i| (0..6).map(|j| p.weight(i, j)).collect::<Vec<_>>()).collect()
+            (0..6)
+                .flat_map(|i| (0..6).map(|j| p.weight(i, j)).collect::<Vec<_>>())
+                .collect()
         };
         let weights = snapshot(&p);
         let held = p.decide(f64::NAN, 0.5, &ALL);

@@ -18,9 +18,9 @@
 use crate::loss::{LossModel, LossParams};
 use crate::telemetry::{DecisionTracker, PolicyTelemetry};
 use crate::{hold_masked, snap, FreqPolicy};
-use greengpu_sim::JsonValue;
 use greengpu_hw::gpu::GpuSpec;
 use greengpu_hw::perf::{gpu_timing, WorkUnits};
+use greengpu_sim::JsonValue;
 
 /// Predicted per-pair execution time and energy of a representative work
 /// unit over the `N×M` frequency-pair grid.
@@ -37,12 +37,7 @@ pub struct PairModel {
 impl PairModel {
     /// Builds a model from externally supplied grids (row-major
     /// `n_core × n_mem`), e.g. averaged cluster service profiles.
-    pub fn from_grids(
-        n_core: usize,
-        n_mem: usize,
-        time_s: Vec<f64>,
-        energy_j: Vec<f64>,
-    ) -> Result<Self, String> {
+    pub fn from_grids(n_core: usize, n_mem: usize, time_s: Vec<f64>, energy_j: Vec<f64>) -> Result<Self, String> {
         if n_core < 2 || n_mem < 2 {
             return Err(format!("grid must be at least 2x2, got {n_core}x{n_mem}"));
         }
@@ -258,12 +253,7 @@ impl FreqPolicy for DeadlinePolicy {
         self.model.shape()
     }
 
-    fn decide(
-        &mut self,
-        u_core: f64,
-        u_mem: f64,
-        feasible: &dyn Fn(usize, usize) -> bool,
-    ) -> (usize, usize) {
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool) -> (usize, usize) {
         let (n_core, n_mem) = self.model.shape();
         if !(u_core.is_finite() && u_mem.is_finite()) {
             self.tracker.note_invalid();
@@ -429,13 +419,7 @@ mod tests {
             ..DeadlineParams::default()
         };
         let mut tight = DeadlinePolicy::new(m.clone(), base);
-        let mut slackened = DeadlinePolicy::new(
-            m,
-            DeadlineParams {
-                slack: 2.0,
-                ..base
-            },
-        );
+        let mut slackened = DeadlinePolicy::new(m, DeadlineParams { slack: 2.0, ..base });
         tight.decide(0.5, 0.5, &ALL);
         slackened.decide(0.5, 0.5, &ALL);
         assert_eq!(tight.deadline_misses(), 1);

@@ -31,6 +31,8 @@
 //! count, empty-mask fallbacks, and regret against the static-best pair
 //! in hindsight.
 
+#![forbid(unsafe_code)]
+
 pub mod bandit;
 pub mod deadline;
 pub mod loss;
@@ -70,8 +72,7 @@ pub trait FreqPolicy: Send {
     /// One control interval: observe the utilizations, learn, and return
     /// the `(core_level, mem_level)` pair to enforce next, restricted to
     /// pairs for which `feasible` is true.
-    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool)
-        -> (usize, usize);
+    fn decide(&mut self, u_core: f64, u_mem: f64, feasible: &dyn Fn(usize, usize) -> bool) -> (usize, usize);
 
     /// The pair the policy currently prefers, without observing or
     /// learning — what a fresh unmasked decision would enforce. Used by
@@ -158,9 +159,7 @@ pub mod snap {
         }
         arr.iter()
             .enumerate()
-            .map(|(k, x)| {
-                x.as_f64().ok_or_else(|| format!("{name}[{k}] must be a finite number"))
-            })
+            .map(|(k, x)| x.as_f64().ok_or_else(|| format!("{name}[{k}] must be a finite number")))
             .collect()
     }
 
@@ -173,7 +172,8 @@ pub mod snap {
         arr.iter()
             .enumerate()
             .map(|(k, x)| {
-                x.as_u64().ok_or_else(|| format!("{name}[{k}] must be a non-negative integer"))
+                x.as_u64()
+                    .ok_or_else(|| format!("{name}[{k}] must be a non-negative integer"))
             })
             .collect()
     }
@@ -198,7 +198,9 @@ pub(crate) fn hold_masked(
     if feasible(current.0, current.1) {
         return Some(current);
     }
-    (0..n_core).flat_map(|i| (0..n_mem).map(move |j| (i, j))).find(|&(i, j)| feasible(i, j))
+    (0..n_core)
+        .flat_map(|i| (0..n_mem).map(move |j| (i, j)))
+        .find(|&(i, j)| feasible(i, j))
 }
 
 #[cfg(test)]

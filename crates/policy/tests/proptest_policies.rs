@@ -3,8 +3,7 @@
 //! and are deterministic under a fixed seed.
 
 use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, UcbParams,
-    UcbPolicy,
+    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, UcbParams, UcbPolicy,
 };
 use proptest::prelude::*;
 

@@ -92,7 +92,13 @@ fn execute(args: &Args) -> Result<RunReport, String> {
     } else {
         registry::by_name(&args.workload, args.seed)
     }
-    .ok_or_else(|| format!("unknown workload '{}' (known: {})", args.workload, registry::TABLE2_NAMES.join(" ")))?;
+    .ok_or_else(|| {
+        format!(
+            "unknown workload '{}' (known: {})",
+            args.workload,
+            registry::TABLE2_NAMES.join(" ")
+        )
+    })?;
     run_policy(
         workload.as_mut(),
         &args.policy,
@@ -122,7 +128,10 @@ fn main() -> ExitCode {
         println!("{}", summary.to_json_pretty());
     } else {
         println!("workload   {}", summary.workload);
-        println!("policy     {} (governor {:?}, division {:?})", summary.policy, args.governor, args.division_algo);
+        println!(
+            "policy     {} (governor {:?}, division {:?})",
+            summary.policy, args.governor, args.division_algo
+        );
         println!("time       {:.1} s", summary.total_time_s);
         println!(
             "energy     {:.0} J total ({:.0} J GPU / {:.0} J CPU-side), mean {:.1} W",

@@ -3,10 +3,10 @@
 //! speed; this experiment reports the *outcomes*).
 
 use super::{pct, signed_pct, ExperimentOutput};
-use greengpu::baselines::{run_best_performance_with, run_with_config};
-use greengpu::division::{DivisionController, DivisionParams};
 use greengpu::autotune::{tune, TuneGrid};
 use greengpu::baselines::run_on_platform;
+use greengpu::baselines::{run_best_performance_with, run_with_config};
+use greengpu::division::{DivisionController, DivisionParams};
 use greengpu::oracle::wma_regret;
 use greengpu::wma::{WmaParams, WmaScaler};
 use greengpu::{DivisionAlgo, GovernorKind, GreenGpuConfig};
@@ -25,7 +25,13 @@ fn division_step_table() -> Table {
         &["step", "iterations to settle", "settled share", "safeguard holds"],
     );
     for step in [0.01, 0.02, 0.05, 0.10, 0.20] {
-        let mut ctl = DivisionController::new(0.50, DivisionParams { step, ..DivisionParams::default() });
+        let mut ctl = DivisionController::new(
+            0.50,
+            DivisionParams {
+                step,
+                ..DivisionParams::default()
+            },
+        );
         let mut settled_at = 0;
         let mut last = ctl.share();
         for i in 0..200 {
@@ -53,7 +59,13 @@ fn safeguard_table() -> Table {
         &["safeguard", "ratio moves in final 20 iterations", "behaviour"],
     );
     for (label, safeguard) in [("on", true), ("off", false)] {
-        let mut ctl = DivisionController::new(0.10, DivisionParams { safeguard, ..DivisionParams::default() });
+        let mut ctl = DivisionController::new(
+            0.10,
+            DivisionParams {
+                safeguard,
+                ..DivisionParams::default()
+            },
+        );
         let mut trace = Vec::new();
         for _ in 0..40 {
             let r = ctl.share();
@@ -64,7 +76,12 @@ fn safeguard_table() -> Table {
         t.row(&[
             label.to_string(),
             tail_moves.to_string(),
-            if tail_moves == 0 { "stable" } else { "oscillating 10% ↔ 15%" }.to_string(),
+            if tail_moves == 0 {
+                "stable"
+            } else {
+                "oscillating 10% ↔ 15%"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -103,14 +120,29 @@ fn initial_ratio_table(seed: u64) -> Table {
 fn division_algo_table(seed: u64) -> Table {
     let mut t = Table::new(
         "Ablation — step-wise heuristic vs model-based jump (division only)",
-        &["workload", "algorithm", "iterations to final share", "final share", "energy (kJ)"],
+        &[
+            "workload",
+            "algorithm",
+            "iterations to final share",
+            "final share",
+            "energy (kJ)",
+        ],
     );
     for (name, make) in [
-        ("kmeans", &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>)
-            as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>),
-        ("hotspot", &(|s| Box::new(Hotspot::paper(s)) as Box<dyn greengpu_workloads::Workload>)),
+        (
+            "kmeans",
+            &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>)
+                as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>,
+        ),
+        (
+            "hotspot",
+            &(|s| Box::new(Hotspot::paper(s)) as Box<dyn greengpu_workloads::Workload>),
+        ),
     ] {
-        for (label, algo) in [("stepwise", DivisionAlgo::Stepwise), ("model-based", DivisionAlgo::ModelBased)] {
+        for (label, algo) in [
+            ("stepwise", DivisionAlgo::Stepwise),
+            ("model-based", DivisionAlgo::ModelBased),
+        ] {
             let cfg = GreenGpuConfig {
                 division_algo: algo,
                 ..GreenGpuConfig::division_only()
@@ -142,7 +174,14 @@ fn history_table() -> Table {
         &["history λ", "intervals until argmax follows", "note"],
     );
     for history in [0.5, 0.8, 0.95, 1.0] {
-        let mut s = WmaScaler::new(6, 6, WmaParams { history, ..WmaParams::default() });
+        let mut s = WmaScaler::new(
+            6,
+            6,
+            WmaParams {
+                history,
+                ..WmaParams::default()
+            },
+        );
         for _ in 0..50 {
             s.observe(1.0, 1.0);
         }
@@ -154,16 +193,22 @@ fn history_table() -> Table {
         t.row(&[
             fnum(history, 2),
             count.to_string(),
-            if history == 1.0 { "verbatim Eq. 4 (unbounded memory)" } else { "" }.to_string(),
+            // lint:allow(float_eq) annotating the exact swept literal, not a computed value
+            if history == 1.0 {
+                "verbatim Eq. 4 (unbounded memory)"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     t
 }
 
 /// 8-bit quantized table agreement rate over random utilization traces.
-fn quantized_table() -> Table {
+fn quantized_table(seed: u64) -> Table {
     use greengpu::quantized::QuantizedWma;
-    let mut rng = Pcg32::seeded(2012);
+    let mut rng = Pcg32::seeded(seed);
     let mut exact = 0usize;
     let mut within_one = 0usize;
     let trials = 200;
@@ -201,7 +246,13 @@ fn quantized_table() -> Table {
 fn oracle_table(seed: u64) -> Table {
     let mut t = Table::new(
         "Ablation — WMA regret vs the exhaustive static frequency oracle (5% slowdown budget)",
-        &["workload", "oracle GPU energy (kJ)", "WMA GPU energy (kJ)", "energy regret", "time vs oracle"],
+        &[
+            "workload",
+            "oracle GPU energy (kJ)",
+            "WMA GPU energy (kJ)",
+            "energy regret",
+            "time vs oracle",
+        ],
     );
     for name in ["kmeans", "lud", "PF", "hotspot", "srad_v2", "streamcluster"] {
         let regret = wma_regret(|| registry::by_name(name, seed).expect("registered"), 0.05);
@@ -271,7 +322,13 @@ fn governor_table(seed: u64) -> Table {
 fn decoupling_table(seed: u64) -> Table {
     let mut t = Table::new(
         "Ablation — tier decoupling: DVFS interval vs ~40 s division interval (hotspot holistic)",
-        &["DVFS interval", "division/DVFS ratio", "final share", "energy (kJ)", "vs 3 s interval"],
+        &[
+            "DVFS interval",
+            "division/DVFS ratio",
+            "final share",
+            "energy (kJ)",
+            "vs 3 s interval",
+        ],
     );
     let mut rows = Vec::new();
     for &(period_s, label) in &[(3u64, "3 s (paper)"), (12, "12 s"), (40, "40 s")] {
@@ -308,9 +365,15 @@ fn coordination_table(seed: u64) -> Table {
         &["workload", "φ", "meaning", "GPU saving", "time delta"],
     );
     for (name, make) in [
-        ("kmeans", &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>)
-            as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>),
-        ("streamcluster", &(|s| Box::new(StreamCluster::paper(s)) as Box<dyn greengpu_workloads::Workload>)),
+        (
+            "kmeans",
+            &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>)
+                as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>,
+        ),
+        (
+            "streamcluster",
+            &(|s| Box::new(StreamCluster::paper(s)) as Box<dyn greengpu_workloads::Workload>),
+        ),
     ] {
         let base = run_best_performance_with(make(seed).as_mut(), RunConfig::sweep());
         for (phi, meaning) in [
@@ -319,7 +382,10 @@ fn coordination_table(seed: u64) -> Table {
             (0.0, "memory-only loss"),
         ] {
             let cfg = GreenGpuConfig {
-                wma_params: WmaParams { phi, ..WmaParams::default() },
+                wma_params: WmaParams {
+                    phi,
+                    ..WmaParams::default()
+                },
                 ..GreenGpuConfig::scaling_only()
             };
             let ours = run_with_config(make(seed).as_mut(), cfg, RunConfig::sweep());
@@ -352,11 +418,7 @@ fn reclock_stall_table(seed: u64) -> Table {
         let ours = run_with_config(&mut StreamCluster::paper(seed), GreenGpuConfig::scaling_only(), cfg);
         let saving = 1.0 - ours.gpu_energy_j / base.gpu_energy_j;
         let dt = ours.total_time.as_secs_f64() / base.total_time.as_secs_f64() - 1.0;
-        t.row(&[
-            format!("{} ms", fnum(stall_ms, 0)),
-            pct(saving),
-            signed_pct(dt),
-        ]);
+        t.row(&[format!("{} ms", fnum(stall_ms, 0)), pct(saving), signed_pct(dt)]);
     }
     t
 }
@@ -436,10 +498,14 @@ fn autotune_table(seed: u64) -> Table {
         .map(|i| i + 1)
         .unwrap_or(0);
     let mut t = Table::new(
-        format!(
-            "Ablation — autotuned WMA parameters (27-point grid; paper defaults rank {default_rank}/27)"
-        ),
-        &["rank", "alpha_core", "alpha_mem", "phi", "normalized EDP (sum of 3 workloads)"],
+        format!("Ablation — autotuned WMA parameters (27-point grid; paper defaults rank {default_rank}/27)"),
+        &[
+            "rank",
+            "alpha_core",
+            "alpha_mem",
+            "phi",
+            "normalized EDP (sum of 3 workloads)",
+        ],
     );
     for (i, p) in ranked.iter().take(5).enumerate() {
         t.row(&[
@@ -464,7 +530,7 @@ pub fn run(seed: u64) -> ExperimentOutput {
             initial_ratio_table(seed),
             division_algo_table(seed),
             history_table(),
-            quantized_table(),
+            quantized_table(seed),
             oracle_table(seed),
             governor_table(seed),
             decoupling_table(seed),
@@ -507,8 +573,14 @@ mod tests {
         let md = t.to_csv();
         let rows: Vec<&str> = md.lines().skip(1).collect();
         let iter_of = |row: &str| -> usize { row.split(',').nth(2).unwrap().parse().unwrap() };
-        assert!(iter_of(rows[1]) <= iter_of(rows[0]), "kmeans: model slower than stepwise");
-        assert!(iter_of(rows[3]) <= iter_of(rows[2]), "hotspot: model slower than stepwise");
+        assert!(
+            iter_of(rows[1]) <= iter_of(rows[0]),
+            "kmeans: model slower than stepwise"
+        );
+        assert!(
+            iter_of(rows[3]) <= iter_of(rows[2]),
+            "hotspot: model slower than stepwise"
+        );
     }
 
     #[test]
@@ -543,7 +615,10 @@ mod coordination_tests {
         let seed = 6;
         let time_of = |phi: f64, make: &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>| {
             let cfg = GreenGpuConfig {
-                wma_params: WmaParams { phi, ..WmaParams::default() },
+                wma_params: WmaParams {
+                    phi,
+                    ..WmaParams::default()
+                },
                 ..GreenGpuConfig::scaling_only()
             };
             let mut wl = make(seed);
@@ -551,10 +626,8 @@ mod coordination_tests {
                 .total_time
                 .as_secs_f64()
         };
-        let km: &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload> =
-            &|s| Box::new(KMeans::paper(s));
-        let sc: &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload> =
-            &|s| Box::new(StreamCluster::paper(s));
+        let km: &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload> = &|s| Box::new(KMeans::paper(s));
+        let sc: &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload> = &|s| Box::new(StreamCluster::paper(s));
         // Coordinated is near-neutral on both.
         let km_coord = time_of(0.3, km);
         let sc_coord = time_of(0.3, sc);

@@ -21,9 +21,7 @@
 
 use super::ExperimentOutput;
 use greengpu::{Exp3Params, PolicySpec};
-use greengpu_cluster::{
-    run_fleet, FleetConfig, FleetReport, LifecycleParams, NodeConfig, Policy,
-};
+use greengpu_cluster::{run_fleet, FleetConfig, FleetReport, LifecycleParams, NodeConfig, Policy};
 use greengpu_hw::ChaosPlan;
 use greengpu_sim::{table::fnum, SimDuration, Table};
 
@@ -73,13 +71,7 @@ fn opt_num(v: Option<f64>, decimals: usize) -> String {
 
 /// A chaos fleet config: crashes at `rate`, plus light thermal and
 /// blackout channels so all three failure modes compose in every run.
-fn chaos_cfg(
-    rate: f64,
-    period: Option<u64>,
-    policy_spec: &PolicySpec,
-    horizon: SimDuration,
-    seed: u64,
-) -> FleetConfig {
+fn chaos_cfg(rate: f64, period: Option<u64>, policy_spec: &PolicySpec, horizon: SimDuration, seed: u64) -> FleetConfig {
     let nodes: Vec<NodeConfig> = (0..NODES)
         .map(|_| NodeConfig::default_node().with_freq_policy(policy_spec.clone()))
         .collect();
@@ -96,13 +88,7 @@ fn chaos_cfg(
         .with_lifecycle(lifecycle)
 }
 
-fn sweep_row(
-    table: &mut Table,
-    rate: f64,
-    period: Option<u64>,
-    policy: &str,
-    r: &FleetReport,
-) {
+fn sweep_row(table: &mut Table, rate: f64, period: Option<u64>, policy: &str, r: &FleetReport) {
     table.row(&[
         fnum(rate, 3),
         ckpt_label(period),

@@ -88,14 +88,16 @@ pub fn run(seed: u64) -> ExperimentOutput {
     let mut loose_4rr_energy = None;
     let mut tight_4rr_energy = None;
     for &n in &NODE_COUNTS {
-        for &frac in &BUDGET_FRACS {
+        for (fi, &frac) in BUDGET_FRACS.iter().enumerate() {
             for &policy in &Policy::ALL {
                 let cfg = FleetConfig::homogeneous(n, frac, policy, horizon, seed);
                 let r = run_fleet(&cfg);
                 if n == 4 && policy == Policy::RoundRobin {
-                    if frac == 1.00 {
+                    // Index into BUDGET_FRACS, not float equality: last
+                    // entry is the loose 1.00 budget, first the tight 0.65.
+                    if fi == BUDGET_FRACS.len() - 1 {
                         loose_4rr_energy = Some(r.gpu_energy_j);
-                    } else if frac == 0.65 {
+                    } else if fi == 0 {
                         tight_4rr_energy = Some(r.gpu_energy_j);
                     }
                 }

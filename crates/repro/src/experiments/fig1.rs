@@ -136,7 +136,11 @@ mod tests {
         let mem_nbody = sweep(|| Box::new(NBody::paper(1)), true);
         // nbody: memory throttling is nearly free and saves energy.
         assert!(mem_nbody[0].norm_time < 1.05, "nbody time {}", mem_nbody[0].norm_time);
-        assert!(mem_nbody[0].rel_energy < 1.0, "nbody energy {}", mem_nbody[0].rel_energy);
+        assert!(
+            mem_nbody[0].rel_energy < 1.0,
+            "nbody energy {}",
+            mem_nbody[0].rel_energy
+        );
 
         let mem_sc = sweep(|| Box::new(StreamCluster::paper(1)), true);
         // SC: memory throttling stretches time markedly.
@@ -145,13 +149,21 @@ mod tests {
         let core_sc = sweep(|| Box::new(StreamCluster::paper(1)), false);
         // SC at ~410 MHz core: negligible time cost, energy saved.
         assert!(core_sc[2].norm_time < 1.05, "SC 408MHz time {}", core_sc[2].norm_time);
-        assert!(core_sc[2].rel_energy < 1.0, "SC 408MHz energy {}", core_sc[2].rel_energy);
+        assert!(
+            core_sc[2].rel_energy < 1.0,
+            "SC 408MHz energy {}",
+            core_sc[2].rel_energy
+        );
         // Below that it starts hurting.
         assert!(core_sc[0].norm_time > core_sc[2].norm_time);
 
         let core_nbody = sweep(|| Box::new(NBody::paper(1)), false);
         // nbody: core throttling stretches time hard.
-        assert!(core_nbody[0].norm_time > 1.5, "nbody core time {}", core_nbody[0].norm_time);
+        assert!(
+            core_nbody[0].norm_time > 1.5,
+            "nbody core time {}",
+            core_nbody[0].norm_time
+        );
     }
 
     #[test]

@@ -88,7 +88,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
 
     let mut summary = Table::new(
         "Fig. 8 summary — GreenGPU energy saving vs each baseline",
-        &["workload", "vs Division", "vs Freq-scaling", "vs default (all-GPU, peak)", "time vs Division"],
+        &[
+            "workload",
+            "vs Division",
+            "vs Freq-scaling",
+            "vs default (all-GPU, peak)",
+            "time vs Division",
+        ],
     );
     for p in [&hs, &km] {
         summary.row(&[

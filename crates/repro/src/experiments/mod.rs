@@ -66,6 +66,7 @@ impl ExperimentOutput {
 }
 
 /// Header of `results/MANIFEST.csv`.
+// lint:contract(manifest_columns)
 const MANIFEST_HEADER: &str = "experiment,file,seed,git_describe";
 
 /// `git describe --always --dirty`, or `unknown` outside a work tree.

@@ -19,8 +19,8 @@
 use super::{signed_pct, ExperimentOutput};
 use greengpu::baselines::{run_with_policy, PolicyOutcome};
 use greengpu::{
-    pair_model_for, DeadlineParams, Exp3Params, FreqPolicy, GreenGpuConfig, PairModel, PolicySpec,
-    SwitchingParams, UcbParams, WmaParams,
+    pair_model_for, DeadlineParams, Exp3Params, FreqPolicy, GreenGpuConfig, PairModel, PolicySpec, SwitchingParams,
+    UcbParams, WmaParams,
 };
 use greengpu_hw::calib::geforce_8800_gtx;
 use greengpu_runtime::RunConfig;
@@ -78,12 +78,7 @@ fn sweep(seed: u64) -> BTreeMap<(String, String), PolicyOutcome> {
             let policy_seed = root.next_u64();
             let policy = build_policy(policy_name, policy_seed, &model);
             let mut wl = by_name(wl_name, wl_seed).expect("registered");
-            let outcome = run_with_policy(
-                wl.as_mut(),
-                GreenGpuConfig::scaling_only(),
-                RunConfig::sweep(),
-                policy,
-            );
+            let outcome = run_with_policy(wl.as_mut(), GreenGpuConfig::scaling_only(), RunConfig::sweep(), policy);
             out.insert((wl_name.to_string(), policy_name.to_string()), outcome);
         }
     }
@@ -107,9 +102,7 @@ fn head_to_head_table(results: &BTreeMap<(String, String), PolicyOutcome>) -> Ta
         ],
     );
     for wl in WORKLOADS {
-        let wma_energy = results[&(wl.to_string(), "wma".to_string())]
-            .report
-            .total_energy_j();
+        let wma_energy = results[&(wl.to_string(), "wma".to_string())].report.total_energy_j();
         for policy in POLICIES {
             let o = &results[&(wl.to_string(), policy.to_string())];
             t.row(&[
@@ -152,9 +145,7 @@ fn switching_ablation_table(results: &BTreeMap<(String, String), PolicyOutcome>)
                 aware.telemetry.switches.to_string(),
                 ablation.telemetry.switches.to_string(),
                 super::pct(reduction),
-                signed_pct(
-                    aware.report.total_energy_j() / ablation.report.total_energy_j() - 1.0,
-                ),
+                signed_pct(aware.report.total_energy_j() / ablation.report.total_energy_j() - 1.0),
             ]);
         }
     }
@@ -192,15 +183,9 @@ fn deadline_slack_table(seed: u64) -> Table {
             .build(6, 6, 0, Some(&model))
             .expect("valid deadline spec");
         let mut wl = by_name_small("kmeans", wl_seed).expect("registered");
-        let outcome = run_with_policy(
-            wl.as_mut(),
-            GreenGpuConfig::scaling_only(),
-            RunConfig::sweep(),
-            policy,
-        );
+        let outcome = run_with_policy(wl.as_mut(), GreenGpuConfig::scaling_only(), RunConfig::sweep(), policy);
         let iters = &outcome.report.iterations;
-        let mean_iter_s =
-            iters.iter().map(|it| it.tg_s).sum::<f64>() / iters.len().max(1) as f64;
+        let mean_iter_s = iters.iter().map(|it| it.tg_s).sum::<f64>() / iters.len().max(1) as f64;
         let over = iters.iter().filter(|it| it.tg_s > budget_s * (1.0 + 1e-9)).count();
         t.row(&[
             fnum(slack, 2),
@@ -256,8 +241,7 @@ mod tests {
         for wl in WORKLOADS {
             for bandit in ["exp3", "ucb"] {
                 let aware = results[&(wl.to_string(), bandit.to_string())].telemetry.switches;
-                let ablation =
-                    results[&(wl.to_string(), format!("{bandit}-nosw"))].telemetry.switches;
+                let ablation = results[&(wl.to_string(), format!("{bandit}-nosw"))].telemetry.switches;
                 assert!(
                     aware < ablation,
                     "{wl}/{bandit}: {aware} switches with penalty vs {ablation} without"

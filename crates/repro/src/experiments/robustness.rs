@@ -63,12 +63,7 @@ where
         .iter()
         .map(|&intensity| {
             let plan = FaultPlan::with_intensity(seed, intensity);
-            let outcome = run_greengpu_faulted(
-                make().as_mut(),
-                GreenGpuConfig::holistic(),
-                RunConfig::sweep(),
-                &plan,
-            );
+            let outcome = run_greengpu_faulted(make().as_mut(), GreenGpuConfig::holistic(), RunConfig::sweep(), &plan);
             (
                 plan,
                 Point {
@@ -152,11 +147,8 @@ mod tests {
     #[test]
     fn zero_intensity_matches_the_clean_holistic_run() {
         let (points, _) = sweep("kmeans", 7, || Box::new(KMeans::small(2)));
-        let clean = greengpu::baselines::run_with_config(
-            &mut KMeans::small(2),
-            GreenGpuConfig::holistic(),
-            RunConfig::sweep(),
-        );
+        let clean =
+            greengpu::baselines::run_with_config(&mut KMeans::small(2), GreenGpuConfig::holistic(), RunConfig::sweep());
         let p = &points[0].1;
         assert_eq!(p.intensity, 0.0);
         assert_eq!(p.outcome.report.total_energy_j(), clean.total_energy_j());
@@ -169,12 +161,7 @@ mod tests {
     fn saving_stays_positive_under_moderate_faults() {
         let (points, _) = sweep("hotspot", 21, || Box::new(Hotspot::small(3)));
         for (_, p) in &points[..3] {
-            assert!(
-                p.saving() > 0.0,
-                "intensity {} saving {}",
-                p.intensity,
-                p.saving()
-            );
+            assert!(p.saving() > 0.0, "intensity {} saving {}", p.intensity, p.saving());
         }
     }
 

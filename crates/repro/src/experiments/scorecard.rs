@@ -45,7 +45,9 @@ pub fn evaluate(seed: u64) -> Vec<Claim> {
     // ---- Fig. 1: the §III-A case study ------------------------------
     {
         let t = |core: usize, mem: usize, wl: &mut dyn greengpu_workloads::Workload| {
-            greengpu::baselines::run_pinned(wl, core, mem, sweep()).total_time.as_secs_f64()
+            greengpu::baselines::run_pinned(wl, core, mem, sweep())
+                .total_time
+                .as_secs_f64()
         };
         let nb_peak = t(5, 5, &mut NBody::paper(seed));
         let nb_mem_floor = t(5, 0, &mut NBody::paper(seed));
@@ -231,7 +233,10 @@ pub fn run(seed: u64) -> ExperimentOutput {
         id: "scorecard",
         title: "Every quantitative claim, measured and judged",
         tables: vec![t],
-        notes: vec![format!("{passed}/{} claims within their acceptance bands.", claims.len())],
+        notes: vec![format!(
+            "{passed}/{} claims within their acceptance bands.",
+            claims.len()
+        )],
     }
 }
 

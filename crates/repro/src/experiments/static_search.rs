@@ -90,8 +90,16 @@ pub fn run(seed: u64) -> ExperimentOutput {
     for r in [&km, &hs] {
         t.row(&[
             r.name.to_string(),
-            format!("{}/{}", fnum(r.optimal_share * 100.0, 0), fnum((1.0 - r.optimal_share) * 100.0, 0)),
-            format!("{}/{}", fnum(r.dynamic_share * 100.0, 0), fnum((1.0 - r.dynamic_share) * 100.0, 0)),
+            format!(
+                "{}/{}",
+                fnum(r.optimal_share * 100.0, 0),
+                fnum((1.0 - r.optimal_share) * 100.0, 0)
+            ),
+            format!(
+                "{}/{}",
+                fnum(r.dynamic_share * 100.0, 0),
+                fnum((1.0 - r.dynamic_share) * 100.0, 0)
+            ),
             pct(r.saving_capture()),
             signed_pct(r.time_overhead()),
         ]);

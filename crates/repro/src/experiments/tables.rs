@@ -26,7 +26,15 @@ pub fn table1() -> ExperimentOutput {
     let scaler = WmaScaler::new(6, 6, WmaParams::default());
     let mut demo = Table::new(
         "Core-domain loss per level (α_c = 0.15)",
-        &["u \\ level", "0 (umean 0.0)", "1 (0.2)", "2 (0.4)", "3 (0.6)", "4 (0.8)", "5 (1.0)"],
+        &[
+            "u \\ level",
+            "0 (umean 0.0)",
+            "1 (0.2)",
+            "2 (0.4)",
+            "3 (0.6)",
+            "4 (0.8)",
+            "5 (1.0)",
+        ],
     );
     for u in [0.0, 0.3, 0.6, 0.9] {
         let mut cells = vec![fnum(u, 1)];
@@ -75,7 +83,14 @@ pub fn table2(seed: u64) -> ExperimentOutput {
     // its classes from the utilization traces.
     let mut measured = Table::new(
         "Table II (measured) — classes recovered from peak-clock utilization traces",
-        &["Workload", "u_core mean", "u_mem mean", "swing", "measured classes", "matches"],
+        &[
+            "Workload",
+            "u_core mean",
+            "u_mem mean",
+            "swing",
+            "measured classes",
+            "matches",
+        ],
     );
     let mut matches = 0;
     for mut w in registry::all_workloads(seed) {

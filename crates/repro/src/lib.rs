@@ -20,8 +20,12 @@
 //! | [`ablations`] | design-choice ablations (step size, safeguard, λ, 8-bit table, oracle regret, governors) |
 //! | [`scorecard`] | every quantitative claim, measured and judged against its acceptance band |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod policies;
 pub mod summary;
 
-pub use experiments::{ablations, fig1, fig2, fig5, fig6, fig7, fig8, scorecard, static_search, tables, ExperimentOutput};
+pub use experiments::{
+    ablations, fig1, fig2, fig5, fig6, fig7, fig8, scorecard, static_search, tables, ExperimentOutput,
+};

@@ -80,10 +80,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if (args.nodes.is_some() || args.seconds.is_some())
-        && args.experiment != "cluster"
-        && args.experiment != "chaos"
-    {
+    if (args.nodes.is_some() || args.seconds.is_some()) && args.experiment != "cluster" && args.experiment != "chaos" {
         return Err("--nodes/--seconds only apply to --experiment cluster or chaos".to_string());
     }
     if args.nodes == Some(0) {

@@ -13,11 +13,9 @@ use greengpu_hw::Platform;
 use greengpu_sim::{SimDuration, SimTime};
 use greengpu_workloads::{phase_cpu_time_s, phase_gpu_timing, CpuSlice, GpuPhase, Workload};
 
-
 /// Remaining-time snap threshold: segments within 0.1 µs of completion are
 /// treated as complete, keeping the µs-quantized clock from stalling.
 const EPS_S: f64 = 1e-7;
-
 
 /// Progress through a sequence of segments. `frac` is the completed
 /// fraction of the current segment.
@@ -181,9 +179,17 @@ impl HeteroRuntime {
                 // the DVFS tick. A pending reclock stall preempts the GPU's
                 // current segment.
                 let stalled = gpu_stall_s > EPS_S;
-                let gpu_dur = if stalled { None } else { gpu.current().map(|s| self.gpu_seg_duration(s)) };
+                let gpu_dur = if stalled {
+                    None
+                } else {
+                    gpu.current().map(|s| self.gpu_seg_duration(s))
+                };
                 let cpu_dur = cpu.current().map(|s| self.cpu_seg_duration(s));
-                let gpu_rem = if stalled { Some(gpu_stall_s) } else { gpu_dur.map(|d| (1.0 - gpu.frac) * d) };
+                let gpu_rem = if stalled {
+                    Some(gpu_stall_s)
+                } else {
+                    gpu_dur.map(|d| (1.0 - gpu.frac) * d)
+                };
                 let cpu_rem = cpu_dur.map(|d| (1.0 - cpu.frac) * d);
                 let dvfs_rem = next_dvfs.map(|n| n.saturating_since(t).as_secs_f64());
                 let mut dt = f64::INFINITY;
@@ -206,7 +212,10 @@ impl HeteroRuntime {
                 }
                 t += dt_q;
                 events += 1;
-                assert!(events < self.config.max_events, "event cap exceeded — runaway simulation");
+                assert!(
+                    events < self.config.max_events,
+                    "event cap exceeded — runaway simulation"
+                );
             }
 
             // Close any open spin interval at the barrier.
@@ -388,12 +397,7 @@ mod tests {
     fn measured_times_match_cost_model() {
         let report = run_fixed(0.0);
         let wl = KMeans::small(1);
-        let expected = iteration_gpu_time_s(
-            &wl.phases(0),
-            report.platform.gpu().spec(),
-            576.0,
-            900.0,
-        );
+        let expected = iteration_gpu_time_s(&wl.phases(0), report.platform.gpu().spec(), 576.0, 900.0);
         let tg = report.iterations[0].tg_s;
         assert!((tg - expected).abs() / expected < 1e-3, "tg {tg} vs model {expected}");
     }
@@ -405,7 +409,12 @@ mod tests {
         assert!(it.tc_s > 0.0 && it.tg_s > 0.0);
         let wl = KMeans::small(1);
         let tc_full = iteration_cpu_time_s(&wl.phases(0), report.platform.cpu().spec(), 2800.0);
-        assert!((it.tc_s - 0.5 * tc_full).abs() / tc_full < 1e-3, "tc {} vs {}", it.tc_s, 0.5 * tc_full);
+        assert!(
+            (it.tc_s - 0.5 * tc_full).abs() / tc_full < 1e-3,
+            "tc {} vs {}",
+            it.tc_s,
+            0.5 * tc_full
+        );
     }
 
     #[test]
@@ -434,8 +443,8 @@ mod tests {
         let mut wl2 = KMeans::small(1);
         let mut ctl1 = FixedController::new(0.0);
         let mut ctl2 = FixedController::new(0.0);
-        let spin = HeteroRuntime::new(Platform::best_performance_testbed(), RunConfig::default())
-            .run(&mut wl1, &mut ctl1);
+        let spin =
+            HeteroRuntime::new(Platform::best_performance_testbed(), RunConfig::default()).run(&mut wl1, &mut ctl1);
         let idle = HeteroRuntime::new(
             Platform::best_performance_testbed(),
             RunConfig::default().with_async_comm(),
@@ -459,7 +468,12 @@ mod tests {
             reference.execute(i, 0.3);
         }
         let rel = (report.digest - reference.digest()).abs() / reference.digest().abs();
-        assert!(rel < 1e-12, "runtime digest {} vs reference {}", report.digest, reference.digest());
+        assert!(
+            rel < 1e-12,
+            "runtime digest {} vs reference {}",
+            report.digest,
+            reference.digest()
+        );
     }
 
     #[test]
@@ -537,7 +551,11 @@ mod reclock_tests {
             Some(SimDuration::from_secs(3))
         }
         fn on_dvfs_tick(&mut self, platform: &mut Platform, now: SimTime) {
-            let next = if platform.gpu().core().current_level() == 5 { 4 } else { 5 };
+            let next = if platform.gpu().core().current_level() == 5 {
+                4
+            } else {
+                5
+            };
             platform.set_gpu_levels(now, next, next);
         }
         fn on_iteration_end(&mut self, _: &IterationInfo, _: &mut Platform, _: SimTime) -> f64 {
@@ -571,11 +589,7 @@ mod reclock_tests {
         // roughly 0.5 s per tick of the base run (each stall also delays
         // subsequent ticks, so allow slack).
         let ticks = (base.total_time.as_secs_f64() / 3.0).floor();
-        assert!(
-            delta > 0.4 * ticks * 0.5,
-            "delta {delta} vs ~{} expected",
-            ticks * 0.5
-        );
+        assert!(delta > 0.4 * ticks * 0.5, "delta {delta} vs ~{} expected", ticks * 0.5);
     }
 
     #[test]

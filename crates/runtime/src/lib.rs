@@ -26,6 +26,9 @@
 //! across several (possibly heterogeneous) GPUs — the "one pthread for
 //! one GPU" structure §VI anticipates.
 
+#![forbid(unsafe_code)]
+
+pub mod clock;
 pub mod config;
 pub mod controller;
 pub mod engine;
@@ -33,6 +36,7 @@ pub mod multi;
 pub mod parallel;
 pub mod report;
 
+pub use clock::{Clock, ManualClock, WallClock};
 pub use config::{CommMode, RunConfig};
 pub use controller::{Controller, FixedController, IterationInfo};
 pub use engine::HeteroRuntime;

@@ -101,8 +101,8 @@ impl MultiPlatform {
         self.refresh(at);
     }
 
-    fn set_cpu_activity_split(&mut self, at: SimTime, sensor: f64, power: f64, cores: usize) {
-        self.cpu.set_activity_split(at, sensor, power, cores);
+    fn set_cpu_activity_split(&mut self, at: SimTime, sensor: f64, power_util: f64, cores: usize) {
+        self.cpu.set_activity_split(at, sensor, power_util, cores);
         self.refresh(at);
     }
 
@@ -167,7 +167,11 @@ impl MultiDivision {
     /// [`SHARE_UNITS`]).
     pub fn new(units: Vec<u32>) -> Self {
         assert!(units.len() >= 2, "need CPU plus at least one GPU");
-        assert_eq!(units.iter().sum::<u32>(), SHARE_UNITS, "units must sum to {SHARE_UNITS}");
+        assert_eq!(
+            units.iter().sum::<u32>(),
+            SHARE_UNITS,
+            "units must sum to {SHARE_UNITS}"
+        );
         let unit_cost = vec![None; units.len()];
         MultiDivision { units, unit_cost }
     }
@@ -186,7 +190,10 @@ impl MultiDivision {
 
     /// Current shares as fractions.
     pub fn shares(&self) -> Vec<f64> {
-        self.units.iter().map(|&u| f64::from(u) / f64::from(SHARE_UNITS)).collect()
+        self.units
+            .iter()
+            .map(|&u| f64::from(u) / f64::from(SHARE_UNITS))
+            .collect()
     }
 
     /// One balancing step: take one unit from the slowest device and give
@@ -201,11 +208,14 @@ impl MultiDivision {
                 self.unit_cost[i] = Some(t / self.units[i] as f64);
             }
         }
-        // Slowest donor must actually hold work.
-        let donor = (0..self.units.len())
+        // Slowest donor must actually hold work; an all-idle split (no
+        // device holds a unit) keeps the current shares unchanged.
+        let Some(donor) = (0..self.units.len())
             .filter(|&i| self.units[i] > 0)
-            .max_by(|&a, &b| times_s[a].partial_cmp(&times_s[b]).expect("finite"))
-            .expect("some device holds work");
+            .max_by(|&a, &b| times_s[a].total_cmp(&times_s[b]))
+        else {
+            return self.shares();
+        };
         let current_worst = times_s[donor];
         // Linear per-unit extrapolation; an idle device uses its last
         // observed per-unit cost, or (optimistically, first time) the
@@ -222,7 +232,7 @@ impl MultiDivision {
         let best = (0..self.units.len())
             .filter(|&j| j != donor)
             .map(|j| (j, donor_after.max(pred(j, 1))))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            .min_by(|a, b| a.1.total_cmp(&b.1));
         if let Some((receiver, predicted_worst)) = best {
             if predicted_worst < current_worst * (1.0 - 1e-9) {
                 self.units[donor] -= 1;
@@ -298,10 +308,11 @@ pub fn run_multi(
             .collect();
         let mut gpu_phases: Vec<Vec<GpuPhase>> = Vec::with_capacity(n_gpus);
         for g in 0..n_gpus {
+            let share = shares.get(g + 1).copied().unwrap_or(0.0);
             gpu_phases.push(
                 phases
                     .iter()
-                    .map(|p| p.gpu.scale(shares[g + 1]))
+                    .map(|p| p.gpu.scale(share))
                     .filter(|p| p.ops > 0.0 || p.bytes > 0.0 || p.host_floor_s > 0.0)
                     .collect(),
             );
@@ -378,9 +389,9 @@ pub fn run_multi(
                 }
                 durations.push(d);
             }
-            let cpu_dur = cpu_slices.get(cpu_state.0).map(|s| {
-                phase_cpu_time_s(s, platform.cpu().spec(), platform.cpu().domain().current_mhz())
-            });
+            let cpu_dur = cpu_slices
+                .get(cpu_state.0)
+                .map(|s| phase_cpu_time_s(s, platform.cpu().spec(), platform.cpu().domain().current_mhz()));
             if let Some(d) = cpu_dur {
                 dt = dt.min((1.0 - cpu_state.1) * d);
             }
@@ -468,10 +479,7 @@ mod tests {
         for it in &report.iterations {
             for &s in &it.shares {
                 let units = s * f64::from(SHARE_UNITS);
-                assert!(
-                    (units - units.round()).abs() < 1e-9,
-                    "share {s} is off the 5% grid"
-                );
+                assert!((units - units.round()).abs() < 1e-9, "share {s} is off the 5% grid");
             }
         }
     }
@@ -489,10 +497,7 @@ mod tests {
         let report = run_kmeans(2);
         let last = report.iterations.last().unwrap();
         let (g1, g2) = (last.shares[1], last.shares[2]);
-        assert!(
-            (g1 - g2).abs() <= 0.05 + 1e-9,
-            "asymmetric steady state: {g1} vs {g2}"
-        );
+        assert!((g1 - g2).abs() <= 0.05 + 1e-9, "asymmetric steady state: {g1} vs {g2}");
         // The CPU ends up with a small but nonzero share, as in the
         // single-GPU case (its balance point shrinks with more GPUs).
         assert!(last.shares[0] <= 0.20);
@@ -528,11 +533,7 @@ mod tests {
         // Completion times approach each other.
         let times = &last.times_s;
         let worst = times.iter().cloned().fold(f64::MIN, f64::max);
-        let best_busy = times
-            .iter()
-            .cloned()
-            .filter(|&t| t > 0.0)
-            .fold(f64::INFINITY, f64::min);
+        let best_busy = times.iter().cloned().filter(|&t| t > 0.0).fold(f64::INFINITY, f64::min);
         assert!(worst / best_busy < 1.6, "imbalance {}", worst / best_busy);
     }
 

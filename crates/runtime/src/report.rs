@@ -62,6 +62,7 @@ impl RunReport {
     /// Mean system power over the run, watts.
     pub fn mean_power_w(&self) -> f64 {
         let t = self.total_time.as_secs_f64();
+        // lint:allow(float_eq) empty-run guard; a zero-duration run yields exactly 0.0
         if t == 0.0 {
             0.0
         } else {

@@ -303,8 +303,8 @@ impl Parser<'_> {
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
                             let code = self.hex4()?;
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let c =
+                                char::from_u32(code).ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
                             out.push(c);
                             self.pos -= 1; // hex4 leaves pos past the digits
                         }
@@ -331,10 +331,9 @@ impl Parser<'_> {
         if end > self.bytes.len() {
             return Err(format!("truncated \\u escape at byte {}", self.pos));
         }
-        let digits = std::str::from_utf8(&self.bytes[start..end])
-            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-        let code =
-            u32::from_str_radix(digits, 16).map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        let digits =
+            std::str::from_utf8(&self.bytes[start..end]).map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        let code = u32::from_str_radix(digits, 16).map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
         self.pos = end;
         Ok(code)
     }
@@ -407,7 +406,16 @@ mod tests {
 
     #[test]
     fn f64_round_trips_bit_exactly() {
-        for v in [0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.2250738585072014e-308] {
+        for v in [
+            0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+        ] {
             let text = JsonValue::f64(v).to_string();
             let back = JsonValue::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), v.to_bits(), "{text}");
@@ -428,13 +436,22 @@ mod tests {
             ("weights".to_string(), JsonValue::f64_array(&[1.0, 0.5, 0.25])),
             ("current".to_string(), JsonValue::Null),
             ("ok".to_string(), JsonValue::Bool(true)),
-            ("nested".to_string(), JsonValue::Obj(vec![("t".to_string(), JsonValue::u64(7))])),
+            (
+                "nested".to_string(),
+                JsonValue::Obj(vec![("t".to_string(), JsonValue::u64(7))]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(JsonValue::parse(&text).unwrap(), v);
         assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("exp3"));
-        assert_eq!(v.get("nested").and_then(|n| n.get("t")).and_then(JsonValue::as_u64), Some(7));
-        assert_eq!(v.get("weights").and_then(JsonValue::as_arr).map(<[JsonValue]>::len), Some(3));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("t")).and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("weights").and_then(JsonValue::as_arr).map(<[JsonValue]>::len),
+            Some(3)
+        );
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! * [`plot`] — ASCII sparklines and band charts for terminal trace
 //!   exploration.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod json;
 pub mod plot;

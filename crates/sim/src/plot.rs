@@ -77,10 +77,7 @@ pub fn band_chart(label: &str, values: &[f64], rows: usize) -> String {
     let mut out = String::new();
     for row in (0..rows).rev() {
         let threshold = lo + span * (row as f64 + 0.5) / rows as f64;
-        let line: String = values
-            .iter()
-            .map(|&v| if v >= threshold { '█' } else { ' ' })
-            .collect();
+        let line: String = values.iter().map(|&v| if v >= threshold { '█' } else { ' ' }).collect();
         let edge = lo + span * (row as f64 + 1.0) / rows as f64;
         out.push_str(&format!("{edge:>9.2} |{line}|\n"));
     }

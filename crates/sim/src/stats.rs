@@ -1,6 +1,5 @@
 //! Summary statistics for experiment reporting.
 
-
 /// Numerically stable running mean/variance (Welford's algorithm) with
 /// min/max tracking.
 #[derive(Debug, Clone, Default)]

@@ -78,11 +78,7 @@ impl Table {
             })
             .collect();
         let render_row = |cells: &[String]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> = cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         let _ = writeln!(out, "{}", render_row(&self.headers));
@@ -105,7 +101,11 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

@@ -92,6 +92,7 @@ impl StepTrace {
     /// Time-weighted mean over `[from, to)`.
     pub fn mean(&self, from: SimTime, to: SimTime) -> f64 {
         let span = to.saturating_since(from).as_secs_f64();
+        // lint:allow(float_eq) empty-window guard; saturating_since yields exactly 0.0
         if span == 0.0 {
             return 0.0;
         }
@@ -158,10 +159,12 @@ impl SampledSeries {
 
     /// Sample timestamps, paired with values.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (self.start + SimDuration::from_micros(self.period.as_micros() * i as u64), v))
+        self.values.iter().enumerate().map(move |(i, &v)| {
+            (
+                self.start + SimDuration::from_micros(self.period.as_micros() * i as u64),
+                v,
+            )
+        })
     }
 
     /// Sampling period.
@@ -223,7 +226,7 @@ mod tests {
     fn integral_is_exact_on_segments() {
         let mut tr = StepTrace::with_initial(2.0); // 2 W
         tr.set(SimTime::from_secs(1), 4.0); // 4 W from t=1s
-        // over [0, 3s): 1s at 2W + 2s at 4W = 10 J
+                                            // over [0, 3s): 1s at 2W + 2s at 4W = 10 J
         let e = tr.integral(SimTime::ZERO, SimTime::from_secs(3));
         assert!((e - 10.0).abs() < 1e-9, "{e}");
     }

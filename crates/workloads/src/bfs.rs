@@ -47,11 +47,19 @@ impl Bfs {
 
     /// Fully parameterized constructor. `degree` is the functional graph's
     /// half-degree (edges are mirrored); `cost_degree` the cost model's.
-    pub fn with_params(seed: u64, n_func: usize, degree: usize, cost_nodes: f64, cost_degree: f64, repeat: f64, iters: usize) -> Self {
+    pub fn with_params(
+        seed: u64,
+        n_func: usize,
+        degree: usize,
+        cost_nodes: f64,
+        cost_degree: f64,
+        repeat: f64,
+        iters: usize,
+    ) -> Self {
         assert!(n_func >= 2 && degree >= 1);
         let mut rng = Pcg32::new(seed, 0x626673); // "bfs"
-        // R-MAT edges give the power-law degree structure real BFS inputs
-        // have; a ring (added by the CSR builder) guarantees connectivity.
+                                                  // R-MAT edges give the power-law degree structure real BFS inputs
+                                                  // have; a ring (added by the CSR builder) guarantees connectivity.
         let scale = (usize::BITS - (n_func - 1).leading_zeros()).max(1);
         let pairs = rmat_edges(&mut rng, scale, degree);
         let (offsets, adj) = edges_to_csr(n_func, &pairs);

@@ -261,10 +261,7 @@ mod tests {
         let mean = img.iter().sum::<f64>() / n;
         let var = img.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         let measured_cv = var.sqrt() / mean;
-        assert!(
-            (measured_cv - cv).abs() < 0.12,
-            "cv {measured_cv} vs target {cv}"
-        );
+        assert!((measured_cv - cv).abs() < 0.12, "cv {measured_cv} vs target {cv}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub struct Hotspot {
     cols: usize,
     temp: Vec<f64>,
     temp_next: Vec<f64>,
+    // lint:allow(unit_safety) Rodinia floorplan dissipation grid in per-cell model units, not a fleet power figure
     power: Vec<f64>,
     initial_temp: Vec<f64>,
     /// Paper-scale cell count charged to the cost model.
@@ -53,7 +54,15 @@ impl Hotspot {
     }
 
     /// Fully parameterized constructor.
-    pub fn with_params(seed: u64, rows: usize, cols: usize, cost_cells: f64, steps_per_iter: usize, repeat: f64, iters: usize) -> Self {
+    pub fn with_params(
+        seed: u64,
+        rows: usize,
+        cols: usize,
+        cost_cells: f64,
+        steps_per_iter: usize,
+        repeat: f64,
+        iters: usize,
+    ) -> Self {
         assert!(rows >= 4 && cols >= 4, "grid too small");
         let mut rng = Pcg32::new(seed, 0x68_6f74_7370_6f74); // "hotspot"
         let n = rows * cols;
@@ -63,6 +72,7 @@ impl Hotspot {
         }
         // Floorplan-style dissipation: hot functional-unit blocks over a
         // leakage floor, like Rodinia's thermal inputs.
+        // lint:allow(unit_safety) per-cell dissipation grid, same model units as the `power` field
         let power = floorplan_power_map(&mut rng, rows, cols, (rows / 16).max(2));
         Hotspot {
             profile: WorkloadProfile {
@@ -100,10 +110,7 @@ impl Hotspot {
                 let left = if j > 0 { self.temp[idx - 1] } else { t };
                 let right = if j + 1 < c { self.temp[idx + 1] } else { t };
                 let delta = CAP
-                    * (self.power[idx]
-                        + (up + down - 2.0 * t) / RY
-                        + (left + right - 2.0 * t) / RX
-                        + (T_AMB - t) / RZ);
+                    * (self.power[idx] + (up + down - 2.0 * t) / RY + (left + right - 2.0 * t) / RX + (T_AMB - t) / RZ);
                 self.temp_next[idx] = t + delta * 0.01;
             }
         }

@@ -51,7 +51,15 @@ impl KMeans {
     }
 
     /// Fully parameterized constructor.
-    pub fn with_params(seed: u64, n_func: usize, d: usize, k: usize, cost_points: f64, repeat: f64, iters: usize) -> Self {
+    pub fn with_params(
+        seed: u64,
+        n_func: usize,
+        d: usize,
+        k: usize,
+        cost_points: f64,
+        repeat: f64,
+        iters: usize,
+    ) -> Self {
         assert!(n_func >= k && k >= 2, "need at least k points and 2 clusters");
         let mut rng = Pcg32::new(seed, KMEANS_STREAM);
         // kdd_cup-style features: well-separated anchors plus a fraction
@@ -255,7 +263,10 @@ mod tests {
             km.profile().core_class.contains(u_core),
             "core util {u_core} outside Medium band"
         );
-        assert!(km.profile().mem_class.contains(u_mem), "mem util {u_mem} outside Low band");
+        assert!(
+            km.profile().mem_class.contains(u_mem),
+            "mem util {u_mem} outside Low band"
+        );
     }
 
     #[test]

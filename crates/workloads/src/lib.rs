@@ -26,6 +26,8 @@
 //! (clustered features, R-MAT graphs, floorplan power maps, speckled
 //! images) standing in for the benchmark datasets the paper uses.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod datasets;
 pub mod hotspot;

@@ -54,7 +54,12 @@ impl Lud {
         Lud {
             profile: WorkloadProfile {
                 name: "lud",
-                enlargement: format!("{} iterations; {} by {} matrix", n / block, cost_n as u64, cost_n as u64),
+                enlargement: format!(
+                    "{} iterations; {} by {} matrix",
+                    n / block,
+                    cost_n as u64,
+                    cost_n as u64
+                ),
                 description: "Medium core utilization, low memory utilization",
                 core_class: UtilClass::Medium,
                 mem_class: UtilClass::Low,
@@ -178,11 +183,7 @@ mod tests {
         }
         let rec = lud.reconstruct();
         let orig = lud.original();
-        let max_err = rec
-            .iter()
-            .zip(orig)
-            .map(|(r, o)| (r - o).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = rec.iter().zip(orig).map(|(r, o)| (r - o).abs()).fold(0.0f64, f64::max);
         assert!(max_err < 1e-8, "LU reconstruction error {max_err}");
     }
 

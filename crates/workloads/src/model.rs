@@ -135,13 +135,13 @@ pub fn iteration_utilization(phases: &[PhaseCost], spec: &GpuSpec, core_mhz: f64
         core_area += t.u_core * t.wall_s;
         mem_area += t.u_mem * t.wall_s;
     }
+    // lint:allow(float_eq) zero-phase guard; wall_s sums start from literal 0.0
     if total == 0.0 {
         (0.0, 0.0)
     } else {
         (core_area / total, mem_area / total)
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -219,7 +219,12 @@ mod tests {
         let u_free = phase_gpu_timing(&p, &spec, 576.0, 900.0).u_core;
         p.host_floor_s = host_floor_for_gap_fraction(&p, &spec, 0.40);
         let t = phase_gpu_timing(&p, &spec, 576.0, 900.0);
-        assert!((t.u_core - u_free * 0.60).abs() < 1e-9, "u {} vs {}", t.u_core, u_free * 0.6);
+        assert!(
+            (t.u_core - u_free * 0.60).abs() < 1e-9,
+            "u {} vs {}",
+            t.u_core,
+            u_free * 0.6
+        );
     }
 
     #[test]

@@ -44,8 +44,8 @@ impl Srad {
     pub fn with_params(seed: u64, rows: usize, cols: usize, cost_cells: f64, repeat: f64, iters: usize) -> Self {
         assert!(rows >= 4 && cols >= 4);
         let mut rng = Pcg32::new(seed, 0x73726164); // "srad"
-        // Multiplicative speckle over a smooth reflectivity field — the
-        // noise model SRAD is designed to remove.
+                                                    // Multiplicative speckle over a smooth reflectivity field — the
+                                                    // noise model SRAD is designed to remove.
         let img = speckled_image(&mut rng, rows, cols, 0.22);
         Srad {
             profile: WorkloadProfile {

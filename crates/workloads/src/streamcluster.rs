@@ -50,7 +50,15 @@ impl StreamCluster {
     }
 
     /// Fully parameterized constructor.
-    pub fn with_params(seed: u64, n_func: usize, d: usize, cost_points: f64, cost_dims: f64, repeat: f64, iters: usize) -> Self {
+    pub fn with_params(
+        seed: u64,
+        n_func: usize,
+        d: usize,
+        cost_points: f64,
+        cost_dims: f64,
+        repeat: f64,
+        iters: usize,
+    ) -> Self {
         assert!(n_func >= 8);
         let mut rng = Pcg32::new(seed, 0x7363_6c75_7374); // "sclust"
         let mut points = vec![0.0f64; n_func * d];
@@ -261,7 +269,10 @@ mod tests {
         let spec = geforce_8800_gtx();
         let (c0, _) = iteration_utilization(&sc.phases(0), &spec, 576.0, 900.0);
         let (c1, _) = iteration_utilization(&sc.phases(1), &spec, 576.0, 900.0);
-        assert!((c0 - c1).abs() > 0.02, "core util should differ between patterns: {c0} vs {c1}");
+        assert!(
+            (c0 - c1).abs() > 0.02,
+            "core util should differ between patterns: {c0} vs {c1}"
+        );
     }
 
     #[test]

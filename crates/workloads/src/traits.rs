@@ -1,6 +1,5 @@
 //! The workload abstraction shared by the runtime and the controllers.
 
-
 /// Utilization class from the paper's Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UtilClass {

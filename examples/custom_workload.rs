@@ -12,10 +12,10 @@
 
 use greengpu::baselines;
 use greengpu_hw::calib::geforce_8800_gtx;
+use greengpu_sim::Pcg32;
 use greengpu_suite::{division_trace, saving_pct, summarize_run};
 use greengpu_workloads::model::host_floor_for_gap_fraction;
 use greengpu_workloads::{CpuSlice, GpuPhase, PhaseCost, UtilClass, Workload, WorkloadProfile};
-use greengpu_sim::Pcg32;
 
 /// A toy "training" workload: each iteration multiplies a weight matrix by
 /// a batch of input vectors and applies a gradient-style update. Rows of

@@ -22,7 +22,10 @@ fn main() {
 
     // --- Scale-out over identical cards -----------------------------
     println!("scale-out (division tier balancing CPU + N cards):");
-    println!("{:<8} {:>10} {:>12} {:>24}", "cards", "time (s)", "energy (kJ)", "final shares [cpu, gpus…]");
+    println!(
+        "{:<8} {:>10} {:>12} {:>24}",
+        "cards", "time (s)", "energy (kJ)", "final shares [cpu, gpus…]"
+    );
     for n in [1usize, 2, 4] {
         let report = run_multi(
             MultiPlatform::homogeneous(n),
@@ -65,7 +68,10 @@ fn main() {
     );
     println!(
         "  completion times: {:?} s — the balancer feeds each card in proportion to its speed\n",
-        last.times_s.iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
+        last.times_s
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
 
     // --- Division + per-card frequency scaling ------------------------

@@ -28,10 +28,7 @@ fn evaluate(params: WmaParams) -> (f64, f64) {
 
 fn main() {
     println!("GreenGPU policy tuning — WMA parameter sweep on streamcluster\n");
-    println!(
-        "{:<34} {:>14} {:>12}",
-        "parameters", "GPU saving", "slowdown"
-    );
+    println!("{:<34} {:>14} {:>12}", "parameters", "GPU saving", "slowdown");
 
     let show = |label: &str, p: WmaParams| {
         let (saving, slowdown) = evaluate(p);
@@ -44,7 +41,10 @@ fn main() {
     for alpha_core in [0.02, 0.15, 0.40, 0.80] {
         show(
             &format!("  alpha_core = {alpha_core}"),
-            WmaParams { alpha_core, ..WmaParams::default() },
+            WmaParams {
+                alpha_core,
+                ..WmaParams::default()
+            },
         );
     }
 
@@ -52,25 +52,43 @@ fn main() {
     for alpha_mem in [0.02, 0.15, 0.40] {
         show(
             &format!("  alpha_mem = {alpha_mem}"),
-            WmaParams { alpha_mem, ..WmaParams::default() },
+            WmaParams {
+                alpha_mem,
+                ..WmaParams::default()
+            },
         );
     }
 
     println!("\nφ (core/memory loss balance):");
     for phi in [0.1, 0.3, 0.7, 0.9] {
-        show(&format!("  phi = {phi}"), WmaParams { phi, ..WmaParams::default() });
+        show(
+            &format!("  phi = {phi}"),
+            WmaParams {
+                phi,
+                ..WmaParams::default()
+            },
+        );
     }
 
     println!("\nβ (per-interval penalty damping):");
     for beta in [0.05, 0.2, 0.5, 0.9] {
-        show(&format!("  beta = {beta}"), WmaParams { beta, ..WmaParams::default() });
+        show(
+            &format!("  beta = {beta}"),
+            WmaParams {
+                beta,
+                ..WmaParams::default()
+            },
+        );
     }
 
     println!("\nhistory λ (effective memory of the weight table):");
     for history in [0.5, 0.8, 0.95, 1.0] {
         show(
             &format!("  history = {history}"),
-            WmaParams { history, ..WmaParams::default() },
+            WmaParams {
+                history,
+                ..WmaParams::default()
+            },
         );
     }
 

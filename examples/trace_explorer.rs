@@ -30,10 +30,22 @@ fn main() {
     let gpu = ours.platform.gpu();
 
     println!("window: 0 .. {:.0} s, {} buckets\n", end.as_secs_f64(), WIDTH);
-    println!("core util  {}", trace_sparkline(gpu.u_core_trace(), SimTime::ZERO, end, WIDTH));
-    println!("core MHz   {}", trace_sparkline(gpu.core().trace(), SimTime::ZERO, end, WIDTH));
-    println!("mem util   {}", trace_sparkline(gpu.u_mem_trace(), SimTime::ZERO, end, WIDTH));
-    println!("mem MHz    {}", trace_sparkline(gpu.mem().trace(), SimTime::ZERO, end, WIDTH));
+    println!(
+        "core util  {}",
+        trace_sparkline(gpu.u_core_trace(), SimTime::ZERO, end, WIDTH)
+    );
+    println!(
+        "core MHz   {}",
+        trace_sparkline(gpu.core().trace(), SimTime::ZERO, end, WIDTH)
+    );
+    println!(
+        "mem util   {}",
+        trace_sparkline(gpu.u_mem_trace(), SimTime::ZERO, end, WIDTH)
+    );
+    println!(
+        "mem MHz    {}",
+        trace_sparkline(gpu.mem().trace(), SimTime::ZERO, end, WIDTH)
+    );
     println!();
 
     let power = bucketize(ours.platform.gpu_meter().trace(), SimTime::ZERO, end, WIDTH);

@@ -5,6 +5,8 @@
 //! The real library surface lives in the member crates (start at
 //! [`greengpu`]).
 
+#![forbid(unsafe_code)]
+
 use greengpu_runtime::RunReport;
 
 /// A one-line summary of a run for example output.

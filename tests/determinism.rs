@@ -104,7 +104,10 @@ fn faulted_traces_are_golden_per_seed_and_plan() {
             golden_trace(&b.report),
             "intensity {intensity}: faulted trace must be reproducible"
         );
-        assert_eq!(a.injections, b.injections, "intensity {intensity}: injection logs must replay");
+        assert_eq!(
+            a.injections, b.injections,
+            "intensity {intensity}: injection logs must replay"
+        );
     }
 }
 

@@ -96,7 +96,11 @@ fn sustained_actuation_failure_triggers_the_fallback() {
         outcome.fallback_engaged,
         "an actuator that drops every command must trip the fallback"
     );
-    assert!(outcome.actuation_failures >= 5, "failures: {}", outcome.actuation_failures);
+    assert!(
+        outcome.actuation_failures >= 5,
+        "failures: {}",
+        outcome.actuation_failures
+    );
     // The run still completes and computes the right answer.
     let clean = run_with_config(&mut KMeans::small(3), GreenGpuConfig::holistic(), RunConfig::default());
     let rel = (outcome.report.digest - clean.digest).abs() / clean.digest.abs();

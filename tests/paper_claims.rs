@@ -21,7 +21,8 @@ fn headline_21_percent_class_saving_vs_default() {
     let seed = 2012;
     let mut savings = Vec::new();
     for make in [
-        &(|s| Box::new(Hotspot::paper(s)) as Box<dyn greengpu_workloads::Workload>) as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>,
+        &(|s| Box::new(Hotspot::paper(s)) as Box<dyn greengpu_workloads::Workload>)
+            as &dyn Fn(u64) -> Box<dyn greengpu_workloads::Workload>,
         &(|s| Box::new(KMeans::paper(s)) as Box<dyn greengpu_workloads::Workload>),
     ] {
         let base = energy(None, make(seed).as_mut());
@@ -55,7 +56,11 @@ fn holistic_time_overhead_is_percent_scale() {
     // Paper: the holistic solution runs 1.7% longer than division-only.
     let seed = 17;
     let green = run_with_config(&mut KMeans::paper(seed), GreenGpuConfig::holistic(), RunConfig::sweep());
-    let division = run_with_config(&mut KMeans::paper(seed), GreenGpuConfig::division_only(), RunConfig::sweep());
+    let division = run_with_config(
+        &mut KMeans::paper(seed),
+        GreenGpuConfig::division_only(),
+        RunConfig::sweep(),
+    );
     let overhead = green.total_time.as_secs_f64() / division.total_time.as_secs_f64() - 1.0;
     assert!(overhead.abs() < 0.05, "time overhead {overhead}");
 }
@@ -65,7 +70,11 @@ fn division_only_execution_overhead_vs_optimal_is_single_digit() {
     // Paper §VII-B: "our solution only has 5.45% longer execution time
     // than the optimal division".
     let seed = 4;
-    let dynamic = run_with_config(&mut Hotspot::paper(seed), GreenGpuConfig::division_only(), RunConfig::sweep());
+    let dynamic = run_with_config(
+        &mut Hotspot::paper(seed),
+        GreenGpuConfig::division_only(),
+        RunConfig::sweep(),
+    );
     // Optimal static division for hotspot is 50/50 (converged value).
     let optimal = greengpu::baselines::run_static_division(&mut Hotspot::paper(seed), 0.50, RunConfig::sweep());
     let overhead = dynamic.total_time.as_secs_f64() / optimal.total_time.as_secs_f64() - 1.0;
@@ -79,7 +88,16 @@ fn greengpu_wins_on_energy_delay_product_too() {
     // (time actually *drops* thanks to the balanced split).
     let seed = 5;
     let base = run_best_performance_with(&mut Hotspot::paper(seed), RunConfig::sweep());
-    let green = run_with_config(&mut Hotspot::paper(seed), GreenGpuConfig::holistic(), RunConfig::sweep());
-    assert!(green.edp() < base.edp(), "EDP: green {} vs base {}", green.edp(), base.edp());
+    let green = run_with_config(
+        &mut Hotspot::paper(seed),
+        GreenGpuConfig::holistic(),
+        RunConfig::sweep(),
+    );
+    assert!(
+        green.edp() < base.edp(),
+        "EDP: green {} vs base {}",
+        green.edp(),
+        base.edp()
+    );
     assert!(green.ed2p() < base.ed2p());
 }

@@ -45,14 +45,14 @@ impl Workload for ArbWorkload {
 
 fn arb_phase() -> impl Strategy<Value = PhaseCost> {
     (
-        1e9..1e13f64,   // gpu ops
-        1e8..1e12f64,   // gpu bytes
-        0.1..1.0f64,    // eff compute
-        0.1..1.0f64,    // eff mem
-        0.0..20.0f64,   // host floor seconds
-        1.0..6.0f64,    // mem busy factor
-        1e9..1e13f64,   // cpu ops
-        0.2..1.0f64,    // cpu eff
+        1e9..1e13f64, // gpu ops
+        1e8..1e12f64, // gpu bytes
+        0.1..1.0f64,  // eff compute
+        0.1..1.0f64,  // eff mem
+        0.0..20.0f64, // host floor seconds
+        1.0..6.0f64,  // mem busy factor
+        1e9..1e13f64, // cpu ops
+        0.2..1.0f64,  // cpu eff
     )
         .prop_map(|(ops, bytes, ec, em, floor, busy, cops, ceff)| PhaseCost {
             gpu: GpuPhase::new("arb", ops, bytes, ec, em, floor).with_mem_busy_factor(busy),

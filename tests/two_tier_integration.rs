@@ -3,8 +3,7 @@
 //! qualitative claims.
 
 use greengpu::baselines::{
-    run_best_performance, run_best_performance_with, run_division_only, run_greengpu, run_scaling_only,
-    run_with_config,
+    run_best_performance, run_best_performance_with, run_division_only, run_greengpu, run_scaling_only, run_with_config,
 };
 use greengpu::GreenGpuConfig;
 use greengpu_runtime::{CommMode, RunConfig};
@@ -46,8 +45,14 @@ fn tier_composition_is_consistent() {
         let green = run_greengpu(&mut Hotspot::paper(seed)).total_energy_j();
         let division = run_division_only(&mut Hotspot::paper(seed)).total_energy_j();
         let scaling = run_scaling_only(&mut Hotspot::paper(seed)).total_energy_j();
-        assert!(green <= division * 1.001, "seed {seed}: green {green} vs division {division}");
-        assert!(green <= scaling * 1.001, "seed {seed}: green {green} vs scaling {scaling}");
+        assert!(
+            green <= division * 1.001,
+            "seed {seed}: green {green} vs division {division}"
+        );
+        assert!(
+            green <= scaling * 1.001,
+            "seed {seed}: green {green} vs scaling {scaling}"
+        );
     }
 }
 

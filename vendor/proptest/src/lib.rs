@@ -327,8 +327,8 @@ pub mod prelude {
     //! Everything the `proptest!` style of test needs in scope.
 
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
     };
 }
 
