@@ -1,0 +1,770 @@
+//! The fleet execution engines: one event spine, three drivers.
+//!
+//! [`crate::run_fleet`] builds the simulation state (nodes, arrival and
+//! chaos schedules, scheduler, breakers, retry queue) and hands it to
+//! one of three engines selected by [`FleetConfig::engine`]:
+//!
+//! * [`EngineKind::Serial`] — the reference implementation: every node
+//!   advances at every spine event and takes a full control tick every
+//!   interval. Simple, obviously correct, `O(nodes)` work per event.
+//! * [`EngineKind::EventDriven`] — the same spine, but idle nodes cost
+//!   (nearly) nothing: job service advances over a **busy list** instead
+//!   of the whole fleet, dead (`Crashed`/`Restarting`) nodes sleep on a
+//!   min-heap **wake agenda** keyed by `(state_until, node_id)` until
+//!   their next lifecycle transition is actually due, and idle healthy
+//!   nodes whose controller state is provably a fixed point are
+//!   **parked** ([`crate::Node::park_fingerprint`]) so their control
+//!   ticks degrade to a sense-only quiescent check.
+//! * [`EngineKind::Parallel`] — the event-driven engine plus
+//!   deterministic data-parallelism on the two per-tick fan-outs (job
+//!   advance, control ticks): a single-threaded sequencer assigns
+//!   monotonic tickets with SplitMix64-derived per-ticket seeds, the
+//!   workers of `greengpu_runtime::parallel::run_ticketed_mut` each own
+//!   a disjoint contiguous slice of nodes, and a single-threaded
+//!   committer folds the results back in strict ticket order.
+//!
+//! **Equivalence contract.** All three engines produce byte-identical
+//! telemetry (trace CSV, [`crate::FleetReport`] counters,
+//! [`crate::CrashRecord`]s) for the same config and seed — pinned by
+//! `tests/engine_equivalence.rs`. The event-driven optimizations only
+//! skip work that is provably an identity:
+//!
+//! * an idle node's [`crate::Node::advance`] returns without touching
+//!   any state, so advancing only the busy list is exact — and every
+//!   busy node still advances at *every* spine event, because job
+//!   progress accumulates per-window (`progress += dt / full_s` is not
+//!   associative over window splits);
+//! * a dead node's [`crate::Node::lifecycle_tick`] is an identity before
+//!   `state_until` (the only divergence, a stale thermal flag, is
+//!   unreadable in those states and refreshed on wake);
+//! * a parked node's quiescent tick senses in full (sensor windows and
+//!   reject counters advance exactly as a real tick's would) and skips
+//!   only a decide/actuate half that would re-derive the already
+//!   enforced levels from an unchanged observation;
+//! * a node parked under *exactly* the cap it is being handed skips the
+//!   whole control tick (**deep park**): an idle node's utilization
+//!   traces are constant zero, so the sense the skip drops would read
+//!   bitwise `0.0` over any window — the only state left behind is the
+//!   sensors' poll cursor, which [`crate::Node::dispatch`] catches up
+//!   (while the traces are still flat) before a job can move them;
+//! * a parked node's power demand, and the whole `apportion` call when
+//!   no demand moved, reuse last tick's values — both are pure functions
+//!   of state the park fingerprint freezes;
+//! * a continuously-parked node's periodic checkpoint skips the JSON
+//!   re-serialization: the learner state it would snapshot is bit-frozen
+//!   while parked, so the stored bytes are already identical.
+//!
+//! The skipped work that is *not* bit-preserved is confined to
+//! unobservable telemetry: per-policy decision-tracker counters, the
+//! WMA scaler's interval count inside checkpoint payloads, CPU-governor
+//! transition tallies, the controller's `cap_masked_intervals`, and the
+//! sensors' last-poll cursor between deep-parked ticks. None of these
+//! reach the trace CSV or the report.
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::fleet::{CrashRecord, FleetConfig};
+use crate::job::{JobRecord, JobSpec};
+use crate::lifecycle::NodeState;
+use crate::node::{LifecycleEvent, Node};
+use crate::power::{apportion, MilliWatts, NodeDemand};
+use crate::retry::RetryQueue;
+use crate::scheduler::Scheduler;
+use crate::telemetry::TraceRow;
+use greengpu_hw::{ChaosEvent, ChaosKind};
+use greengpu_runtime::parallel::{run_ticketed_mut, SplitTelemetry};
+use greengpu_sim::{EventQueue, SimTime, SplitMix64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which fleet engine executes the run. All three are equivalent —
+/// byte-identical outputs per seed — and stay selectable so the serial
+/// reference remains available as the differential-testing oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The reference engine: advance every node at every event, full
+    /// control ticks everywhere.
+    #[default]
+    Serial,
+    /// Discrete-event engine: busy-list advance, wake agenda for dead
+    /// nodes, quiescent parking for idle fixed-point nodes.
+    EventDriven,
+    /// The event-driven engine with deterministic ticketed fan-out of
+    /// the per-tick node batches across worker threads.
+    Parallel {
+        /// Worker thread count (>= 1; 1 behaves like `EventDriven`).
+        workers: usize,
+    },
+}
+
+impl EngineKind {
+    /// Parses a CLI flag value (`serial` | `event` | `parallel`);
+    /// `workers` only applies to `parallel`.
+    pub fn from_flag(name: &str, workers: usize) -> Result<EngineKind, String> {
+        match name {
+            "serial" => Ok(EngineKind::Serial),
+            "event" => Ok(EngineKind::EventDriven),
+            "parallel" => {
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                Ok(EngineKind::Parallel { workers })
+            }
+            other => Err(format!("unknown engine {other:?} (serial | event | parallel)")),
+        }
+    }
+
+    /// Short stable label for benchmark and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Serial => "serial",
+            EngineKind::EventDriven => "event",
+            EngineKind::Parallel { .. } => "parallel",
+        }
+    }
+}
+
+/// Event payloads on the fleet spine.
+pub(crate) enum Event {
+    /// Index into the pre-generated arrival vector.
+    Arrival(usize),
+    /// A control tick.
+    Tick,
+    /// Index into the pre-generated chaos event vector (crashes and
+    /// thermal emergencies; blackouts are installed at setup).
+    Chaos(usize),
+}
+
+/// Everything `run_fleet` needs back from an engine to assemble the
+/// [`crate::FleetReport`].
+pub(crate) struct DriveOutcome {
+    pub completed: Vec<JobRecord>,
+    pub deadline_misses: u64,
+    pub rows: Vec<TraceRow>,
+    pub crash_records: Vec<CrashRecord>,
+    pub jobs_lost: u64,
+    /// Telemetry-blackout events that reached the runtime spine. Setup
+    /// installs blackouts into the sensor stacks, so this should be 0;
+    /// a stray one is counted and ignored rather than aborting the run
+    /// (the fleet's panic-freedom contract).
+    pub stray_blackout_events: u64,
+}
+
+/// Read-only inputs shared by every engine.
+pub(crate) struct DriveInputs<'a> {
+    pub cfg: &'a FleetConfig,
+    pub jobs: &'a [JobSpec],
+    pub chaos_events: &'a [ChaosEvent],
+    pub budget_mw: MilliWatts,
+    /// Root for the parallel engine's per-fan-out ticket seed streams.
+    pub ticket_root: u64,
+}
+
+/// Smallest batch worth fanning out to worker threads; below this the
+/// scoped-thread setup costs more than the work.
+const PAR_MIN_BATCH: usize = 32;
+
+/// Runs the configured engine over the spine to the horizon.
+pub(crate) fn drive(
+    inp: &DriveInputs,
+    spine: EventQueue<Event>,
+    nodes: &mut [Node],
+    scheduler: &mut Scheduler,
+    breakers: &mut [CircuitBreaker],
+    retry: &mut RetryQueue,
+) -> DriveOutcome {
+    match inp.cfg.engine {
+        EngineKind::Serial => drive_serial(inp, spine, nodes, scheduler, breakers, retry),
+        EngineKind::EventDriven => drive_event(inp, spine, nodes, scheduler, breakers, retry, 1),
+        EngineKind::Parallel { workers } => drive_event(inp, spine, nodes, scheduler, breakers, retry, workers),
+    }
+}
+
+/// Mutable per-run bookkeeping shared by the engines' chaos handlers.
+struct ChaosSideEffects<'a> {
+    retry: &'a mut RetryQueue,
+    breakers: &'a mut [CircuitBreaker],
+    crash_records: &'a mut Vec<CrashRecord>,
+    last_caps: &'a [MilliWatts],
+    jobs_lost: &'a mut u64,
+    stray_blackout_events: &'a mut u64,
+}
+
+/// Applies one spine chaos event. Returns the id of a node that just
+/// crashed (entered `Crashed`), for the event engine's wake agenda.
+fn apply_chaos(nodes: &mut [Node], ev: &ChaosEvent, t: SimTime, fx: &mut ChaosSideEffects) -> Option<usize> {
+    match ev.kind {
+        ChaosKind::Crash { outage_s } => {
+            if nodes[ev.node].is_alive() {
+                if let Some(job) = nodes[ev.node].crash(t, outage_s) {
+                    *fx.jobs_lost += 1;
+                    fx.retry.job_lost(job, t);
+                }
+                fx.breakers[ev.node].record_failure(t);
+                fx.crash_records.push(CrashRecord {
+                    node: ev.node,
+                    at_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
+                    cap_before_mw: fx.last_caps[ev.node],
+                    cap_after_mw: None,
+                });
+                return Some(ev.node);
+            }
+        }
+        ChaosKind::ThermalEmergency { duration_s } => {
+            if nodes[ev.node].is_alive() {
+                nodes[ev.node].thermal_emergency(t, duration_s);
+            }
+        }
+        ChaosKind::TelemetryBlackout { .. } => {
+            // Blackouts are installed into the sensor stacks at setup; a
+            // stray runtime one is a schedule bug, not a reason to lose
+            // the whole fleet run — count it and carry on.
+            *fx.stray_blackout_events += 1;
+        }
+    }
+    None
+}
+
+/// The reference engine: the original fleet loop, verbatim. Every node
+/// advances at every event; every live node takes a full control tick.
+fn drive_serial(
+    inp: &DriveInputs,
+    mut spine: EventQueue<Event>,
+    nodes: &mut [Node],
+    scheduler: &mut Scheduler,
+    breakers: &mut [CircuitBreaker],
+    retry: &mut RetryQueue,
+) -> DriveOutcome {
+    let cfg = inp.cfg;
+    let end = SimTime::ZERO + cfg.horizon;
+    let mut last_completed: Vec<u64> = vec![0; nodes.len()];
+    let mut last_caps: Vec<MilliWatts> = vec![0; nodes.len()];
+    let mut crash_records: Vec<CrashRecord> = Vec::new();
+    let mut jobs_lost = 0u64;
+    let mut stray_blackout_events = 0u64;
+    let mut completed: Vec<JobRecord> = Vec::new();
+    let mut deadline_misses = 0u64;
+    let mut rows = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut interval = 0u64;
+    let mut tick_no = 0u64;
+
+    while let Some((at, event)) = spine.pop() {
+        for node in nodes.iter_mut() {
+            if let Some(record) = node.advance(t, at) {
+                if record.missed_deadline {
+                    deadline_misses += 1;
+                }
+                completed.push(record);
+            }
+        }
+        t = at;
+        match event {
+            Event::Arrival(i) => {
+                scheduler.submit(inp.jobs[i].clone());
+            }
+            Event::Chaos(i) => {
+                let mut fx = ChaosSideEffects {
+                    retry,
+                    breakers,
+                    crash_records: &mut crash_records,
+                    last_caps: &last_caps,
+                    jobs_lost: &mut jobs_lost,
+                    stray_blackout_events: &mut stray_blackout_events,
+                };
+                apply_chaos(nodes, &inp.chaos_events[i], t, &mut fx);
+            }
+            Event::Tick => {
+                // 1. Failure FSMs and breaker clocks. A cleared probation
+                // or a completion since the last tick closes the breaker.
+                for i in 0..nodes.len() {
+                    for ev in nodes[i].lifecycle_tick(t) {
+                        if ev == LifecycleEvent::ProbationCleared {
+                            breakers[i].record_success();
+                        }
+                    }
+                }
+                for b in breakers.iter_mut() {
+                    b.tick(t);
+                }
+                for (i, node) in nodes.iter().enumerate() {
+                    if node.completed() > last_completed[i] {
+                        breakers[i].record_success();
+                        last_completed[i] = node.completed();
+                    }
+                }
+                // 2. Caps from the *current* demands: a node crashed since
+                // the last tick demands nothing, so its budget is already
+                // back in the pool here.
+                let demands: Vec<_> = nodes.iter().map(Node::demand).collect();
+                let caps = apportion(inp.budget_mw, &demands);
+                for rec in crash_records.iter_mut().filter(|r| r.cap_after_mw.is_none()) {
+                    rec.cap_after_mw = Some(caps[rec.node]);
+                }
+                last_caps.copy_from_slice(&caps);
+                // 3. Control ticks on live nodes only.
+                let mut max_over_w = 0.0f64;
+                for (node, &cap) in nodes.iter_mut().zip(&caps) {
+                    if node.is_alive() {
+                        max_over_w = max_over_w.max(node.control_tick(t, cap));
+                    }
+                }
+                // 4. Retries re-enter ahead of fresh arrivals (reversed so
+                // the earliest-ready job ends up frontmost), then dispatch
+                // behind the breaker mask.
+                for job in retry.drain_ready(t).into_iter().rev() {
+                    scheduler.requeue_front(job);
+                }
+                let allowed: Vec<bool> = breakers.iter().map(CircuitBreaker::allows_dispatch).collect();
+                scheduler.dispatch(nodes, &allowed, t);
+                // 5. Periodic learner checkpoints on fully-Up nodes.
+                if let Some(k) = cfg.lifecycle.checkpoint_period {
+                    if tick_no > 0 && tick_no.is_multiple_of(k) {
+                        for node in nodes.iter_mut() {
+                            if node.state() == NodeState::Up {
+                                node.take_checkpoint();
+                            }
+                        }
+                    }
+                }
+                tick_no += 1;
+                if t > SimTime::ZERO {
+                    interval += 1;
+                    rows.push(trace_row(
+                        cfg,
+                        nodes,
+                        scheduler,
+                        breakers,
+                        retry,
+                        &caps,
+                        t,
+                        interval,
+                        &completed,
+                        deadline_misses,
+                        max_over_w,
+                    ));
+                }
+            }
+        }
+    }
+    // Account service up to the horizon.
+    for node in nodes.iter_mut() {
+        if let Some(record) = node.advance(t, end) {
+            if record.missed_deadline {
+                deadline_misses += 1;
+            }
+            completed.push(record);
+        }
+    }
+
+    DriveOutcome {
+        completed,
+        deadline_misses,
+        rows,
+        crash_records,
+        jobs_lost,
+        stray_blackout_events,
+    }
+}
+
+/// The discrete-event engine (and, with `workers > 1`, the parallel
+/// engine). See the module docs for the equivalence argument behind
+/// each skipped batch of work.
+#[allow(clippy::too_many_lines)]
+fn drive_event(
+    inp: &DriveInputs,
+    mut spine: EventQueue<Event>,
+    nodes: &mut [Node],
+    scheduler: &mut Scheduler,
+    breakers: &mut [CircuitBreaker],
+    retry: &mut RetryQueue,
+    workers: usize,
+) -> DriveOutcome {
+    let cfg = inp.cfg;
+    let end = SimTime::ZERO + cfg.horizon;
+    let n = nodes.len();
+    let mut last_completed: Vec<u64> = vec![0; n];
+    let mut last_caps: Vec<MilliWatts> = vec![0; n];
+    let mut crash_records: Vec<CrashRecord> = Vec::new();
+    let mut jobs_lost = 0u64;
+    let mut stray_blackout_events = 0u64;
+    let mut completed: Vec<JobRecord> = Vec::new();
+    let mut deadline_misses = 0u64;
+    let mut rows = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut interval = 0u64;
+    let mut tick_no = 0u64;
+
+    // Busy list: ids of nodes with a job in service, ascending — the
+    // only nodes `advance` can do anything to. Rebuilt in id order
+    // after every dispatch; completions drop out as they land.
+    let mut busy: Vec<usize> = Vec::new();
+    // Wake agenda for dead nodes: `lifecycle_tick` is an identity on a
+    // `Crashed`/`Restarting` node before its `state_until`, so such
+    // nodes sleep here and are woken at the first tick at/after it.
+    let mut agenda: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
+    let mut dormant: Vec<bool> = vec![false; n];
+    // Ticketed fan-out plumbing (only exercised with `workers > 1`).
+    let telemetry = SplitTelemetry::new();
+    let mut fanout_roots = SplitMix64::new(inp.ticket_root);
+    // Deep-park caches: a parked node's demand is a pure function of
+    // state the park fingerprint freezes, so last tick's value is
+    // bit-reusable; and when no demand moved, `apportion` (a pure
+    // function of budget + demands) would reproduce last tick's caps.
+    let mut prev_demands: Vec<NodeDemand> = Vec::new();
+    let mut caps: Vec<MilliWatts> = Vec::new();
+
+    // Advances service on the busy list from `from` to `to`, streaming
+    // completions out in node-id order (busy is ascending), exactly as
+    // the serial engine's advance-everyone loop would.
+    let advance_busy = |nodes: &mut [Node],
+                        busy: &mut Vec<usize>,
+                        from: SimTime,
+                        to: SimTime,
+                        completed: &mut Vec<JobRecord>,
+                        deadline_misses: &mut u64,
+                        fanout_roots: &mut SplitMix64| {
+        if busy.is_empty() {
+            return;
+        }
+        if workers > 1 && busy.len() >= PAR_MIN_BATCH {
+            // Fan the whole fleet out (contiguous disjoint slices per
+            // worker); idle nodes are no-ops. The committer replays the
+            // results in ticket (= node-id) order.
+            let out = run_ticketed_mut(&telemetry, workers, fanout_roots.next_u64(), nodes, |_, node| {
+                let record = node.advance(from, to);
+                let still_busy = !node.is_idle();
+                (record, still_busy)
+            });
+            busy.clear();
+            for (i, (record, still_busy)) in out.into_iter().enumerate() {
+                if let Some(record) = record {
+                    if record.missed_deadline {
+                        *deadline_misses += 1;
+                    }
+                    completed.push(record);
+                }
+                if still_busy {
+                    busy.push(i);
+                }
+            }
+        } else {
+            let mut still = Vec::with_capacity(busy.len());
+            for &i in busy.iter() {
+                if let Some(record) = nodes[i].advance(from, to) {
+                    if record.missed_deadline {
+                        *deadline_misses += 1;
+                    }
+                    completed.push(record);
+                }
+                if !nodes[i].is_idle() {
+                    still.push(i);
+                }
+            }
+            *busy = still;
+        }
+    };
+
+    while let Some((at, event)) = spine.pop() {
+        advance_busy(
+            nodes,
+            &mut busy,
+            t,
+            at,
+            &mut completed,
+            &mut deadline_misses,
+            &mut fanout_roots,
+        );
+        t = at;
+        match event {
+            Event::Arrival(i) => {
+                scheduler.submit(inp.jobs[i].clone());
+            }
+            Event::Chaos(i) => {
+                let mut fx = ChaosSideEffects {
+                    retry,
+                    breakers,
+                    crash_records: &mut crash_records,
+                    last_caps: &last_caps,
+                    jobs_lost: &mut jobs_lost,
+                    stray_blackout_events: &mut stray_blackout_events,
+                };
+                if let Some(crashed) = apply_chaos(nodes, &inp.chaos_events[i], t, &mut fx) {
+                    // The node just went dark; sleep it until its next
+                    // lifecycle transition is due. Its stale busy-list
+                    // entry (job already taken) drops out on the next
+                    // advance.
+                    dormant[crashed] = true;
+                    agenda.push(Reverse((nodes[crashed].state_until(), crashed)));
+                }
+            }
+            Event::Tick => {
+                // 1. Failure FSMs and breaker clocks — skipping dormant
+                // nodes, waking the ones whose transition is due.
+                while let Some(&Reverse((wake_at, id))) = agenda.peek() {
+                    if wake_at > t {
+                        break;
+                    }
+                    agenda.pop();
+                    dormant[id] = false;
+                }
+                for i in 0..n {
+                    if dormant[i] {
+                        continue;
+                    }
+                    for ev in nodes[i].lifecycle_tick(t) {
+                        if ev == LifecycleEvent::ProbationCleared {
+                            breakers[i].record_success();
+                        }
+                    }
+                    if matches!(nodes[i].state(), NodeState::Crashed | NodeState::Restarting) {
+                        // Still (or newly) dark: back to sleep until the
+                        // next transition instant.
+                        dormant[i] = true;
+                        agenda.push(Reverse((nodes[i].state_until(), i)));
+                    }
+                }
+                for b in breakers.iter_mut() {
+                    b.tick(t);
+                }
+                for (i, node) in nodes.iter().enumerate() {
+                    if node.completed() > last_completed[i] {
+                        breakers[i].record_success();
+                        last_completed[i] = node.completed();
+                    }
+                }
+                // 2. Caps from the current demands (identical to serial).
+                // A parked node's demand is frozen by the park
+                // fingerprint, so reuse last tick's value; and when no
+                // demand moved at all, `apportion` would reproduce last
+                // tick's caps bit-for-bit, so skip it too.
+                let demands: Vec<NodeDemand> = nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, node)| {
+                        if node.is_parked() && i < prev_demands.len() {
+                            prev_demands[i]
+                        } else {
+                            node.demand()
+                        }
+                    })
+                    .collect();
+                if caps.is_empty() || demands != prev_demands {
+                    caps = apportion(inp.budget_mw, &demands);
+                }
+                prev_demands = demands;
+                for rec in crash_records.iter_mut().filter(|r| r.cap_after_mw.is_none()) {
+                    rec.cap_after_mw = Some(caps[rec.node]);
+                }
+                last_caps.copy_from_slice(&caps);
+                // 3. Control ticks on live nodes — through the parking
+                // protocol, and fanned out when the fleet is big enough.
+                // A node parked under exactly the cap it is being handed
+                // is skipped outright (deep park): the fast path would
+                // only re-read constant-zero idle utilizations and
+                // rewrite every field with the same bits, and returns
+                // 0.0 overage by the park invariant.
+                let mut max_over_w = 0.0f64;
+                if workers > 1 && n >= PAR_MIN_BATCH {
+                    let caps_ref: &[MilliWatts] = &caps;
+                    let overs = run_ticketed_mut(&telemetry, workers, fanout_roots.next_u64(), nodes, |tk, node| {
+                        let cap = caps_ref[tk.index];
+                        if node.is_alive() && node.parked_under() != Some(cap) {
+                            node.control_tick_parkable(t, cap)
+                        } else {
+                            0.0
+                        }
+                    });
+                    for over in overs {
+                        max_over_w = max_over_w.max(over);
+                    }
+                } else {
+                    for (node, &cap) in nodes.iter_mut().zip(&caps) {
+                        if node.is_alive() && node.parked_under() != Some(cap) {
+                            max_over_w = max_over_w.max(node.control_tick_parkable(t, cap));
+                        }
+                    }
+                }
+                // 4. Retries, then dispatch behind the breaker mask.
+                for job in retry.drain_ready(t).into_iter().rev() {
+                    scheduler.requeue_front(job);
+                }
+                let allowed: Vec<bool> = breakers.iter().map(CircuitBreaker::allows_dispatch).collect();
+                scheduler.dispatch(nodes, &allowed, t);
+                // Dispatch may have put jobs on idle nodes; rebuild the
+                // busy list in id order.
+                busy.clear();
+                busy.extend(nodes.iter().enumerate().filter(|(_, n)| !n.is_idle()).map(|(i, _)| i));
+                // 5. Periodic learner checkpoints on fully-Up nodes.
+                if let Some(k) = cfg.lifecycle.checkpoint_period {
+                    if tick_no > 0 && tick_no.is_multiple_of(k) {
+                        for node in nodes.iter_mut() {
+                            if node.state() == NodeState::Up {
+                                node.take_checkpoint();
+                            }
+                        }
+                    }
+                }
+                tick_no += 1;
+                if t > SimTime::ZERO {
+                    interval += 1;
+                    rows.push(trace_row(
+                        cfg,
+                        nodes,
+                        scheduler,
+                        breakers,
+                        retry,
+                        &caps,
+                        t,
+                        interval,
+                        &completed,
+                        deadline_misses,
+                        max_over_w,
+                    ));
+                }
+            }
+        }
+    }
+    // Account service up to the horizon.
+    advance_busy(
+        nodes,
+        &mut busy,
+        t,
+        end,
+        &mut completed,
+        &mut deadline_misses,
+        &mut fanout_roots,
+    );
+
+    DriveOutcome {
+        completed,
+        deadline_misses,
+        rows,
+        crash_records,
+        jobs_lost,
+        stray_blackout_events,
+    }
+}
+
+/// One per-interval telemetry row — shared verbatim by all engines so
+/// the CSV bytes cannot drift between them.
+#[allow(clippy::too_many_arguments)]
+fn trace_row(
+    cfg: &FleetConfig,
+    nodes: &[Node],
+    scheduler: &Scheduler,
+    breakers: &[CircuitBreaker],
+    retry: &RetryQueue,
+    caps: &[MilliWatts],
+    t: SimTime,
+    interval: u64,
+    completed: &[JobRecord],
+    deadline_misses: u64,
+    max_over_w: f64,
+) -> TraceRow {
+    let window_start = SimTime::ZERO + cfg.control_period.mul_f64((interval - 1) as f64);
+    let dt = t.saturating_since(window_start).as_secs_f64().max(1e-12);
+    let gpu_power_w: f64 = nodes
+        .iter()
+        .map(|n| n.platform().gpu_energy_j(window_start, t))
+        .sum::<f64>()
+        / dt;
+    let total_power_w: f64 = nodes
+        .iter()
+        .map(|n| n.platform().total_energy_j(window_start, t))
+        .sum::<f64>()
+        / dt;
+    TraceRow {
+        interval,
+        time_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
+        queue_depth: scheduler.depth(),
+        busy_nodes: nodes.iter().filter(|n| !n.is_idle()).count(),
+        healthy_nodes: nodes.iter().filter(|n| n.healthy()).count(),
+        gpu_power_w,
+        total_power_w,
+        fleet_cap_w: caps.iter().sum::<u64>() as f64 / 1000.0,
+        budget_w: cfg.budget_w,
+        completed: completed.len() as u64,
+        rejected: scheduler.rejected(),
+        deadline_misses,
+        cap_violations: nodes.iter().map(Node::cap_violations).sum(),
+        max_pair_over_cap_w: max_over_w,
+        up_nodes: nodes.iter().filter(|n| n.is_alive()).count(),
+        open_breakers: breakers.iter().filter(|b| b.state() == BreakerState::Open).count(),
+        retry_depth: retry.pending_len(),
+        dead_lettered: retry.dead_letter().len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use greengpu_sim::SimDuration;
+
+    /// Regression for the old `unreachable!("blackouts are installed at
+    /// setup")` panic: a telemetry-blackout event that reaches the
+    /// runtime spine (a schedule bug by construction — `run_fleet`
+    /// filters them out) must be counted and ignored, never abort the
+    /// fleet. Exercised on all three engines by driving the loop
+    /// directly with a hand-built spine.
+    #[test]
+    fn stray_blackout_event_is_a_counted_noop() {
+        for engine in [
+            EngineKind::Serial,
+            EngineKind::EventDriven,
+            EngineKind::Parallel { workers: 2 },
+        ] {
+            let cfg = crate::FleetConfig::homogeneous(2, 0.9, Policy::LeastLoaded, SimDuration::from_secs(3), 11)
+                .with_engine(engine);
+            let mix: Vec<String> = cfg.arrivals.mix.iter().map(|(n, _)| n.clone()).collect();
+            let mut nodes: Vec<Node> = cfg
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, nc)| Node::new(i, nc, &mix, 1234))
+                .collect();
+            let chaos_events = vec![ChaosEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(1),
+                node: 0,
+                kind: ChaosKind::TelemetryBlackout { duration_s: 1.0 },
+            }];
+            let mut spine: EventQueue<Event> = EventQueue::new();
+            let mut tick_at = SimTime::ZERO;
+            let end = SimTime::ZERO + cfg.horizon;
+            while tick_at <= end {
+                spine.schedule(tick_at, Event::Tick);
+                tick_at += cfg.control_period;
+            }
+            spine.schedule(chaos_events[0].at, Event::Chaos(0));
+            let mut scheduler = Scheduler::new(cfg.policy, cfg.queue_capacity);
+            let mut breakers: Vec<CircuitBreaker> = (0..nodes.len())
+                .map(|_| CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp))
+                .collect();
+            let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
+            let inputs = DriveInputs {
+                cfg: &cfg,
+                jobs: &[],
+                chaos_events: &chaos_events,
+                budget_mw: 1_000_000,
+                ticket_root: 5,
+            };
+            let outcome = drive(&inputs, spine, &mut nodes, &mut scheduler, &mut breakers, &mut retry);
+            assert_eq!(outcome.stray_blackout_events, 1, "engine {engine:?}");
+            assert_eq!(outcome.rows.len(), 3, "engine {engine:?} still ran to the horizon");
+        }
+    }
+
+    #[test]
+    fn engine_flag_parsing_round_trips() {
+        assert_eq!(EngineKind::from_flag("serial", 1), Ok(EngineKind::Serial));
+        assert_eq!(EngineKind::from_flag("event", 4), Ok(EngineKind::EventDriven));
+        assert_eq!(
+            EngineKind::from_flag("parallel", 4),
+            Ok(EngineKind::Parallel { workers: 4 })
+        );
+        assert!(EngineKind::from_flag("parallel", 0).is_err());
+        assert!(EngineKind::from_flag("turbo", 1).is_err());
+        assert_eq!(EngineKind::Parallel { workers: 4 }.label(), "parallel");
+        assert_eq!(EngineKind::default(), EngineKind::Serial);
+    }
+}

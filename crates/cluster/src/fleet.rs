@@ -32,15 +32,17 @@
 //! `greengpu_sim::rng`; node order is fixed; every map keyed by workload
 //! name is a `BTreeMap`. Same config and seed ⇒ byte-identical trace CSV.
 
-use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::breaker::CircuitBreaker;
+use crate::engine::{drive, DriveInputs, EngineKind, Event};
 use crate::job::{generate_arrivals, ArrivalConfig, JobRecord, JobSpec};
 use crate::lifecycle::LifecycleParams;
-use crate::node::{LifecycleEvent, Node, NodeConfig, RecoveryRecord};
+use crate::node::{Node, NodeConfig, RecoveryRecord};
 use crate::policy::Policy;
-use crate::power::{apportion, mw_floor, MilliWatts};
+use crate::power::{mw_floor, MilliWatts};
+use crate::profile::ServiceProfile;
 use crate::retry::RetryQueue;
 use crate::scheduler::Scheduler;
-use crate::telemetry::{FleetTrace, TraceRow};
+use crate::telemetry::FleetTrace;
 use greengpu_hw::{ChaosEvent, ChaosKind, ChaosPlan};
 use greengpu_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
@@ -70,6 +72,10 @@ pub struct FleetConfig {
     /// Failure-lifecycle tuning (restart/probation durations, checkpoint
     /// period, retry budget, breaker cooldowns).
     pub lifecycle: LifecycleParams,
+    /// Which execution engine drives the run. All engines produce
+    /// byte-identical outputs per seed (see [`crate::engine`]); the
+    /// serial default is the differential-testing oracle.
+    pub engine: EngineKind,
     /// Master seed; every stream in the run derives from it.
     pub seed: u64,
 }
@@ -130,6 +136,7 @@ impl FleetConfig {
             arrivals,
             chaos: None,
             lifecycle: LifecycleParams::default(),
+            engine: EngineKind::Serial,
             seed,
         }
     }
@@ -137,6 +144,12 @@ impl FleetConfig {
     /// Attaches a chaos schedule (builder style).
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Selects the execution engine (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -168,6 +181,11 @@ impl FleetConfig {
         }
         if self.arrivals.mix.is_empty() {
             return Err("arrivals.mix must not be empty".to_string());
+        }
+        if let EngineKind::Parallel { workers } = self.engine {
+            if workers == 0 {
+                return Err("engine: parallel workers must be at least 1".to_string());
+            }
         }
         if let Some(plan) = &self.chaos {
             plan.try_validate().map_err(|msg| format!("chaos: {msg}"))?;
@@ -242,6 +260,9 @@ pub struct FleetReport {
     pub thermal_events: u64,
     /// Telemetry-blackout windows installed across the fleet.
     pub blackout_windows: u64,
+    /// Blackout events that (wrongly) reached the runtime spine instead
+    /// of being installed at setup — counted and ignored, never fatal.
+    pub stray_blackout_events: u64,
     /// Jobs lost to crashes (each enters the retry queue or dead-letters).
     pub jobs_lost: u64,
     /// Re-dispatches queued by the retry machinery.
@@ -295,17 +316,6 @@ impl FleetReport {
     }
 }
 
-/// Event payloads on the fleet spine.
-enum Event {
-    /// Index into the pre-generated arrival vector.
-    Arrival(usize),
-    /// A control tick.
-    Tick,
-    /// Index into the pre-generated chaos event vector (crashes and
-    /// thermal emergencies; blackouts are installed at setup).
-    Chaos(usize),
-}
-
 /// Runs one fleet to its horizon.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     if let Err(msg) = cfg.try_validate() {
@@ -315,13 +325,26 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let mut root = SplitMix64::new(cfg.seed);
     let profile_seed = root.next_u64();
     let arrival_seed = root.next_u64();
+    // Drawn unconditionally so engine choice cannot shift any other
+    // stream; only the parallel engine's ticket sequencer consumes it.
+    let ticket_root = root.next_u64();
 
-    let mut nodes: Vec<Node> = cfg
-        .nodes
-        .iter()
-        .enumerate()
-        .map(|(i, nc)| Node::new(i, nc, &mix_names, profile_seed))
-        .collect();
+    // Profiling a workload mix is the expensive part of node
+    // construction; nodes sharing a GPU spec share one profile table.
+    let mut profile_cache: BTreeMap<String, BTreeMap<String, ServiceProfile>> = BTreeMap::new();
+    let mut nodes: Vec<Node> = Vec::with_capacity(cfg.nodes.len());
+    for (i, nc) in cfg.nodes.iter().enumerate() {
+        let key = format!("{:?}", nc.gpu);
+        let node = match profile_cache.get(&key) {
+            Some(profiles) => Node::new_with_profiles(i, nc, profiles.clone(), profile_seed),
+            None => {
+                let node = Node::new(i, nc, &mix_names, profile_seed);
+                profile_cache.insert(key, node.profile_table().clone());
+                node
+            }
+        };
+        nodes.push(node);
+    }
     for node in &mut nodes {
         node.set_lifecycle(cfg.lifecycle.restart_s, cfg.lifecycle.probation_intervals);
     }
@@ -395,166 +418,21 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         .map(|_| CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp))
         .collect();
     let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
-    let mut last_completed: Vec<u64> = vec![0; nodes.len()];
-    let mut last_caps: Vec<MilliWatts> = vec![0; nodes.len()];
-    let mut crash_records: Vec<CrashRecord> = Vec::new();
-    let mut jobs_lost = 0u64;
-    let mut completed: Vec<JobRecord> = Vec::new();
-    let mut deadline_misses = 0u64;
-    let mut rows = Vec::new();
-    let mut t = SimTime::ZERO;
-    let mut interval = 0u64;
-    let mut tick_no = 0u64;
 
-    while let Some((at, event)) = spine.pop() {
-        for node in &mut nodes {
-            if let Some(record) = node.advance(t, at) {
-                if record.missed_deadline {
-                    deadline_misses += 1;
-                }
-                completed.push(record);
-            }
-        }
-        t = at;
-        match event {
-            Event::Arrival(i) => {
-                scheduler.submit(jobs[i].clone());
-            }
-            Event::Chaos(i) => {
-                let ev = &chaos_events[i];
-                match ev.kind {
-                    ChaosKind::Crash { outage_s } => {
-                        if nodes[ev.node].is_alive() {
-                            if let Some(job) = nodes[ev.node].crash(t, outage_s) {
-                                jobs_lost += 1;
-                                retry.job_lost(job, t);
-                            }
-                            breakers[ev.node].record_failure(t);
-                            crash_records.push(CrashRecord {
-                                node: ev.node,
-                                at_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
-                                cap_before_mw: last_caps[ev.node],
-                                cap_after_mw: None,
-                            });
-                        }
-                    }
-                    ChaosKind::ThermalEmergency { duration_s } => {
-                        if nodes[ev.node].is_alive() {
-                            nodes[ev.node].thermal_emergency(t, duration_s);
-                        }
-                    }
-                    ChaosKind::TelemetryBlackout { .. } => {
-                        unreachable!("blackouts are installed at setup")
-                    }
-                }
-            }
-            Event::Tick => {
-                // 1. Failure FSMs and breaker clocks. A cleared probation
-                // or a completion since the last tick closes the breaker.
-                for i in 0..nodes.len() {
-                    for ev in nodes[i].lifecycle_tick(t) {
-                        if ev == LifecycleEvent::ProbationCleared {
-                            breakers[i].record_success();
-                        }
-                    }
-                }
-                for b in &mut breakers {
-                    b.tick(t);
-                }
-                for (i, node) in nodes.iter().enumerate() {
-                    if node.completed() > last_completed[i] {
-                        breakers[i].record_success();
-                        last_completed[i] = node.completed();
-                    }
-                }
-                // 2. Caps from the *current* demands: a node crashed since
-                // the last tick demands nothing, so its budget is already
-                // back in the pool here.
-                let demands: Vec<_> = nodes.iter().map(Node::demand).collect();
-                let caps = apportion(budget_mw, &demands);
-                for rec in crash_records.iter_mut().filter(|r| r.cap_after_mw.is_none()) {
-                    rec.cap_after_mw = Some(caps[rec.node]);
-                }
-                last_caps.copy_from_slice(&caps);
-                // 3. Control ticks on live nodes only.
-                let mut max_over_w = 0.0f64;
-                for (node, &cap) in nodes.iter_mut().zip(&caps) {
-                    if node.is_alive() {
-                        max_over_w = max_over_w.max(node.control_tick(t, cap));
-                    }
-                }
-                // 4. Retries re-enter ahead of fresh arrivals (reversed so
-                // the earliest-ready job ends up frontmost), then dispatch
-                // behind the breaker mask.
-                for job in retry.drain_ready(t).into_iter().rev() {
-                    scheduler.requeue_front(job);
-                }
-                let allowed: Vec<bool> = breakers.iter().map(CircuitBreaker::allows_dispatch).collect();
-                scheduler.dispatch(&mut nodes, &allowed, t);
-                // 5. Periodic learner checkpoints on fully-Up nodes.
-                if let Some(k) = cfg.lifecycle.checkpoint_period {
-                    if tick_no > 0 && tick_no.is_multiple_of(k) {
-                        for node in &mut nodes {
-                            if node.state() == crate::lifecycle::NodeState::Up {
-                                node.take_checkpoint();
-                            }
-                        }
-                    }
-                }
-                tick_no += 1;
-                if t > SimTime::ZERO {
-                    interval += 1;
-                    let window_start = SimTime::ZERO + cfg.control_period.mul_f64((interval - 1) as f64);
-                    let dt = t.saturating_since(window_start).as_secs_f64().max(1e-12);
-                    let gpu_power_w: f64 = nodes
-                        .iter()
-                        .map(|n| n.platform().gpu_energy_j(window_start, t))
-                        .sum::<f64>()
-                        / dt;
-                    let total_power_w: f64 = nodes
-                        .iter()
-                        .map(|n| n.platform().total_energy_j(window_start, t))
-                        .sum::<f64>()
-                        / dt;
-                    rows.push(TraceRow {
-                        interval,
-                        time_s: t.saturating_since(SimTime::ZERO).as_secs_f64(),
-                        queue_depth: scheduler.depth(),
-                        busy_nodes: nodes.iter().filter(|n| !n.is_idle()).count(),
-                        healthy_nodes: nodes.iter().filter(|n| n.healthy()).count(),
-                        gpu_power_w,
-                        total_power_w,
-                        fleet_cap_w: caps.iter().sum::<u64>() as f64 / 1000.0,
-                        budget_w: cfg.budget_w,
-                        completed: completed.len() as u64,
-                        rejected: scheduler.rejected(),
-                        deadline_misses,
-                        cap_violations: nodes.iter().map(Node::cap_violations).sum(),
-                        max_pair_over_cap_w: max_over_w,
-                        up_nodes: nodes.iter().filter(|n| n.is_alive()).count(),
-                        open_breakers: breakers.iter().filter(|b| b.state() == BreakerState::Open).count(),
-                        retry_depth: retry.pending_len(),
-                        dead_lettered: retry.dead_letter().len() as u64,
-                    });
-                }
-            }
-        }
-    }
-    // Account service up to the horizon.
-    for node in &mut nodes {
-        if let Some(record) = node.advance(t, end) {
-            if record.missed_deadline {
-                deadline_misses += 1;
-            }
-            completed.push(record);
-        }
-    }
+    let inputs = DriveInputs {
+        cfg,
+        jobs: &jobs,
+        chaos_events: &chaos_events,
+        budget_mw,
+        ticket_root,
+    };
+    let outcome = drive(&inputs, spine, &mut nodes, &mut scheduler, &mut breakers, &mut retry);
 
     FleetReport {
-        trace: FleetTrace { rows },
+        trace: FleetTrace { rows: outcome.rows },
         per_node_completed: nodes.iter().map(Node::completed).collect(),
         rejected: scheduler.rejected(),
-        deadline_misses,
+        deadline_misses: outcome.deadline_misses,
         cap_violations: nodes.iter().map(Node::cap_violations).sum(),
         nodes_fallen_back: nodes.iter().filter(|n| !n.healthy()).count(),
         gpu_energy_j: nodes
@@ -576,12 +454,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         restore_failures: nodes.iter().map(Node::restore_failures).sum(),
         thermal_events: nodes.iter().map(Node::thermal_events).sum(),
         blackout_windows,
-        jobs_lost,
+        stray_blackout_events: outcome.stray_blackout_events,
+        jobs_lost: outcome.jobs_lost,
         jobs_retried: retry.retried(),
         dead_letter: retry.dead_letter().to_vec(),
         breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
         recoveries: nodes.iter().flat_map(|n| n.recoveries().iter().copied()).collect(),
-        crash_records,
-        completed,
+        crash_records: outcome.crash_records,
+        completed: outcome.completed,
     }
 }

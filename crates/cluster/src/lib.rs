@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod breaker;
+pub mod engine;
 pub mod fleet;
 pub mod job;
 pub mod lifecycle;
@@ -59,6 +60,7 @@ pub mod scheduler;
 pub mod telemetry;
 
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use engine::EngineKind;
 pub use fleet::{run_fleet, CrashRecord, FleetConfig, FleetReport};
 pub use job::{ArrivalConfig, JobRecord, JobSpec};
 pub use lifecycle::{LifecycleParams, NodeState};

@@ -24,7 +24,7 @@ use greengpu_hw::{
     FreqActuator, GpuSpec, Platform, SensorSource,
 };
 use greengpu_runtime::Controller as _;
-use greengpu_sim::{SimDuration, SimTime, SplitMix64};
+use greengpu_sim::{Fnv64, SimDuration, SimTime, SplitMix64};
 use std::collections::BTreeMap;
 
 /// Static description of one node.
@@ -165,6 +165,19 @@ pub struct Node {
     checkpoint: Option<String>,
     thermal_until: SimTime,
     thermal_active: bool,
+    /// The cap this node was *parked* under by the event-driven engine,
+    /// if any: the node proved two consecutive control ticks identical
+    /// (see [`Node::park_fingerprint`]) and subsequent ticks take the
+    /// quiescent fast path until anything observable changes.
+    parked_cap: Option<MilliWatts>,
+    /// Whether the stored checkpoint was taken while this node was parked
+    /// *and* the node has stayed parked since. While that holds the
+    /// controller's learner state is bit-frozen (the quiescent path only
+    /// re-reads constant-zero idle utilizations; the deep-skip path runs
+    /// nothing at all), so [`Node::take_checkpoint`] can skip the JSON
+    /// re-serialization — the stored bytes are already identical. Cleared
+    /// on every `parked_cap` transition.
+    parked_checkpoint_fresh: bool,
     /// Pre-crash desired pair, pending recovery measurement.
     pending_target: Option<(usize, usize)>,
     /// In-flight recovery: (target pair, warm flag, ticks so far).
@@ -189,6 +202,20 @@ impl Node {
         }
     }
 
+    /// [`Node::new`] with a prebuilt profile table (see
+    /// [`Node::try_new_with_profiles`] for the caller contract).
+    pub fn new_with_profiles(
+        id: usize,
+        cfg: &NodeConfig,
+        profiles: BTreeMap<String, ServiceProfile>,
+        profile_seed: u64,
+    ) -> Self {
+        match Node::try_new_with_profiles(id, cfg, profiles, profile_seed) {
+            Ok(node) => node,
+            Err(msg) => panic!("node {id}: {msg}"),
+        }
+    }
+
     /// Non-panicking constructor: validates the policy spec (naming the
     /// offending field) and the workload mix, then builds the node. The
     /// deadline policy's [`PairModel`] is derived from the mix's mean
@@ -196,6 +223,28 @@ impl Node {
     /// energy-aware placement estimates use; randomized policies draw
     /// per-node streams derived from `(profile_seed, id)`.
     pub fn try_new(id: usize, cfg: &NodeConfig, workloads: &[String], profile_seed: u64) -> Result<Self, String> {
+        let profiles: BTreeMap<String, ServiceProfile> = workloads
+            .iter()
+            .map(|name| {
+                ServiceProfile::build(name, profile_seed, &cfg.gpu)
+                    .map(|p| (name.clone(), p))
+                    .ok_or_else(|| format!("unknown workload {name:?} in mix"))
+            })
+            .collect::<Result<_, String>>()?;
+        Node::try_new_with_profiles(id, cfg, profiles, profile_seed)
+    }
+
+    /// Like [`Node::try_new`], but takes a prebuilt profile table. The
+    /// caller guarantees the profiles were built for `cfg.gpu` with this
+    /// fleet's `profile_seed` — the fleet constructor builds one table
+    /// per distinct GPU spec and shares it across that spec's nodes, so
+    /// an N-node homogeneous fleet profiles its mix once, not N times.
+    pub fn try_new_with_profiles(
+        id: usize,
+        cfg: &NodeConfig,
+        profiles: BTreeMap<String, ServiceProfile>,
+        profile_seed: u64,
+    ) -> Result<Self, String> {
         cfg.freq_policy.try_validate()?;
         let n_core = cfg.gpu.core_levels_mhz.len();
         let n_mem = cfg.gpu.mem_levels_mhz.len();
@@ -206,14 +255,6 @@ impl Node {
             n_mem - 1,
             cfg.cpu.levels_mhz.len() - 1,
         );
-        let profiles: BTreeMap<String, ServiceProfile> = workloads
-            .iter()
-            .map(|name| {
-                ServiceProfile::build(name, profile_seed, &cfg.gpu)
-                    .map(|p| (name.clone(), p))
-                    .ok_or_else(|| format!("unknown workload {name:?} in mix"))
-            })
-            .collect::<Result<_, String>>()?;
         let model = match &cfg.freq_policy {
             PolicySpec::Deadline(_) => Some(mix_pair_model(&cfg.gpu, &profiles)?),
             _ => None,
@@ -247,6 +288,8 @@ impl Node {
             checkpoint: None,
             thermal_until: SimTime::ZERO,
             thermal_active: false,
+            parked_cap: None,
+            parked_checkpoint_fresh: false,
             pending_target: None,
             recovering: None,
             recoveries: Vec::new(),
@@ -314,6 +357,28 @@ impl Node {
         self.state
     }
 
+    /// When the current `Crashed`/`Restarting` phase ends — the instant
+    /// the event-driven engine's wake agenda must next run this node's
+    /// lifecycle FSM. Meaningless (stale) while `Up`/`Probation`.
+    pub fn state_until(&self) -> SimTime {
+        self.state_until
+    }
+
+    /// Whether the node is currently parked on the control quiescent
+    /// fast path (see [`Node::control_tick_parkable`]).
+    pub fn is_parked(&self) -> bool {
+        self.parked_cap.is_some()
+    }
+
+    /// The cap this node is parked under, if parked. While this equals
+    /// the cap the apportioner would hand the node this interval, the
+    /// entire control tick is an identity (the parked fast path would
+    /// re-read constant-zero idle utilizations and rewrite every field
+    /// with the same bits), so the event engine skips it outright.
+    pub fn parked_under(&self) -> Option<MilliWatts> {
+        self.parked_cap
+    }
+
     /// Whether the node is controllable this interval (`Up` or
     /// `Probation`). Dead nodes take no control ticks and no work.
     pub fn is_alive(&self) -> bool {
@@ -345,7 +410,14 @@ impl Node {
     /// Snapshots the controller's learner state as the node's current
     /// checkpoint (the fleet calls this every checkpoint period).
     pub fn take_checkpoint(&mut self) {
+        // A continuously-parked node's learner state is bit-frozen, so
+        // the checkpoint taken last period is still byte-identical —
+        // skip the (comparatively expensive) JSON re-serialization.
+        if self.parked_cap.is_some() && self.parked_checkpoint_fresh {
+            return;
+        }
         self.checkpoint = Some(self.ctl.snapshot());
+        self.parked_checkpoint_fresh = self.parked_cap.is_some();
     }
 
     /// Replaces the stored checkpoint verbatim — the corruption-injection
@@ -370,6 +442,8 @@ impl Node {
             return None;
         }
         self.crashes += 1;
+        self.parked_cap = None;
+        self.parked_checkpoint_fresh = false;
         // The recovery target is what the learner preferred just before
         // dying — reaching it again is the warm-vs-cold regret metric.
         self.pending_target = Some(self.ctl.desired_pair());
@@ -388,6 +462,8 @@ impl Node {
     /// is bypassed and the node's power demand collapses to the floor.
     pub fn thermal_emergency(&mut self, now: SimTime, duration_s: f64) {
         self.thermal_events += 1;
+        self.parked_cap = None;
+        self.parked_checkpoint_fresh = false;
         self.thermal_until = now + SimDuration::from_secs_f64(duration_s);
         self.thermal_active = true;
     }
@@ -521,6 +597,12 @@ impl Node {
         self.cap_violations
     }
 
+    /// The node's whole profile table (the fleet shares it across nodes
+    /// with the same GPU spec).
+    pub(crate) fn profile_table(&self) -> &BTreeMap<String, ServiceProfile> {
+        &self.profiles
+    }
+
     /// The service profile for a mix workload.
     pub fn profile(&self, workload: &str) -> Option<&ServiceProfile> {
         self.profiles.get(workload)
@@ -631,6 +713,18 @@ impl Node {
     /// Starts serving `job` at `now`. Panics if the node is busy.
     pub fn dispatch(&mut self, job: JobSpec, now: SimTime) {
         assert!(self.job.is_none(), "node {} is busy", self.id);
+        if self.parked_cap.is_some() {
+            // A deep-parked node (the event engine skips its control
+            // ticks entirely) may not have sensed for many intervals;
+            // catch the sensor window up to `now` while the utilization
+            // traces are still constant-zero, before the job makes them
+            // move. For a node that was ticked this interval the sensor
+            // window already ends at `now`, so the poll re-reads the
+            // same instantaneous zeros — an exact identity.
+            self.ctl.on_dvfs_tick_quiescent(&mut self.platform, now);
+        }
+        self.parked_cap = None;
+        self.parked_checkpoint_fresh = false;
         self.job = Some(RunningJob {
             spec: job,
             started: now,
@@ -722,6 +816,89 @@ impl Node {
         let over = (self.enforced_pair_power_w() - self.cap_w).max(0.0);
         if over > 1e-9 {
             self.cap_violations += 1;
+        }
+        over
+    }
+
+    /// A bit-exact fingerprint of everything a control tick on an idle,
+    /// healthy node can read or write, or `None` whenever the node is in
+    /// any configuration where ticks are not provably idempotent: busy,
+    /// fault-injected (the injectors hold RNG streams that must advance
+    /// on every actuation), blacked out, off-`Up`, throttled,
+    /// mid-recovery, or running a policy that declines to certify a
+    /// fixed point (see [`GreenGpuController::decision_fingerprint`]).
+    /// The event-driven engine parks a node only after two consecutive
+    /// ticks under the same cap return the same `Some(..)` — the second
+    /// tick *proves* the first one's decision was a fixed point.
+    pub fn park_fingerprint(&self) -> Option<u64> {
+        if self.fault.is_some()
+            || !self.blackouts.is_empty()
+            || self.job.is_some()
+            || self.state != NodeState::Up
+            || self.thermal_active
+            || self.recovering.is_some()
+            || self.pending_target.is_some()
+        {
+            return None;
+        }
+        let ctl_fp = self.ctl.decision_fingerprint()?;
+        let mut h = Fnv64::new();
+        h.push_u64(ctl_fp);
+        let (c, m) = self.current_pair();
+        h.push_usize(c);
+        h.push_usize(m);
+        h.push_usize(self.platform.cpu().domain().current_level());
+        Some(h.finish())
+    }
+
+    /// [`Node::control_tick`] with the event-driven engine's parking
+    /// protocol layered on. Behaviorally identical to `control_tick` on
+    /// every externally observable output (enforced levels, cap
+    /// violations, sensor windows, learner state); the only skipped work
+    /// is decide/actuate halves that are provably identities.
+    ///
+    /// * **Parked** (same cap, still idle/`Up`/cool): run the quiescent
+    ///   tick — sensing happens in full so the sensor windows advance
+    ///   exactly as a normal tick's would; decide/actuate is skipped
+    ///   while each domain re-observes its previous utilization. Any
+    ///   divergence un-parks and finishes the tick normally.
+    /// * **Not parked**: run `control_tick`, then park when the node is
+    ///   compliant and this tick's fingerprint matches the previous
+    ///   tick's (two-consecutive-identical-ticks criterion — the first
+    ///   idle tick after activity never parks because the learner state
+    ///   still moved).
+    pub fn control_tick_parkable(&mut self, now: SimTime, cap: MilliWatts) -> f64 {
+        if let Some(parked) = self.parked_cap {
+            if parked == cap && self.job.is_none() && self.state == NodeState::Up && !self.thermal_active {
+                // Cap unchanged, so these two writes are identities.
+                self.cap_w = cap as f64 / 1000.0;
+                self.ctl.set_power_cap_w(Some(self.cap_w));
+                if self.ctl.on_dvfs_tick_quiescent(&mut self.platform, now) {
+                    // Fully quiescent: levels unchanged, cap was met at
+                    // park time, so the overage is exactly 0.0.
+                    return 0.0;
+                }
+                // A domain diverged (and already ran its full half);
+                // finish the tick tail exactly as control_tick would.
+                // `recovering` is None while parked (park_fingerprint
+                // requires it), so no recovery bookkeeping is due.
+                self.parked_cap = None;
+                self.parked_checkpoint_fresh = false;
+                self.refresh_activity(now);
+                let over = (self.enforced_pair_power_w() - self.cap_w).max(0.0);
+                if over > 1e-9 {
+                    self.cap_violations += 1;
+                }
+                return over;
+            }
+            self.parked_cap = None;
+            self.parked_checkpoint_fresh = false;
+        }
+        let before = self.park_fingerprint();
+        let over = self.control_tick(now, cap);
+        if before.is_some() && over <= 0.0 && before == self.park_fingerprint() {
+            self.parked_cap = Some(cap);
+            self.parked_checkpoint_fresh = false;
         }
         over
     }

@@ -1,0 +1,182 @@
+//! Differential harness for the fleet engines: serial ≡ event-driven ≡
+//! parallel (1/2/4/8 workers), byte-for-byte.
+//!
+//! The serial engine is the oracle — the original advance-everything
+//! loop, untouched. The event-driven engine skips work (idle advance,
+//! dormant lifecycle ticks, quiescent control ticks) only where the
+//! skip is provably an identity, and the parallel engine adds ticketed
+//! worker fan-out on top; if any of those arguments is wrong, the trace
+//! CSV, the completion stream, the crash audit, or a conservation
+//! counter diverges and these tests catch it.
+
+use greengpu::{DeadlineParams, Exp3Params, UcbParams};
+use greengpu_cluster::{run_fleet, EngineKind, FleetConfig, FleetReport, NodeConfig, Policy, PolicySpec};
+use greengpu_hw::ChaosPlan;
+use greengpu_sim::SimDuration;
+use proptest::prelude::*;
+
+/// One spec per Tier-2 policy family: the quiescent-parking fast path
+/// must be exact for parking policies (WMA, deadline) and must simply
+/// never engage for the randomized/count-based ones (EXP3, UCB).
+fn freq_policy_specs() -> [PolicySpec; 4] {
+    [
+        PolicySpec::default(),
+        PolicySpec::Exp3(Exp3Params::default()),
+        PolicySpec::Ucb(UcbParams::default()),
+        PolicySpec::Deadline(DeadlineParams {
+            time_budget_s: 120.0,
+            ..DeadlineParams::default()
+        }),
+    ]
+}
+
+/// A small fleet with every failure mechanism armed: crashes, thermal
+/// emergencies, and telemetry blackouts.
+fn fleet_cfg(n: usize, spec: &PolicySpec, chaos: bool, secs: u64, seed: u64) -> FleetConfig {
+    let nodes: Vec<NodeConfig> = (0..n)
+        .map(|_| NodeConfig::default_node().with_freq_policy(spec.clone()))
+        .collect();
+    let mut cfg = FleetConfig::from_nodes(nodes, 0.8, Policy::LeastLoaded, SimDuration::from_secs(secs), seed);
+    if chaos {
+        cfg = cfg.with_chaos(
+            ChaosPlan::crashes_only(seed ^ 0xC4A05, 0.02, (2.0, 6.0))
+                .with_thermal(0.01, (3.0, 8.0))
+                .with_blackouts(0.01, (2.0, 5.0)),
+        );
+    }
+    cfg
+}
+
+/// Everything a run can observably produce, flattened to one string.
+/// `{:?}` on `f64` prints the shortest round-trip representation, so
+/// equal digests mean bit-equal floats, not merely close ones.
+fn digest(report: &FleetReport) -> String {
+    let csv = report.trace.to_table("equivalence").to_csv();
+    format!(
+        "csv={csv}\nrows={rows:?}\ncompleted={completed:?}\nper_node={per_node:?}\n\
+         crash_records={crash_records:?}\nrecoveries={recoveries:?}\ndead_letter={dead_letter:?}\n\
+         counters=({rejected},{deadline_misses},{cap_violations},{fallen_back},{admitted},\
+         {in_flight},{crashes},{warm},{cold},{restore_failures},{thermal},{blackouts},{stray},\
+         {jobs_lost},{jobs_retried},{breaker_trips})\n\
+         energy=({gpu:?},{total:?},{horizon:?})",
+        rows = report.trace.rows,
+        completed = report.completed,
+        per_node = report.per_node_completed,
+        crash_records = report.crash_records,
+        recoveries = report.recoveries,
+        dead_letter = report.dead_letter,
+        rejected = report.rejected,
+        deadline_misses = report.deadline_misses,
+        cap_violations = report.cap_violations,
+        fallen_back = report.nodes_fallen_back,
+        admitted = report.admitted,
+        in_flight = report.in_flight_at_end,
+        crashes = report.crashes,
+        warm = report.warm_restarts,
+        cold = report.cold_restarts,
+        restore_failures = report.restore_failures,
+        thermal = report.thermal_events,
+        blackouts = report.blackout_windows,
+        stray = report.stray_blackout_events,
+        jobs_lost = report.jobs_lost,
+        jobs_retried = report.jobs_retried,
+        breaker_trips = report.breaker_trips,
+        gpu = report.gpu_energy_j,
+        total = report.total_energy_j,
+        horizon = report.horizon_s,
+    )
+}
+
+/// Runs one config under every engine and asserts all digests equal the
+/// serial oracle's.
+fn assert_engines_agree(cfg: &FleetConfig) {
+    let oracle = digest(&run_fleet(&cfg.clone().with_engine(EngineKind::Serial)));
+    let engines = [
+        EngineKind::EventDriven,
+        EngineKind::Parallel { workers: 1 },
+        EngineKind::Parallel { workers: 2 },
+        EngineKind::Parallel { workers: 4 },
+        EngineKind::Parallel { workers: 8 },
+    ];
+    for engine in engines {
+        let got = digest(&run_fleet(&cfg.clone().with_engine(engine)));
+        assert_eq!(
+            got, oracle,
+            "engine {engine:?} diverged from serial (seed {})",
+            cfg.seed
+        );
+    }
+}
+
+#[test]
+fn all_policy_families_agree_under_chaos() {
+    for (k, spec) in freq_policy_specs().iter().enumerate() {
+        let cfg = fleet_cfg(4, spec, true, 40, 0xE0_0001 + k as u64);
+        assert_engines_agree(&cfg);
+    }
+}
+
+#[test]
+fn failure_free_runs_agree() {
+    let cfg = fleet_cfg(3, &PolicySpec::default(), false, 40, 77);
+    assert_engines_agree(&cfg);
+}
+
+#[test]
+fn tight_deadlines_agree_and_actually_miss() {
+    // Deadlines at sub-nominal slack guarantee misses, so the
+    // `deadline_misses` counter (and the per-record `missed_deadline`
+    // flag inside `completed`) is genuinely exercised by the diff — a
+    // mutation audit showed the default scenarios never miss.
+    let mut cfg = fleet_cfg(4, &freq_policy_specs()[3], true, 40, 0xD15C);
+    cfg.arrivals.deadline_frac = 1.0;
+    cfg.arrivals.deadline_slack = (0.7, 1.0);
+    let oracle = run_fleet(&cfg.clone().with_engine(EngineKind::Serial));
+    assert!(
+        oracle.deadline_misses > 0,
+        "scenario must actually produce deadline misses"
+    );
+    assert_engines_agree(&cfg);
+}
+
+#[test]
+fn big_fleet_exercises_the_threaded_fanout() {
+    // 40 nodes crosses the engine's fan-out threshold (32), so the
+    // parallel engines actually spawn worker lanes here; doubling the
+    // arrival rate pushes the busy count over the threshold too, making
+    // the advance fan-out fire, not just the control-tick one.
+    let mut cfg = fleet_cfg(40, &PolicySpec::default(), true, 12, 4242);
+    cfg.arrivals.rate_per_s *= 2.0;
+    let oracle = digest(&run_fleet(&cfg.clone().with_engine(EngineKind::Serial)));
+    for engine in [EngineKind::EventDriven, EngineKind::Parallel { workers: 4 }] {
+        let got = digest(&run_fleet(&cfg.clone().with_engine(engine)));
+        assert_eq!(got, oracle, "engine {engine:?} diverged on the big fleet");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline differential property: random fleet shapes, random
+    /// seeds, every policy family, chaos on or off — all engines emit
+    /// byte-identical telemetry.
+    #[test]
+    fn engines_agree_on_random_fleets(
+        n in 2usize..6,
+        policy_idx in 0usize..4,
+        chaos in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = &freq_policy_specs()[policy_idx];
+        let cfg = fleet_cfg(n, spec, chaos, 25, seed);
+        let oracle = digest(&run_fleet(&cfg.clone().with_engine(EngineKind::Serial)));
+        for engine in [
+            EngineKind::EventDriven,
+            EngineKind::Parallel { workers: 2 },
+            EngineKind::Parallel { workers: 8 },
+        ] {
+            let got = digest(&run_fleet(&cfg.clone().with_engine(engine)));
+            prop_assert_eq!(&got, &oracle, "engine {:?} diverged", engine);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden-trace pins for the event-driven fleet engine.
+//!
+//! One small-fleet run per Tier-2 policy family, with the full telemetry
+//! CSV checked in under `tests/golden/`. The differential harness
+//! (`engine_equivalence.rs`) proves the engines agree with *each other*;
+//! these pins additionally freeze the absolute bytes, so an accidental
+//! behavior change that shifts *all* engines in lockstep — which the
+//! differential tests are blind to — still fails loudly.
+//!
+//! When a change intentionally moves the traces, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p greengpu-cluster --test engine_golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use greengpu::{DeadlineParams, Exp3Params, UcbParams};
+use greengpu_cluster::{run_fleet, EngineKind, FleetConfig, NodeConfig, Policy, PolicySpec};
+use greengpu_hw::ChaosPlan;
+use greengpu_sim::SimDuration;
+use std::path::PathBuf;
+
+/// The pinned scenario: a 3-node fleet with every failure mechanism
+/// armed, driven by the event-driven engine for 30 simulated seconds.
+fn pinned_report(spec: PolicySpec) -> String {
+    let nodes: Vec<NodeConfig> = (0..3)
+        .map(|_| NodeConfig::default_node().with_freq_policy(spec.clone()))
+        .collect();
+    let cfg = FleetConfig::from_nodes(nodes, 0.8, Policy::LeastLoaded, SimDuration::from_secs(30), 0x60_1D)
+        .with_chaos(
+            ChaosPlan::crashes_only(0x60_1D ^ 0xC4A05, 0.02, (2.0, 6.0))
+                .with_thermal(0.01, (3.0, 8.0))
+                .with_blackouts(0.01, (2.0, 5.0)),
+        )
+        .with_engine(EngineKind::EventDriven);
+    let report = run_fleet(&cfg);
+    // CSV plus the scalar outcomes a trace row can't carry, so the pin
+    // also covers completion counts, the crash audit, and conservation.
+    format!(
+        "{}# completed={} deadline_misses={} rejected={} crashes={} warm={} cold={} \
+         jobs_lost={} jobs_retried={} dead_letter={} stray={} gpu_energy_j={:?} total_energy_j={:?}\n",
+        report.trace.to_table("golden").to_csv(),
+        report.completed.len(),
+        report.deadline_misses,
+        report.rejected,
+        report.crashes,
+        report.warm_restarts,
+        report.cold_restarts,
+        report.jobs_lost,
+        report.jobs_retried,
+        report.dead_letter.len(),
+        report.stray_blackout_events,
+        report.gpu_energy_j,
+        report.total_energy_j,
+    )
+}
+
+fn check(name: &str, spec: PolicySpec) {
+    let got = pinned_report(spec);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.csv"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        got, want,
+        "event-driven trace for `{name}` drifted from the pin; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn wma_trace_is_pinned() {
+    check("wma", PolicySpec::default());
+}
+
+#[test]
+fn exp3_trace_is_pinned() {
+    check("exp3", PolicySpec::Exp3(Exp3Params::default()));
+}
+
+#[test]
+fn ucb_trace_is_pinned() {
+    check("ucb", PolicySpec::Ucb(UcbParams::default()));
+}
+
+#[test]
+fn deadline_trace_is_pinned() {
+    check(
+        "deadline",
+        PolicySpec::Deadline(DeadlineParams {
+            time_budget_s: 120.0,
+            ..DeadlineParams::default()
+        }),
+    );
+}

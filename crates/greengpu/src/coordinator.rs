@@ -523,6 +523,150 @@ impl GreenGpuController {
             self.fallback = true;
         }
     }
+
+    /// Sense half of the GPU tick: poll, reject non-finite readings,
+    /// clamp, and refresh the last-known-good window. Returns the
+    /// utilizations a decision would consume (the fresh reading, or the
+    /// held last-good on a lost poll).
+    fn sense_gpu(&mut self, platform: &Platform, now: SimTime) -> Option<(f64, f64)> {
+        let reading = self.sensors.poll_gpu(platform.gpu(), now);
+        if reading.u_core.is_finite() && reading.u_mem.is_finite() {
+            let good = (reading.u_core.clamp(0.0, 1.0), reading.u_mem.clamp(0.0, 1.0));
+            self.last_good_gpu = Some(good);
+            Some(good)
+        } else {
+            // Lost poll: hold the last-known-good window if any.
+            self.sensor_rejects += 1;
+            self.last_good_gpu
+        }
+    }
+
+    /// Decide/actuate half of the GPU tick: build the cap mask, consult
+    /// the policy, and enforce the chosen pair.
+    fn decide_actuate_gpu(&mut self, platform: &mut Platform, now: SimTime, u_core: f64, u_mem: f64) {
+        let (core_lvl, mem_lvl) = match self.power_cap_w {
+            Some(cap) => {
+                let spec = platform.gpu().spec().clone();
+                let n_core = spec.core_levels_mhz.len();
+                let n_mem = spec.mem_levels_mhz.len();
+                let feasible = |i: usize, j: usize| spec.power_at_levels_w(i, j, 1.0, 1.0) <= cap;
+                let masked = (0..n_core).any(|i| (0..n_mem).any(|j| !feasible(i, j)));
+                if masked {
+                    self.cap_masked_intervals += 1;
+                }
+                self.policy.decide(u_core, u_mem, &feasible)
+            }
+            None => self.policy.decide(u_core, u_mem, &|_, _| true),
+        };
+        self.actuate_gpu_verified(platform, now, core_lvl, mem_lvl);
+    }
+
+    /// Sense half of the CPU tick, mirroring [`Self::sense_gpu`].
+    fn sense_cpu(&mut self, platform: &Platform, now: SimTime) -> Option<f64> {
+        let reading = self.sensors.poll_cpu(platform.cpu(), now);
+        if reading.util.is_finite() {
+            let good = reading.util.clamp(0.0, 1.0);
+            self.last_good_cpu = Some(good);
+            Some(good)
+        } else {
+            self.sensor_rejects += 1;
+            self.last_good_cpu
+        }
+    }
+
+    /// Govern half of the CPU tick: ask the governor for a target P-state
+    /// and enforce it.
+    fn govern_cpu(&mut self, platform: &mut Platform, now: SimTime, util: f64) {
+        if let Some(level) = self.governor.desired_level(platform, util) {
+            self.governor.note_transition();
+            self.actuate_cpu_verified(platform, now, level);
+        }
+    }
+
+    /// One DVFS tick on the event-driven fleet engine's *parked* fast
+    /// path. Sensing always runs in full — the sensor windows (and
+    /// reject counters) must advance exactly as on
+    /// [`Controller::on_dvfs_tick`] — but the decide/actuate half of
+    /// each domain is skipped when the freshly resolved utilization is
+    /// bit-equal to the previous tick's. With the policy at a decision
+    /// fixed point (certified by the caller via
+    /// [`Self::decision_fingerprint`]) and an unchanged cap, the same
+    /// observation reproduces the same weights and the same (already
+    /// enforced) levels, so the skip is an identity. The moment either
+    /// domain resolves anything else, its full half runs and `false`
+    /// comes back so the caller un-parks the node.
+    ///
+    /// Returns `true` when both domains skipped (the node may stay
+    /// parked).
+    pub fn on_dvfs_tick_quiescent(&mut self, platform: &mut Platform, now: SimTime) -> bool {
+        if self.fallback {
+            // Fallback re-pins peak clocks every tick; never quiescent.
+            self.on_dvfs_tick(platform, now);
+            return false;
+        }
+        let mut quiet = true;
+        if self.config.gpu_scaling {
+            let prev = self.last_good_gpu;
+            let utils = self.sense_gpu(platform, now);
+            if let Some((u_core, u_mem)) = utils {
+                if prev != utils {
+                    quiet = false;
+                    self.decide_actuate_gpu(platform, now, u_core, u_mem);
+                }
+            }
+        }
+        if self.config.cpu_scaling && !self.fallback {
+            let prev = self.last_good_cpu;
+            let util = self.sense_cpu(platform, now);
+            if let Some(util) = util {
+                if prev != Some(util) {
+                    quiet = false;
+                    self.govern_cpu(platform, now, util);
+                }
+            }
+        }
+        quiet
+    }
+
+    /// A bit-exact fingerprint of every piece of controller state that
+    /// can influence a future decision, or `None` when no fixed point
+    /// can be certified (fallback engaged, or the policy declines — see
+    /// [`FreqPolicy::decision_fingerprint`]). The fleet's event-driven
+    /// engine parks a node only after two consecutive identical
+    /// fingerprints, then drives it with
+    /// [`Self::on_dvfs_tick_quiescent`].
+    pub fn decision_fingerprint(&self) -> Option<u64> {
+        if self.fallback {
+            return None;
+        }
+        let policy_fp = self.policy.decision_fingerprint()?;
+        let mut h = greengpu_sim::Fnv64::new();
+        h.push_u64(policy_fp);
+        match self.last_good_gpu {
+            Some((c, m)) => {
+                h.push_bool(true);
+                h.push_f64(c);
+                h.push_f64(m);
+            }
+            None => h.push_bool(false),
+        }
+        match self.last_good_cpu {
+            Some(u) => {
+                h.push_bool(true);
+                h.push_f64(u);
+            }
+            None => h.push_bool(false),
+        }
+        h.push_u64(u64::from(self.consecutive_failures));
+        match self.power_cap_w {
+            Some(cap) => {
+                h.push_bool(true);
+                h.push_f64(cap);
+            }
+            None => h.push_bool(false),
+        }
+        Some(h.finish())
+    }
 }
 
 impl Controller for GreenGpuController {
@@ -563,49 +707,13 @@ impl Controller for GreenGpuController {
             return;
         }
         if self.config.gpu_scaling {
-            let reading = self.sensors.poll_gpu(platform.gpu(), now);
-            let utils = if reading.u_core.is_finite() && reading.u_mem.is_finite() {
-                let good = (reading.u_core.clamp(0.0, 1.0), reading.u_mem.clamp(0.0, 1.0));
-                self.last_good_gpu = Some(good);
-                Some(good)
-            } else {
-                // Lost poll: hold the last-known-good window if any.
-                self.sensor_rejects += 1;
-                self.last_good_gpu
-            };
-            if let Some((u_core, u_mem)) = utils {
-                let (core_lvl, mem_lvl) = match self.power_cap_w {
-                    Some(cap) => {
-                        let spec = platform.gpu().spec().clone();
-                        let n_core = spec.core_levels_mhz.len();
-                        let n_mem = spec.mem_levels_mhz.len();
-                        let feasible = |i: usize, j: usize| spec.power_at_levels_w(i, j, 1.0, 1.0) <= cap;
-                        let masked = (0..n_core).any(|i| (0..n_mem).any(|j| !feasible(i, j)));
-                        if masked {
-                            self.cap_masked_intervals += 1;
-                        }
-                        self.policy.decide(u_core, u_mem, &feasible)
-                    }
-                    None => self.policy.decide(u_core, u_mem, &|_, _| true),
-                };
-                self.actuate_gpu_verified(platform, now, core_lvl, mem_lvl);
+            if let Some((u_core, u_mem)) = self.sense_gpu(platform, now) {
+                self.decide_actuate_gpu(platform, now, u_core, u_mem);
             }
         }
         if self.config.cpu_scaling && !self.fallback {
-            let reading = self.sensors.poll_cpu(platform.cpu(), now);
-            let util = if reading.util.is_finite() {
-                let good = reading.util.clamp(0.0, 1.0);
-                self.last_good_cpu = Some(good);
-                Some(good)
-            } else {
-                self.sensor_rejects += 1;
-                self.last_good_cpu
-            };
-            if let Some(util) = util {
-                if let Some(level) = self.governor.desired_level(platform, util) {
-                    self.governor.note_transition();
-                    self.actuate_cpu_verified(platform, now, level);
-                }
+            if let Some(util) = self.sense_cpu(platform, now) {
+                self.govern_cpu(platform, now, util);
             }
         }
     }

@@ -100,6 +100,20 @@ impl FreqPolicy for WmaPolicy {
         self.scaler.restore(state)
     }
 
+    fn decision_fingerprint(&self) -> Option<u64> {
+        // The scaler's decisions are a pure function of its weight table
+        // (ucmean/ummean are static; the interval counter is telemetry),
+        // so the weights' exact bit patterns are the whole fingerprint.
+        // The tracker mirrors decisions into telemetry and is excluded.
+        let mut h = greengpu_sim::Fnv64::new();
+        for i in 0..self.n_core {
+            for j in 0..self.n_mem {
+                h.push_f64(self.scaler.weight(i, j));
+            }
+        }
+        Some(h.finish())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -551,6 +551,22 @@ mod tests {
     const ALL: fn(usize, usize) -> bool = |_, _| true;
 
     #[test]
+    fn bandits_never_certify_a_decision_fingerprint() {
+        // Both bandits advance their state (RNG position, visit counts)
+        // on *every* decision, so no idle fixed point exists; they must
+        // keep the trait's `None` default and never be parked by the
+        // event-driven fleet engine.
+        let mut e = exp3(1);
+        let mut u = ucb();
+        assert_eq!(e.decision_fingerprint(), None);
+        assert_eq!(u.decision_fingerprint(), None);
+        e.decide(0.5, 0.5, &ALL);
+        u.decide(0.5, 0.5, &ALL);
+        assert_eq!(e.decision_fingerprint(), None);
+        assert_eq!(u.decision_fingerprint(), None);
+    }
+
+    #[test]
     fn exp3_is_deterministic_under_a_seed() {
         let mut a = exp3(7);
         let mut b = exp3(7);

@@ -315,6 +315,24 @@ impl FreqPolicy for DeadlinePolicy {
         Ok(())
     }
 
+    fn decision_fingerprint(&self) -> Option<u64> {
+        // `select` is a pure function of the (static) model and the mask,
+        // so the incumbent pair plus the miss counter is the entire
+        // decision-relevant state — the same field set the snapshot
+        // carries. The tracker is telemetry and deliberately excluded.
+        let mut h = greengpu_sim::Fnv64::new();
+        match self.current {
+            Some((i, j)) => {
+                h.push_bool(true);
+                h.push_usize(i);
+                h.push_usize(j);
+            }
+            None => h.push_bool(false),
+        }
+        h.push_u64(self.deadline_misses);
+        Some(h.finish())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -424,6 +442,54 @@ mod tests {
         slackened.decide(0.5, 0.5, &ALL);
         assert_eq!(tight.deadline_misses(), 1);
         assert_eq!(slackened.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn decision_fingerprint_is_a_fixed_point_of_identical_decides() {
+        // The contract the event-driven engine leans on: the fingerprint
+        // is stable exactly while repeated decides reproduce the same
+        // state, and moves the moment decision-relevant state (incumbent
+        // pair, miss counter) moves.
+        let m = model();
+        // A comfortably feasible budget: decides settle instead of
+        // counting a miss every interval.
+        let mut p = DeadlinePolicy::new(
+            m.clone(),
+            DeadlineParams {
+                time_budget_s: m.peak_time_s() * 3.0,
+                ..DeadlineParams::default()
+            },
+        );
+        let fresh = p
+            .decision_fingerprint()
+            .expect("deadline policy certifies a fingerprint");
+        assert_eq!(p.decision_fingerprint(), Some(fresh), "read-only probe");
+        let pair = p.decide(0.5, 0.5, &ALL);
+        let settled = p.decision_fingerprint().expect("still certified after a decide");
+        assert_ne!(settled, fresh, "adopting an incumbent pair must move the fingerprint");
+        assert_eq!(p.decide(0.5, 0.5, &ALL), pair);
+        assert_eq!(
+            p.decision_fingerprint(),
+            Some(settled),
+            "an identical decide is an identity on the fingerprint"
+        );
+        // A miss is decision-relevant state even when the chosen pair is
+        // unchanged: force one with an impossible budget.
+        let mut q = DeadlinePolicy::new(
+            m.clone(),
+            DeadlineParams {
+                time_budget_s: m.peak_time_s() * 0.5,
+                ..DeadlineParams::default()
+            },
+        );
+        q.decide(0.5, 0.5, &ALL);
+        let before = q.decision_fingerprint();
+        q.decide(0.5, 0.5, &ALL);
+        assert_ne!(
+            q.decision_fingerprint(),
+            before,
+            "each counted miss must move the fingerprint"
+        );
     }
 
     #[test]

@@ -103,6 +103,25 @@ pub trait FreqPolicy: Send {
         Ok(())
     }
 
+    /// A bit-exact fingerprint of every piece of state that can influence
+    /// a future [`FreqPolicy::decide`] or [`FreqPolicy::preferred`]
+    /// result, or `None` when the policy cannot certify one (the
+    /// default). The event-driven fleet engine skips a node's control
+    /// ticks only while this fingerprint is provably a fixed point, so:
+    ///
+    /// * telemetry-only counters must be *excluded* (they advance every
+    ///   tick and would make quiescence undetectable);
+    /// * anything that feeds decisions — weights, incumbent pairs, RNG
+    ///   positions, visit counts — must be *included* (or the policy must
+    ///   return `None`, the always-safe answer).
+    ///
+    /// Randomized/count-based policies (EXP3, UCB) keep the `None`
+    /// default: their state moves on every decision, so no idle fixed
+    /// point exists and nodes running them are simply never parked.
+    fn decision_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
     /// Downcast hook (e.g. to reach the wrapped `WmaScaler` behind the
     /// adapter in the `greengpu` crate).
     fn as_any(&self) -> &dyn std::any::Any;

@@ -21,7 +21,7 @@
 
 use super::ExperimentOutput;
 use greengpu::{Exp3Params, PolicySpec};
-use greengpu_cluster::{run_fleet, FleetConfig, FleetReport, LifecycleParams, NodeConfig, Policy};
+use greengpu_cluster::{run_fleet, EngineKind, FleetConfig, FleetReport, LifecycleParams, NodeConfig, Policy};
 use greengpu_hw::ChaosPlan;
 use greengpu_sim::{table::fnum, SimDuration, Table};
 
@@ -241,7 +241,7 @@ pub fn run(seed: u64) -> ExperimentOutput {
 /// A single small chaotic fleet for the CI smoke: `nodes` default nodes
 /// at 0.80 budget under crashes (+ thermal + blackouts) for `seconds`
 /// simulated seconds, k5 checkpoints. Emits the summary and the trace.
-pub fn run_custom(seed: u64, nodes: usize, seconds: u64) -> ExperimentOutput {
+pub fn run_custom(seed: u64, nodes: usize, seconds: u64, engine: EngineKind) -> ExperimentOutput {
     let horizon = SimDuration::from_secs(seconds);
     let node_cfgs: Vec<NodeConfig> = (0..nodes).map(|_| NodeConfig::default_node()).collect();
     let cfg = FleetConfig::from_nodes(node_cfgs, 0.80, Policy::LeastLoaded, horizon, seed)
@@ -250,7 +250,8 @@ pub fn run_custom(seed: u64, nodes: usize, seconds: u64) -> ExperimentOutput {
                 .with_thermal(0.01, (2.0, 5.0))
                 .with_blackouts(0.01, (2.0, 4.0)),
         )
-        .with_lifecycle(LifecycleParams::default().with_checkpoint_period(5));
+        .with_lifecycle(LifecycleParams::default().with_checkpoint_period(5))
+        .with_engine(engine);
     let r = run_fleet(&cfg);
     let mut summary = Table::new(
         format!("Chaos smoke — {nodes} nodes, 0.80 budget, {seconds} s"),
@@ -282,10 +283,14 @@ mod tests {
 
     #[test]
     fn smoke_configuration_is_deterministic_and_crashes() {
-        let a = run_custom(7, 3, 40);
-        let b = run_custom(7, 3, 40);
+        let a = run_custom(7, 3, 40, EngineKind::Serial);
+        let b = run_custom(7, 3, 40, EngineKind::EventDriven);
         let csv = |o: &ExperimentOutput| o.tables.iter().map(Table::to_csv).collect::<Vec<_>>();
-        assert_eq!(csv(&a), csv(&b), "same seed must reproduce the smoke bytes");
+        assert_eq!(
+            csv(&a),
+            csv(&b),
+            "same seed must reproduce the smoke bytes, engine-independently"
+        );
         assert_eq!(a.tables.len(), 2);
         // The smoke's crash rate (0.05/node-s × 3 nodes × 40 s ≈ 6) must
         // actually exercise the lifecycle.

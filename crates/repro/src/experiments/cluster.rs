@@ -18,7 +18,7 @@
 //! across runs.
 
 use super::ExperimentOutput;
-use greengpu_cluster::{run_fleet, FleetConfig, FleetReport, NodeConfig, Policy};
+use greengpu_cluster::{run_fleet, EngineKind, FleetConfig, FleetReport, NodeConfig, Policy};
 use greengpu_hw::faults::ActuationFaults;
 use greengpu_hw::FaultPlan;
 use greengpu_sim::{table::fnum, SimDuration, Table};
@@ -206,11 +206,13 @@ pub fn run(seed: u64) -> ExperimentOutput {
 }
 
 /// A single small fleet for the CI smoke: `nodes` default nodes at 0.80
-/// budget under the least-loaded policy for `seconds` simulated seconds.
-/// Emits the summary and the full trace.
-pub fn run_custom(seed: u64, nodes: usize, seconds: u64) -> ExperimentOutput {
+/// budget under the least-loaded policy for `seconds` simulated seconds,
+/// driven by `engine` (every engine is byte-identical per seed — the CI
+/// parallel-vs-serial byte-compare rides on this seam). Emits the
+/// summary and the full trace.
+pub fn run_custom(seed: u64, nodes: usize, seconds: u64, engine: EngineKind) -> ExperimentOutput {
     let horizon = SimDuration::from_secs(seconds);
-    let cfg = FleetConfig::homogeneous(nodes, 0.80, Policy::LeastLoaded, horizon, seed);
+    let cfg = FleetConfig::homogeneous(nodes, 0.80, Policy::LeastLoaded, horizon, seed).with_engine(engine);
     let r = run_fleet(&cfg);
     let mut summary = Table::new(
         format!("Cluster smoke — {nodes} nodes, 0.80 budget, {seconds} s"),
@@ -237,10 +239,14 @@ mod tests {
 
     #[test]
     fn smoke_configuration_is_deterministic_and_sane() {
-        let a = run_custom(7, 3, 30);
-        let b = run_custom(7, 3, 30);
+        let a = run_custom(7, 3, 30, EngineKind::Serial);
+        let b = run_custom(7, 3, 30, EngineKind::Parallel { workers: 2 });
         let csv = |o: &ExperimentOutput| o.tables.iter().map(Table::to_csv).collect::<Vec<_>>();
-        assert_eq!(csv(&a), csv(&b), "same seed must reproduce the smoke bytes");
+        assert_eq!(
+            csv(&a),
+            csv(&b),
+            "same seed must reproduce the smoke bytes, engine-independently"
+        );
         assert_eq!(a.tables.len(), 2);
         // 30 one-second intervals of trace.
         assert_eq!(a.tables[1].to_csv().lines().count(), 31);

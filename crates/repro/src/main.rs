@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]
-//!       [--nodes <n>] [--seconds <s>] [--list-experiments]
+//!       [--nodes <n>] [--seconds <s>] [--engine serial|event|parallel]
+//!       [--workers <n>] [--list-experiments]
 //! ```
 //!
 //! Prints markdown to stdout; `--csv <dir>` additionally writes each table
 //! as CSV for plotting and appends provenance rows to
 //! `<dir>/MANIFEST.csv`. `--nodes`/`--seconds` select a custom
 //! small-fleet configuration for the `cluster` and `chaos` experiments
-//! (the CI smokes).
+//! (the CI smokes); `--engine`/`--workers` select which fleet engine
+//! drives it (all engines are byte-identical per seed — see
+//! `crates/cluster/tests/engine_equivalence.rs` — so this is a seam for
+//! CI to prove exactly that on real experiment output).
 
+use greengpu_cluster::EngineKind;
 use greengpu_repro::experiments::{chaos, cluster, run_by_id, ALL_IDS, DEFAULT_SEED};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +26,8 @@ struct Args {
     csv_dir: Option<PathBuf>,
     nodes: Option<usize>,
     seconds: Option<u64>,
+    engine: Option<String>,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         nodes: None,
         seconds: None,
+        engine: None,
+        workers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +72,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad horizon: {e}"))?,
                 );
             }
+            "--engine" => {
+                args.engine = Some(it.next().ok_or("--engine needs a value")?);
+            }
+            "--workers" => {
+                args.workers = Some(
+                    it.next()
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad worker count: {e}"))?,
+                );
+            }
             "--list-experiments" => {
                 for id in ALL_IDS {
                     println!("{id}");
@@ -72,7 +92,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment <id>|all] [--seed <u64>] [--csv <dir>]\n\
-                     \x20            [--nodes <n>] [--seconds <s>] [--list-experiments]"
+                     \x20            [--nodes <n>] [--seconds <s>]\n\
+                     \x20            [--engine serial|event|parallel] [--workers <n>]\n\
+                     \x20            [--list-experiments]"
                 );
                 println!("experiments: {}", ALL_IDS.join(" "));
                 std::process::exit(0);
@@ -80,18 +102,38 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if (args.nodes.is_some() || args.seconds.is_some()) && args.experiment != "cluster" && args.experiment != "chaos" {
-        return Err("--nodes/--seconds only apply to --experiment cluster or chaos".to_string());
+    let fleet_flag = args.nodes.is_some() || args.seconds.is_some() || args.engine.is_some() || args.workers.is_some();
+    if fleet_flag && args.experiment != "cluster" && args.experiment != "chaos" {
+        return Err("--nodes/--seconds/--engine/--workers only apply to --experiment cluster or chaos".to_string());
     }
     if args.nodes == Some(0) {
         return Err("--nodes must be at least 1".to_string());
     }
+    if args.workers.is_some() && args.engine.as_deref() != Some("parallel") {
+        return Err("--workers only applies to --engine parallel".to_string());
+    }
     Ok(args)
+}
+
+/// Resolves the `--engine`/`--workers` flags into an [`EngineKind`]
+/// (serial — the reference — when neither was given).
+fn engine_kind(args: &Args) -> Result<EngineKind, String> {
+    match &args.engine {
+        None => Ok(EngineKind::Serial),
+        Some(name) => EngineKind::from_flag(name, args.workers.unwrap_or(4)),
+    }
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match engine_kind(&args) {
+        Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -106,18 +148,20 @@ fn main() -> ExitCode {
 
     println!("# GreenGPU reproduction — experiment output (seed {})\n", args.seed);
     for id in ids {
-        let custom = args.nodes.is_some() || args.seconds.is_some();
+        let custom = args.nodes.is_some() || args.seconds.is_some() || args.engine.is_some();
         let output = if custom && id == "cluster" {
             Some(cluster::run_custom(
                 args.seed,
                 args.nodes.unwrap_or(3),
                 args.seconds.unwrap_or(30),
+                engine,
             ))
         } else if custom && id == "chaos" {
             Some(chaos::run_custom(
                 args.seed,
                 args.nodes.unwrap_or(3),
                 args.seconds.unwrap_or(30),
+                engine,
             ))
         } else {
             run_by_id(id, args.seed)

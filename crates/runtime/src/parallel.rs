@@ -107,6 +107,221 @@ where
     })
 }
 
+/// One unit of ticketed work handed to a [`run_ticketed`] worker.
+///
+/// The single-threaded sequencer assigns tickets *before* any worker
+/// runs: monotonic indices in item order, each with a private RNG seed
+/// drawn sequentially from one `SplitMix64` stream rooted at the
+/// caller's `seed_root`. Seeds therefore depend only on
+/// `(seed_root, index)` — never on worker count or scheduling — which is
+/// what makes a ticketed computation bit-reproducible across 1..N lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// Commit position: results are returned in ascending ticket order
+    /// regardless of which lane computed them when.
+    pub index: usize,
+    /// This ticket's private seed for any randomized work.
+    pub seed: u64,
+}
+
+/// Deterministic ticketed fan-out over `items` (the cluster tier's
+/// parallel fleet engine is the primary caller): a sequencer derives one
+/// [`Ticket`] per item, `workers` scoped threads each take a strided
+/// lane (lane `k` computes items `k, k + workers, ...` against the
+/// shared immutable borrow), and a single-threaded committer returns the
+/// results sorted back into ticket order. The output is bit-identical
+/// for every `workers >= 1`, including the inline `workers <= 1` path.
+///
+/// Lane wall-times land in `telemetry` (labels `lane0..laneN-1`);
+/// deterministic callers use [`run_ticketed_with`] and a manual clock.
+///
+/// # Example
+/// ```
+/// use greengpu_runtime::parallel::{run_ticketed, SplitTelemetry};
+///
+/// let telemetry = SplitTelemetry::new();
+/// let items: Vec<u64> = (0..100).collect();
+/// let out = run_ticketed(&telemetry, 4, 7, &items, |t, x| x * 2 + (t.index as u64));
+/// assert_eq!(out.len(), 100);
+/// assert_eq!(out[3], 9);
+/// ```
+pub fn run_ticketed<T, R, F>(telemetry: &SplitTelemetry, workers: usize, seed_root: u64, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(Ticket, &T) -> R + Sync,
+{
+    run_ticketed_with(&WallClock::new(), telemetry, workers, seed_root, items, f)
+}
+
+/// [`run_ticketed`] with an explicit [`Clock`] — the deterministic seam.
+pub fn run_ticketed_with<C, T, R, F>(
+    clock: &C,
+    telemetry: &SplitTelemetry,
+    workers: usize,
+    seed_root: u64,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    C: Clock,
+    T: Sync,
+    R: Send,
+    F: Fn(Ticket, &T) -> R + Sync,
+{
+    // Sequencer: tickets exist before any worker runs, so the seed
+    // stream is independent of lane scheduling.
+    let mut stream = greengpu_sim::SplitMix64::new(seed_root);
+    let tickets: Vec<Ticket> = (0..items.len())
+        .map(|index| Ticket {
+            index,
+            seed: stream.next_u64(),
+        })
+        .collect();
+    if workers <= 1 || items.len() <= 1 {
+        // Inline path — the reference ordering the lanes must reproduce.
+        let t0 = clock.now_s();
+        let out = tickets.iter().zip(items).map(|(&t, item)| f(t, item)).collect();
+        telemetry.record("lane0", clock.now_s() - t0);
+        return out;
+    }
+    let lanes = workers.min(items.len());
+    let mut computed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let f = &f;
+                let tickets = &tickets;
+                scope.spawn(move || {
+                    let t0 = clock.now_s();
+                    let mut out: Vec<(usize, R)> = Vec::with_capacity(items.len() / lanes + 1);
+                    let mut idx = lane;
+                    while idx < items.len() {
+                        out.push((idx, f(tickets[idx], &items[idx])));
+                        idx += lanes;
+                    }
+                    telemetry.record(&format!("lane{lane}"), clock.now_s() - t0);
+                    out
+                })
+            })
+            .collect();
+        let mut all: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(mut lane_out) => all.append(&mut lane_out),
+                // Re-raise the worker's own panic payload instead of
+                // replacing it with a second panic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    // Committer: back into ticket order, single-threaded.
+    computed.sort_by_key(|&(index, _)| index);
+    computed.into_iter().map(|(_, result)| result).collect()
+}
+
+/// [`run_ticketed`] over *mutable* items: each worker owns a disjoint
+/// contiguous chunk of `items` (safe mutable parallelism — no two lanes
+/// can alias), computes `f(ticket, &mut item)` for its chunk, and the
+/// committer returns the per-item results in ticket order. Ticket
+/// seeds are identical to [`run_ticketed`]'s: drawn sequentially from
+/// `seed_root` by index, independent of `workers`. Because each item is
+/// touched by exactly one lane and results are committed in index
+/// order, the mutations and the output are bit-identical for every
+/// `workers >= 1`.
+pub fn run_ticketed_mut<T, R, F>(
+    telemetry: &SplitTelemetry,
+    workers: usize,
+    seed_root: u64,
+    items: &mut [T],
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Ticket, &mut T) -> R + Sync,
+{
+    run_ticketed_mut_with(&WallClock::new(), telemetry, workers, seed_root, items, f)
+}
+
+/// [`run_ticketed_mut`] with an explicit [`Clock`] — the deterministic
+/// seam.
+pub fn run_ticketed_mut_with<C, T, R, F>(
+    clock: &C,
+    telemetry: &SplitTelemetry,
+    workers: usize,
+    seed_root: u64,
+    items: &mut [T],
+    f: F,
+) -> Vec<R>
+where
+    C: Clock,
+    T: Send,
+    R: Send,
+    F: Fn(Ticket, &mut T) -> R + Sync,
+{
+    let mut stream = greengpu_sim::SplitMix64::new(seed_root);
+    let tickets: Vec<Ticket> = (0..items.len())
+        .map(|index| Ticket {
+            index,
+            seed: stream.next_u64(),
+        })
+        .collect();
+    if workers <= 1 || items.len() <= 1 {
+        let t0 = clock.now_s();
+        let out = tickets
+            .iter()
+            .zip(items.iter_mut())
+            .map(|(&t, item)| f(t, item))
+            .collect();
+        telemetry.record("lane0", clock.now_s() - t0);
+        return out;
+    }
+    let lanes = workers.min(items.len());
+    let total = items.len();
+    // Contiguous chunk per lane, sizes differing by at most one — the
+    // split_at_mut chain is what lets safe code hand each thread its own
+    // exclusive slice.
+    let base = total / lanes;
+    let extra = total % lanes;
+    let mut computed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(lanes);
+        let mut rest = items;
+        let mut start = 0usize;
+        for lane in 0..lanes {
+            let take = base + usize::from(lane < extra);
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let chunk_start = start;
+            start += take;
+            let f = &f;
+            let tickets = &tickets;
+            handles.push(scope.spawn(move || {
+                let t0 = clock.now_s();
+                let mut out: Vec<(usize, R)> = Vec::with_capacity(chunk.len());
+                for (offset, item) in chunk.iter_mut().enumerate() {
+                    let index = chunk_start + offset;
+                    out.push((index, f(tickets[index], item)));
+                }
+                telemetry.record(&format!("lane{lane}"), clock.now_s() - t0);
+                out
+            }));
+        }
+        let mut all: Vec<(usize, R)> = Vec::with_capacity(total);
+        for handle in handles {
+            match handle.join() {
+                Ok(mut lane_out) => all.append(&mut lane_out),
+                // Re-raise the worker's own panic payload instead of
+                // replacing it with a second panic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    computed.sort_by_key(|&(index, _)| index);
+    computed.into_iter().map(|(_, result)| result).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +340,80 @@ mod tests {
         let events = telemetry.events();
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|(_, s)| *s >= 0.0));
+    }
+
+    #[test]
+    fn ticketed_mut_mutations_and_output_match_across_worker_counts() {
+        let reference: (Vec<u64>, Vec<u64>) = {
+            let mut items: Vec<u64> = (0..101).collect();
+            let telemetry = SplitTelemetry::new();
+            let out = run_ticketed_mut(&telemetry, 1, 13, &mut items, |t, x| {
+                *x = x.wrapping_mul(31) ^ t.seed;
+                *x >> 3
+            });
+            (items, out)
+        };
+        for workers in [2usize, 3, 5, 8] {
+            let mut items: Vec<u64> = (0..101).collect();
+            let telemetry = SplitTelemetry::new();
+            let out = run_ticketed_mut(&telemetry, workers, 13, &mut items, |t, x| {
+                *x = x.wrapping_mul(31) ^ t.seed;
+                *x >> 3
+            });
+            assert_eq!((items, out), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn ticketed_output_is_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = {
+            let telemetry = SplitTelemetry::new();
+            run_ticketed(&telemetry, 1, 42, &items, |t, x| t.seed ^ (x * 3))
+        };
+        for workers in [2usize, 3, 4, 8, 64] {
+            let telemetry = SplitTelemetry::new();
+            let out = run_ticketed(&telemetry, workers, 42, &items, |t, x| t.seed ^ (x * 3));
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn ticket_seeds_depend_only_on_root_and_index() {
+        let items = [(); 16];
+        let telemetry = SplitTelemetry::new();
+        let seeds_a = run_ticketed(&telemetry, 4, 9, &items, |t, ()| (t.index, t.seed));
+        let seeds_b = run_ticketed(&telemetry, 7, 9, &items, |t, ()| (t.index, t.seed));
+        assert_eq!(seeds_a, seeds_b);
+        // And they match the sequencer's own stream.
+        let mut stream = greengpu_sim::SplitMix64::new(9);
+        for (i, (index, seed)) in seeds_a.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*seed, stream.next_u64());
+        }
+        let seeds_c = run_ticketed(&telemetry, 4, 10, &items, |t, ()| t.seed);
+        assert!(seeds_a.iter().map(|(_, s)| *s).ne(seeds_c.into_iter()));
+    }
+
+    #[test]
+    fn ticketed_handles_empty_and_tiny_inputs() {
+        let telemetry = SplitTelemetry::new();
+        let none: Vec<u32> = run_ticketed(&telemetry, 8, 1, &[] as &[u32], |_, x| *x);
+        assert!(none.is_empty());
+        let one = run_ticketed(&telemetry, 8, 1, &[5u32], |_, x| x + 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn ticketed_records_one_telemetry_event_per_lane() {
+        let clock = ManualClock::new(0.0);
+        let telemetry = SplitTelemetry::new();
+        let items: Vec<u32> = (0..40).collect();
+        let out = run_ticketed_with(&clock, &telemetry, 4, 0, &items, |_, x| *x);
+        assert_eq!(out, items);
+        let mut labels: Vec<String> = telemetry.events().into_iter().map(|(l, _)| l).collect();
+        labels.sort();
+        assert_eq!(labels, vec!["lane0", "lane1", "lane2", "lane3"]);
     }
 
     #[test]

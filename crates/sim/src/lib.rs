@@ -15,6 +15,8 @@
 //!
 //! * [`time`] — [`SimTime`]/[`SimDuration`] microsecond fixed-point clock.
 //! * [`event`] — [`EventQueue`], a stable priority queue keyed by `SimTime`.
+//! * [`fingerprint`] — [`Fnv64`], FNV-1a bit-exact state fingerprinting
+//!   (the fleet engines' park/quiescence checks).
 //! * [`json`] — [`JsonValue`], a hand-rolled JSON writer/parser with exact
 //!   integer round-trips (learner checkpoints).
 //! * [`rng`] — [`SplitMix64`] and [`Pcg32`] seeded generators plus
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod fingerprint;
 pub mod json;
 pub mod plot;
 pub mod rng;
@@ -38,6 +41,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fingerprint::Fnv64;
 pub use json::JsonValue;
 pub use rng::{Pcg32, SplitMix64};
 pub use stats::{summarize, OnlineStats, Summary};

@@ -72,8 +72,15 @@ impl StepTrace {
         if to <= from || self.points.is_empty() {
             return 0.0;
         }
+        // Segments ending at or before `from` contribute exactly nothing,
+        // so binary-search straight to the segment containing `from`
+        // instead of scanning from the start — repeated window queries on
+        // a long-lived trace stay O(log P) rather than O(P). The summed
+        // terms (and their order) are identical to a full scan, so the
+        // result is bit-for-bit unchanged.
+        let first = self.points.partition_point(|&(t, _)| t <= from).saturating_sub(1);
         let mut acc = 0.0;
-        for (i, &(t_i, v_i)) in self.points.iter().enumerate() {
+        for (i, &(t_i, v_i)) in self.points.iter().enumerate().skip(first) {
             let seg_start = t_i.max(from);
             let seg_end = match self.points.get(i + 1) {
                 Some(&(t_next, _)) => t_next.min(to),
