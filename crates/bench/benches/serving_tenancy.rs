@@ -1,0 +1,187 @@
+//! Bench: serving-layer throughput and dispatch-path latencies — writes
+//! `results/BENCH_7.json`.
+//!
+//! Three measurements (ROADMAP item 2's missing bench rows):
+//!
+//! 1. **Single-node intervals/sec** per Tier-2 frequency policy: one
+//!    default node simulated under each policy (WMA, EXP3, UCB,
+//!    deadline), reported as control intervals simulated per wall
+//!    second and as mean decision latency per interval — every interval
+//!    runs one masked policy decision over the card's full frequency-
+//!    pair grid (6×6 = 36 pairs on the default card).
+//! 2. **Serving-scenario throughput**: the three-tenant reference mix
+//!    (diurnal + bursty + batch tenants, carbon-aware deferral) on a
+//!    4-node fleet, as intervals/sec on the event engine.
+//! 3. **Name interning before/after**: the telemetry/dispatch hot path
+//!    used to re-key the profile table by workload `String` every
+//!    advance window; jobs now carry an interned `u32` id resolved once
+//!    at dispatch. The microbench times the old lookup
+//!    (`BTreeMap<String, _>` keyed by owned name) against the new one
+//!    (`Vec` indexed by id) over the same access sequence.
+//!
+//! Methodology is recorded in the JSON alongside the rows.
+
+use greengpu::{DeadlineParams, Exp3Params, UcbParams};
+use greengpu_bench::BENCH_SEED;
+use greengpu_cluster::{run_fleet, EngineKind, FleetConfig, NodeConfig, Policy, PolicySpec, ServingConfig};
+use greengpu_sim::{JsonValue, SimDuration};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Simulated horizon for the per-policy single-node runs, seconds (one
+/// control interval per second).
+const POLICY_HORIZON_S: u64 = 2_000;
+/// Simulated horizon for the serving-scenario run, seconds.
+const SERVING_HORIZON_S: u64 = 600;
+/// Lookups timed in the interning microbench.
+const LOOKUPS: usize = 2_000_000;
+
+/// Times one single-node fleet under `spec`: (intervals/sec, mean
+/// decision latency in microseconds, completed jobs).
+fn timed_policy(spec: PolicySpec) -> (f64, f64, usize) {
+    let nodes = vec![NodeConfig::default_node().with_freq_policy(spec)];
+    let cfg = FleetConfig::from_nodes(
+        nodes,
+        0.85,
+        Policy::LeastLoaded,
+        SimDuration::from_secs(POLICY_HORIZON_S),
+        BENCH_SEED,
+    );
+    let start = Instant::now();
+    let report = run_fleet(&cfg);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let intervals = POLICY_HORIZON_S as f64;
+    (intervals / wall, wall / intervals * 1e6, report.completed.len())
+}
+
+/// Times the serving reference scenario on the event engine:
+/// (intervals/sec, completed, deferred).
+fn timed_serving() -> (f64, usize, u64) {
+    let base = FleetConfig::homogeneous(
+        4,
+        0.80,
+        Policy::LeastLoaded,
+        SimDuration::from_secs(SERVING_HORIZON_S),
+        BENCH_SEED,
+    );
+    let serving = ServingConfig::reference_mix(BENCH_SEED, SERVING_HORIZON_S as f64, base.reference_size_scale());
+    let cfg = base.with_serving(serving).with_engine(EngineKind::EventDriven);
+    let start = Instant::now();
+    let report = run_fleet(&cfg);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    (
+        SERVING_HORIZON_S as f64 / wall,
+        report.completed.len(),
+        report.jobs_deferred,
+    )
+}
+
+/// Times the pre-interning profile lookup (`BTreeMap` keyed by workload
+/// `String`) vs the interned one (`Vec` indexed by `u32`) over the same
+/// access pattern. Returns (before_ns, after_ns) per lookup.
+fn timed_interning() -> (f64, f64) {
+    let names = ["hotspot", "kmeans", "lud", "srad", "backprop", "pathfinder"];
+    let map: BTreeMap<String, f64> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.to_string(), i as f64))
+        .collect();
+    let seq: Vec<f64> = (0..names.len()).map(|i| i as f64).collect();
+
+    let mut acc = 0.0f64;
+    let start = Instant::now();
+    for i in 0..LOOKUPS {
+        let name = names[i % names.len()];
+        acc += map.get(name).copied().unwrap_or(0.0);
+    }
+    let before = start.elapsed().as_secs_f64() / LOOKUPS as f64 * 1e9;
+
+    let start = Instant::now();
+    for i in 0..LOOKUPS {
+        let id = (i % seq.len()) as u32;
+        acc += seq.get(id as usize).copied().unwrap_or(0.0);
+    }
+    let after = start.elapsed().as_secs_f64() / LOOKUPS as f64 * 1e9;
+    // Keep the accumulator observable so the loops cannot be elided.
+    assert!(acc.is_finite());
+    (before, after)
+}
+
+fn main() {
+    let policies: [(&str, PolicySpec); 4] = [
+        ("wma", PolicySpec::default()),
+        ("exp3", PolicySpec::Exp3(Exp3Params::default())),
+        ("ucb", PolicySpec::Ucb(UcbParams::default())),
+        ("deadline", PolicySpec::Deadline(DeadlineParams::default())),
+    ];
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for (name, spec) in policies {
+        let (rate, decision_us, completed) = timed_policy(spec);
+        println!("policy {name:<9} {rate:>12.0} intervals/s  {decision_us:>8.3} us/decision  ({completed} jobs)");
+        rows.push(JsonValue::Obj(vec![
+            ("policy".to_string(), JsonValue::str(name)),
+            ("intervals_per_s".to_string(), JsonValue::f64(rate)),
+            ("decision_latency_us".to_string(), JsonValue::f64(decision_us)),
+            ("completed_jobs".to_string(), JsonValue::usize(completed)),
+        ]));
+    }
+
+    let (serving_rate, serving_completed, serving_deferred) = timed_serving();
+    println!(
+        "serving   reference  {serving_rate:>12.0} intervals/s  ({serving_completed} jobs, {serving_deferred} deferred)"
+    );
+
+    let (before_ns, after_ns) = timed_interning();
+    println!(
+        "interning  before {before_ns:.2} ns/lookup (BTreeMap<String>)  after {after_ns:.2} ns/lookup (Vec by id)"
+    );
+
+    let doc = JsonValue::Obj(vec![
+        ("bench".to_string(), JsonValue::str("serving_tenancy")),
+        ("seed".to_string(), JsonValue::u64(BENCH_SEED)),
+        (
+            "methodology".to_string(),
+            JsonValue::str(
+                "per-policy rows: one default node simulated for 2000 one-second control \
+                 intervals under each Tier-2 policy; every interval runs one masked decision \
+                 over the card's full 36-pair frequency grid, so decision_latency_us bounds the \
+                 per-decision cost from above (it includes job service bookkeeping). serving \
+                 row: 3-tenant reference mix, 4 nodes, carbon-aware, event engine. interning \
+                 rows: the advance-window profile lookup before (BTreeMap keyed by workload \
+                 String) vs after (Vec indexed by the u32 id jobs now carry from dispatch), \
+                 2e6 lookups each.",
+            ),
+        ),
+        ("policy_rows".to_string(), JsonValue::Arr(rows)),
+        (
+            "serving".to_string(),
+            JsonValue::Obj(vec![
+                ("mix".to_string(), JsonValue::str("reference")),
+                ("nodes".to_string(), JsonValue::usize(4)),
+                ("engine".to_string(), JsonValue::str("event")),
+                ("horizon_s".to_string(), JsonValue::u64(SERVING_HORIZON_S)),
+                ("intervals_per_s".to_string(), JsonValue::f64(serving_rate)),
+                ("completed_jobs".to_string(), JsonValue::usize(serving_completed)),
+                ("jobs_deferred".to_string(), JsonValue::u64(serving_deferred)),
+            ]),
+        ),
+        (
+            "name_interning".to_string(),
+            JsonValue::Obj(vec![
+                ("before_ns_per_lookup".to_string(), JsonValue::f64(before_ns)),
+                ("after_ns_per_lookup".to_string(), JsonValue::f64(after_ns)),
+                (
+                    "note".to_string(),
+                    JsonValue::str(
+                        "jobs now carry an interned u32 profile id resolved once at dispatch \
+                         (crates/cluster/src/node.rs); the per-window hot path indexes a Vec \
+                         instead of re-keying a BTreeMap by String",
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_7.json");
+    std::fs::write(&out, format!("{doc}\n")).expect("write results/BENCH_7.json");
+    println!("wrote results/BENCH_7.json");
+}

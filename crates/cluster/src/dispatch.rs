@@ -1,0 +1,451 @@
+//! Carbon-aware multi-tenant dispatch.
+//!
+//! The [`TenantDispatcher`] sits between the arrival spine and the
+//! admission queue. For single-stream runs it is a transparent
+//! passthrough — [`TenantDispatcher::on_arrival`] is exactly
+//! [`crate::Scheduler::submit`], so the existing golden traces are
+//! untouched byte-for-byte. For serving runs ([`ServingConfig`]) it
+//! implements the SLO-tiered policy:
+//!
+//! * **Latency-bound** and **throughput-bound** jobs dispatch
+//!   immediately (their DVFS treatment comes from the node-side
+//!   deadline-aware selector via
+//!   [`greengpu_tenancy::SloClass::deadline_params`], not from delay).
+//! * **Best-effort** jobs arriving in a dirty window — carbon intensity
+//!   above the configured quantile of the signal — are parked in a
+//!   bounded deferral queue until the next green window, but never past
+//!   the tenant's deferral horizon. A full deferral queue spills jobs
+//!   straight through normal admission, so deferral degrades to the
+//!   carbon-blind behavior under pressure instead of dropping work.
+//!
+//! Conservation: a deferred job is counted admitted at deferral time
+//! ([`crate::Scheduler::note_deferred_admission`]) and re-enters the
+//! queue capacity-exempt on release ([`crate::Scheduler::enqueue_admitted`]),
+//! so `admitted == completed + dead_letter + deferred_pending +
+//! in_flight` holds at every instant — the serving extension of the
+//! fleet's existing ledger.
+
+use crate::job::JobSpec;
+use crate::scheduler::Scheduler;
+use crate::telemetry::{ServingTrace, ServingTraceRow};
+use greengpu_sim::{SimDuration, SimTime};
+use greengpu_tenancy::{ArrivalProcess, CarbonSignal, SloClass, TenantConfig};
+use std::collections::VecDeque;
+
+/// The serving-layer configuration of a fleet run: who the tenants are,
+/// what the grid looks like, and whether dispatch reacts to it.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The tenant population, in index order (stable across the run).
+    pub tenants: Vec<TenantConfig>,
+    /// The carbon/price intensity signal over the horizon.
+    pub carbon: CarbonSignal,
+    /// Whether best-effort work shifts into green windows; `false` is
+    /// the carbon-blind baseline (identical tenants, no deferral).
+    pub carbon_aware: bool,
+    /// Quantile of the signal's step distribution at or below which a
+    /// window counts as green (e.g. 0.35 = the cleanest ~35 % of steps).
+    pub green_quantile: f64,
+    /// Bound on the deferral queue; overflow spills to normal admission.
+    pub deferral_capacity: usize,
+}
+
+impl ServingConfig {
+    /// The three-tenant reference population used by the serving
+    /// experiment and CI smoke: an interactive latency-bound tenant on a
+    /// diurnal cycle, a throughput-bound analytics tenant with bursty
+    /// on/off traffic, and a best-effort batch tenant backfilling a
+    /// window. `size_scale` maps size multipliers to the fleet's job
+    /// quantum (see `FleetConfig::reference_size_scale`); the carbon
+    /// signal derives from `seed`.
+    pub fn reference_mix(seed: u64, horizon_s: f64, size_scale: f64) -> ServingConfig {
+        let tenants = vec![
+            TenantConfig {
+                name: "interactive".to_string(),
+                arrival: ArrivalProcess::Diurnal {
+                    base_rate_per_s: 0.10,
+                    amplitude: 0.7,
+                    period_s: 120.0,
+                    phase_s: 0.0,
+                },
+                mix: vec![("hotspot".to_string(), 1.0)],
+                size_range: (0.5 * size_scale, 1.5 * size_scale),
+                slo: SloClass::LatencyBound {
+                    deadline_slack: (2.0, 6.0),
+                },
+            },
+            TenantConfig {
+                name: "analytics".to_string(),
+                arrival: ArrivalProcess::Bursty {
+                    rate_on_per_s: 0.25,
+                    rate_off_per_s: 0.02,
+                    mean_on_s: 20.0,
+                    mean_off_s: 40.0,
+                },
+                mix: vec![("kmeans".to_string(), 1.0)],
+                size_range: (0.5 * size_scale, 2.0 * size_scale),
+                slo: SloClass::ThroughputBound {
+                    target_completion_rate: 0.7,
+                },
+            },
+            TenantConfig {
+                name: "batch".to_string(),
+                arrival: ArrivalProcess::Batch {
+                    rate_per_s: 0.12,
+                    start_s: 0.0,
+                    end_s: 0.8 * horizon_s,
+                },
+                mix: vec![("hotspot".to_string(), 1.0), ("kmeans".to_string(), 1.0)],
+                size_range: (0.8 * size_scale, 1.6 * size_scale),
+                slo: SloClass::BestEffort {
+                    deferral_horizon_s: 0.4 * horizon_s,
+                },
+            },
+        ];
+        ServingConfig {
+            tenants,
+            carbon: CarbonSignal::synthetic(seed, horizon_s, horizon_s / 20.0, 1.0, 0.6, 0.5 * horizon_s),
+            carbon_aware: true,
+            green_quantile: 0.35,
+            deferral_capacity: 64,
+        }
+    }
+
+    /// Carbon-blind variant of this config (builder style).
+    pub fn blind(mut self) -> ServingConfig {
+        self.carbon_aware = false;
+        self
+    }
+
+    /// Non-panicking configuration check naming the offending tenant
+    /// and field.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.tenants.is_empty() {
+            return Err("tenants must not be empty".to_string());
+        }
+        for t in &self.tenants {
+            t.try_validate().map_err(|msg| format!("tenant {:?}: {msg}", t.name))?;
+        }
+        self.carbon.try_validate()?;
+        if !(self.green_quantile.is_finite() && (0.0..=1.0).contains(&self.green_quantile)) {
+            return Err(format!("green_quantile must be in [0, 1], got {}", self.green_quantile));
+        }
+        if self.deferral_capacity == 0 {
+            return Err("deferral_capacity must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// A best-effort job parked for a green window.
+#[derive(Debug, Clone)]
+struct DeferredJob {
+    job: JobSpec,
+    /// When the job re-enters admission: the next green-window start,
+    /// clamped to its tenant's deferral horizon.
+    release_at: SimTime,
+}
+
+/// Per-run serving state (absent on passthrough runs).
+struct ServingState {
+    /// Per-tenant: whether the SLO class allows deferral.
+    deferrable: Vec<bool>,
+    /// Per-tenant deferral horizon, seconds (0 for non-deferrable).
+    horizon_s: Vec<f64>,
+    carbon: CarbonSignal,
+    carbon_aware: bool,
+    green_threshold: f64,
+    deferral_capacity: usize,
+    deferred: VecDeque<DeferredJob>,
+    jobs_deferred: u64,
+    jobs_released: u64,
+    rows: Vec<ServingTraceRow>,
+}
+
+/// The arrival-side dispatcher: passthrough for single-stream runs,
+/// SLO-tiered carbon-aware admission for serving runs. See the module
+/// docs for the policy.
+pub struct TenantDispatcher {
+    serving: Option<ServingState>,
+}
+
+impl TenantDispatcher {
+    /// A transparent dispatcher: `on_arrival` is exactly
+    /// `Scheduler::submit`, everything else is a no-op.
+    pub fn passthrough() -> TenantDispatcher {
+        TenantDispatcher { serving: None }
+    }
+
+    /// A dispatcher for `cfg`'s tenant population. The green threshold
+    /// is fixed up front from the signal's quantile, so dispatch
+    /// decisions are pure functions of `(config, arrival time)`.
+    pub fn from_serving(cfg: &ServingConfig) -> TenantDispatcher {
+        TenantDispatcher {
+            serving: Some(ServingState {
+                deferrable: cfg.tenants.iter().map(|t| t.slo.deferrable()).collect(),
+                horizon_s: cfg.tenants.iter().map(|t| t.slo.deferral_horizon_s()).collect(),
+                carbon: cfg.carbon.clone(),
+                carbon_aware: cfg.carbon_aware,
+                green_threshold: cfg.carbon.quantile(cfg.green_quantile),
+                deferral_capacity: cfg.deferral_capacity,
+                deferred: VecDeque::new(),
+                jobs_deferred: 0,
+                jobs_released: 0,
+                rows: Vec::new(),
+            }),
+        }
+    }
+
+    /// Routes one arrival: submit immediately, or park a best-effort job
+    /// for the next green window (bounded queue; overflow spills to
+    /// normal admission).
+    pub fn on_arrival(&mut self, job: JobSpec, scheduler: &mut Scheduler, now: SimTime) {
+        let Some(s) = self.serving.as_mut() else {
+            scheduler.submit(job);
+            return;
+        };
+        let deferrable = s.carbon_aware && s.deferrable.get(job.tenant).copied().unwrap_or(false);
+        let now_s = now.saturating_since(SimTime::ZERO).as_secs_f64();
+        if !deferrable || s.carbon.is_green(now_s, s.green_threshold) || s.deferred.len() >= s.deferral_capacity {
+            scheduler.submit(job);
+            return;
+        }
+        let horizon = s.horizon_s.get(job.tenant).copied().unwrap_or(0.0);
+        let green_s = s
+            .carbon
+            .next_green_start(now_s, s.green_threshold)
+            .unwrap_or(now_s + horizon);
+        // Never hold a job past its tenant's horizon — the no-starvation
+        // guarantee — and never release in the past.
+        let release_s = green_s.min(now_s + horizon).max(now_s);
+        scheduler.note_deferred_admission(job.tenant);
+        s.deferred.push_back(DeferredJob {
+            job,
+            release_at: SimTime::ZERO + SimDuration::from_secs_f64(release_s),
+        });
+        s.jobs_deferred += 1;
+    }
+
+    /// Moves every deferred job whose release instant has arrived into
+    /// the admission queue (capacity-exempt), preserving deferral order.
+    /// Returns how many were released.
+    pub fn release_due(&mut self, scheduler: &mut Scheduler, now: SimTime) -> usize {
+        let Some(s) = self.serving.as_mut() else {
+            return 0;
+        };
+        if s.deferred.is_empty() {
+            return 0;
+        }
+        // Horizons differ per tenant, so release instants need not be
+        // monotone in deferral order: scan the whole (bounded) queue.
+        let mut released = 0usize;
+        let mut keep = VecDeque::with_capacity(s.deferred.len());
+        for d in s.deferred.drain(..) {
+            if d.release_at <= now {
+                scheduler.enqueue_admitted(d.job);
+                s.jobs_released += 1;
+                released += 1;
+            } else {
+                keep.push_back(d);
+            }
+        }
+        s.deferred = keep;
+        released
+    }
+
+    /// Appends one serving-telemetry row (no-op on passthrough runs).
+    pub fn note_interval(&mut self, t: SimTime, interval: u64) {
+        let Some(s) = self.serving.as_mut() else {
+            return;
+        };
+        let now_s = t.saturating_since(SimTime::ZERO).as_secs_f64();
+        s.rows.push(ServingTraceRow {
+            interval,
+            time_s: now_s,
+            carbon_intensity: s.carbon.intensity_at(now_s),
+            green: s.carbon.is_green(now_s, s.green_threshold),
+            deferred_pending: s.deferred.len(),
+            jobs_deferred: s.jobs_deferred,
+            jobs_released: s.jobs_released,
+        });
+    }
+
+    /// Jobs currently parked in the deferral queue.
+    pub fn pending_len(&self) -> usize {
+        self.serving.as_ref().map_or(0, |s| s.deferred.len())
+    }
+
+    /// Jobs deferred so far.
+    pub fn jobs_deferred(&self) -> u64 {
+        self.serving.as_ref().map_or(0, |s| s.jobs_deferred)
+    }
+
+    /// Deferred jobs released so far.
+    pub fn jobs_released(&self) -> u64 {
+        self.serving.as_ref().map_or(0, |s| s.jobs_released)
+    }
+
+    /// The intensity threshold below which a window counts green (0 on
+    /// passthrough runs).
+    pub fn green_threshold(&self) -> f64 {
+        self.serving.as_ref().map_or(0.0, |s| s.green_threshold)
+    }
+
+    /// Takes the accumulated serving trace (empty on passthrough runs).
+    pub fn take_trace(&mut self) -> ServingTrace {
+        ServingTrace {
+            rows: self
+                .serving
+                .as_mut()
+                .map_or_else(Vec::new, |s| std::mem::take(&mut s.rows)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    fn job(id: u64, tenant: usize, arrival_s: f64) -> JobSpec {
+        JobSpec {
+            id,
+            workload: "hotspot".to_string(),
+            arrival: at(arrival_s),
+            size: 1.0,
+            deadline: None,
+            tenant,
+        }
+    }
+
+    /// Steps: [dirty 4.0, green 1.0, dirty 4.0, green 1.0], 10 s each.
+    fn cfg() -> ServingConfig {
+        let mut c = ServingConfig::reference_mix(1, 40.0, 1.0);
+        c.carbon = CarbonSignal::from_steps(10.0, vec![4.0, 1.0, 4.0, 1.0]);
+        // Quantile 0.34 of {1,1,4,4} lands on 1.0: the two clean steps
+        // are green, the two dirty ones are not.
+        c.green_quantile = 0.34;
+        c
+    }
+
+    #[test]
+    fn passthrough_is_plain_submit() {
+        let mut d = TenantDispatcher::passthrough();
+        let mut s = Scheduler::new(Policy::RoundRobin, 4);
+        d.on_arrival(job(0, 2, 0.0), &mut s, at(0.0));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.admitted(), 1);
+        assert_eq!(d.pending_len(), 0);
+        assert_eq!(d.release_due(&mut s, at(100.0)), 0);
+        assert!(d.take_trace().rows.is_empty());
+    }
+
+    #[test]
+    fn best_effort_defers_in_dirty_windows_and_releases_in_green() {
+        let c = cfg();
+        let mut d = TenantDispatcher::from_serving(&c);
+        let mut s = Scheduler::new(Policy::RoundRobin, 64);
+        // Tenant 2 is best-effort; t = 5 s sits in the dirty first step.
+        d.on_arrival(job(0, 2, 5.0), &mut s, at(5.0));
+        assert_eq!(s.depth(), 0, "deferred, not queued");
+        assert_eq!(s.admitted(), 1, "counted admitted at deferral time");
+        assert_eq!(d.pending_len(), 1);
+        // Latency-bound tenant 0 dispatches immediately even when dirty.
+        d.on_arrival(job(1, 0, 5.0), &mut s, at(5.0));
+        assert_eq!(s.depth(), 1);
+        // Nothing due before the green step at 10 s.
+        assert_eq!(d.release_due(&mut s, at(9.0)), 0);
+        assert_eq!(d.release_due(&mut s, at(10.0)), 1);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(d.jobs_released(), 1);
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn green_arrivals_and_blind_runs_pass_straight_through() {
+        let c = cfg();
+        let mut d = TenantDispatcher::from_serving(&c);
+        let mut s = Scheduler::new(Policy::RoundRobin, 64);
+        // t = 15 s is green: best-effort submits immediately.
+        d.on_arrival(job(0, 2, 15.0), &mut s, at(15.0));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(d.jobs_deferred(), 0);
+        // Carbon-blind: dirty-window best-effort also submits.
+        let mut d = TenantDispatcher::from_serving(&c.blind());
+        d.on_arrival(job(1, 2, 5.0), &mut s, at(5.0));
+        assert_eq!(s.depth(), 2);
+        assert_eq!(d.jobs_deferred(), 0);
+    }
+
+    #[test]
+    fn full_deferral_queue_spills_to_admission() {
+        let mut c = cfg();
+        c.deferral_capacity = 1;
+        let mut d = TenantDispatcher::from_serving(&c);
+        let mut s = Scheduler::new(Policy::RoundRobin, 64);
+        d.on_arrival(job(0, 2, 5.0), &mut s, at(5.0));
+        d.on_arrival(job(1, 2, 6.0), &mut s, at(6.0));
+        assert_eq!(d.pending_len(), 1, "second job spilled");
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.admitted(), 2);
+    }
+
+    #[test]
+    fn deferral_never_exceeds_the_horizon() {
+        // One early green step the job cannot reach (it already passed);
+        // everything after its arrival is dirty, so only the horizon
+        // clamp can ever release it.
+        let mut c = cfg();
+        c.carbon = CarbonSignal::from_steps(10.0, vec![1.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0]);
+        c.green_quantile = 0.0;
+        c.tenants[2].slo = SloClass::BestEffort {
+            deferral_horizon_s: 12.0,
+        };
+        let mut d = TenantDispatcher::from_serving(&c);
+        let mut s = Scheduler::new(Policy::RoundRobin, 64);
+        // Arrives at 15 s (dirty); no green window remains, so the
+        // release clamps to 15 + 12 = 27 s.
+        d.on_arrival(job(0, 2, 15.0), &mut s, at(15.0));
+        assert_eq!(d.pending_len(), 1);
+        assert_eq!(d.release_due(&mut s, at(26.9)), 0);
+        assert_eq!(d.release_due(&mut s, at(27.0)), 1);
+    }
+
+    #[test]
+    fn serving_config_validation_names_tenant_and_field() {
+        let mut c = cfg();
+        c.tenants[1].mix.clear();
+        let err = c.try_validate().unwrap_err();
+        assert!(err.contains("analytics") && err.contains("mix"), "{err}");
+        let mut c = cfg();
+        c.green_quantile = 1.5;
+        assert!(c.try_validate().unwrap_err().contains("green_quantile"));
+        let mut c = cfg();
+        c.deferral_capacity = 0;
+        assert!(c.try_validate().unwrap_err().contains("deferral_capacity"));
+        let mut c = cfg();
+        c.tenants.clear();
+        assert!(c.try_validate().unwrap_err().contains("tenants"));
+        assert!(cfg().try_validate().is_ok());
+    }
+
+    #[test]
+    fn note_interval_snapshots_the_serving_state() {
+        let c = cfg();
+        let mut d = TenantDispatcher::from_serving(&c);
+        let mut s = Scheduler::new(Policy::RoundRobin, 64);
+        d.on_arrival(job(0, 2, 5.0), &mut s, at(5.0));
+        d.note_interval(at(5.0), 1);
+        d.release_due(&mut s, at(10.0));
+        d.note_interval(at(10.0), 2);
+        let trace = d.take_trace();
+        assert_eq!(trace.rows.len(), 2);
+        assert!(!trace.rows[0].green && trace.rows[0].deferred_pending == 1);
+        assert!(trace.rows[1].green && trace.rows[1].deferred_pending == 0);
+        assert_eq!(trace.rows[1].jobs_released, 1);
+    }
+}

@@ -62,6 +62,7 @@
 //! reach the trace CSV or the report.
 
 use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::dispatch::TenantDispatcher;
 use crate::fleet::{CrashRecord, FleetConfig};
 use crate::job::{JobRecord, JobSpec};
 use crate::lifecycle::NodeState;
@@ -171,11 +172,14 @@ pub(crate) fn drive(
     scheduler: &mut Scheduler,
     breakers: &mut [CircuitBreaker],
     retry: &mut RetryQueue,
+    dispatcher: &mut TenantDispatcher,
 ) -> DriveOutcome {
     match inp.cfg.engine {
-        EngineKind::Serial => drive_serial(inp, spine, nodes, scheduler, breakers, retry),
-        EngineKind::EventDriven => drive_event(inp, spine, nodes, scheduler, breakers, retry, 1),
-        EngineKind::Parallel { workers } => drive_event(inp, spine, nodes, scheduler, breakers, retry, workers),
+        EngineKind::Serial => drive_serial(inp, spine, nodes, scheduler, breakers, retry, dispatcher),
+        EngineKind::EventDriven => drive_event(inp, spine, nodes, scheduler, breakers, retry, dispatcher, 1),
+        EngineKind::Parallel { workers } => {
+            drive_event(inp, spine, nodes, scheduler, breakers, retry, dispatcher, workers)
+        }
     }
 }
 
@@ -226,6 +230,7 @@ fn apply_chaos(nodes: &mut [Node], ev: &ChaosEvent, t: SimTime, fx: &mut ChaosSi
 
 /// The reference engine: the original fleet loop, verbatim. Every node
 /// advances at every event; every live node takes a full control tick.
+#[allow(clippy::too_many_arguments)]
 fn drive_serial(
     inp: &DriveInputs,
     mut spine: EventQueue<Event>,
@@ -233,6 +238,7 @@ fn drive_serial(
     scheduler: &mut Scheduler,
     breakers: &mut [CircuitBreaker],
     retry: &mut RetryQueue,
+    dispatcher: &mut TenantDispatcher,
 ) -> DriveOutcome {
     let cfg = inp.cfg;
     let end = SimTime::ZERO + cfg.horizon;
@@ -260,7 +266,7 @@ fn drive_serial(
         t = at;
         match event {
             Event::Arrival(i) => {
-                scheduler.submit(inp.jobs[i].clone());
+                dispatcher.on_arrival(inp.jobs[i].clone(), scheduler, t);
             }
             Event::Chaos(i) => {
                 let mut fx = ChaosSideEffects {
@@ -308,9 +314,12 @@ fn drive_serial(
                         max_over_w = max_over_w.max(node.control_tick(t, cap));
                     }
                 }
-                // 4. Retries re-enter ahead of fresh arrivals (reversed so
-                // the earliest-ready job ends up frontmost), then dispatch
-                // behind the breaker mask.
+                // 4. Deferred best-effort jobs whose green window (or
+                // horizon) arrived re-enter first, then retries re-enter
+                // ahead of fresh arrivals (reversed so the earliest-ready
+                // job ends up frontmost), then dispatch behind the
+                // breaker mask.
+                dispatcher.release_due(scheduler, t);
                 for job in retry.drain_ready(t).into_iter().rev() {
                     scheduler.requeue_front(job);
                 }
@@ -342,6 +351,7 @@ fn drive_serial(
                         deadline_misses,
                         max_over_w,
                     ));
+                    dispatcher.note_interval(t, interval);
                 }
             }
         }
@@ -369,7 +379,7 @@ fn drive_serial(
 /// The discrete-event engine (and, with `workers > 1`, the parallel
 /// engine). See the module docs for the equivalence argument behind
 /// each skipped batch of work.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn drive_event(
     inp: &DriveInputs,
     mut spine: EventQueue<Event>,
@@ -377,6 +387,7 @@ fn drive_event(
     scheduler: &mut Scheduler,
     breakers: &mut [CircuitBreaker],
     retry: &mut RetryQueue,
+    dispatcher: &mut TenantDispatcher,
     workers: usize,
 ) -> DriveOutcome {
     let cfg = inp.cfg;
@@ -477,7 +488,7 @@ fn drive_event(
         t = at;
         match event {
             Event::Arrival(i) => {
-                scheduler.submit(inp.jobs[i].clone());
+                dispatcher.on_arrival(inp.jobs[i].clone(), scheduler, t);
             }
             Event::Chaos(i) => {
                 let mut fx = ChaosSideEffects {
@@ -584,7 +595,9 @@ fn drive_event(
                         }
                     }
                 }
-                // 4. Retries, then dispatch behind the breaker mask.
+                // 4. Deferral releases, then retries, then dispatch
+                // behind the breaker mask (identical to serial).
+                dispatcher.release_due(scheduler, t);
                 for job in retry.drain_ready(t).into_iter().rev() {
                     scheduler.requeue_front(job);
                 }
@@ -620,6 +633,7 @@ fn drive_event(
                         deadline_misses,
                         max_over_w,
                     ));
+                    dispatcher.note_interval(t, interval);
                 }
             }
         }
@@ -741,6 +755,7 @@ mod tests {
                 .map(|_| CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp))
                 .collect();
             let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
+            let mut dispatcher = TenantDispatcher::passthrough();
             let inputs = DriveInputs {
                 cfg: &cfg,
                 jobs: &[],
@@ -748,7 +763,15 @@ mod tests {
                 budget_mw: 1_000_000,
                 ticket_root: 5,
             };
-            let outcome = drive(&inputs, spine, &mut nodes, &mut scheduler, &mut breakers, &mut retry);
+            let outcome = drive(
+                &inputs,
+                spine,
+                &mut nodes,
+                &mut scheduler,
+                &mut breakers,
+                &mut retry,
+                &mut dispatcher,
+            );
             assert_eq!(outcome.stray_blackout_events, 1, "engine {engine:?}");
             assert_eq!(outcome.rows.len(), 3, "engine {engine:?} still ran to the horizon");
         }

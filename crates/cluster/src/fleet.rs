@@ -33,6 +33,7 @@
 //! name is a `BTreeMap`. Same config and seed ⇒ byte-identical trace CSV.
 
 use crate::breaker::CircuitBreaker;
+use crate::dispatch::{ServingConfig, TenantDispatcher};
 use crate::engine::{drive, DriveInputs, EngineKind, Event};
 use crate::job::{generate_arrivals, ArrivalConfig, JobRecord, JobSpec};
 use crate::lifecycle::LifecycleParams;
@@ -42,9 +43,10 @@ use crate::power::{mw_floor, MilliWatts};
 use crate::profile::ServiceProfile;
 use crate::retry::RetryQueue;
 use crate::scheduler::Scheduler;
-use crate::telemetry::FleetTrace;
+use crate::telemetry::{FleetTrace, ServingTrace};
 use greengpu_hw::{ChaosEvent, ChaosKind, ChaosPlan};
 use greengpu_sim::{EventQueue, SimDuration, SimTime, SplitMix64};
+use greengpu_tenancy::{generate_tenant_arrivals, mix_union};
 use std::collections::BTreeMap;
 
 /// Full description of one fleet run.
@@ -64,8 +66,13 @@ pub struct FleetConfig {
     pub horizon: SimDuration,
     /// Admission queue bound.
     pub queue_capacity: usize,
-    /// Arrival stream shape.
+    /// Arrival stream shape (ignored when `serving` is set — tenants
+    /// bring their own arrival processes).
     pub arrivals: ArrivalConfig,
+    /// Optional multi-tenant serving layer: named tenants with their own
+    /// arrival processes, workload mixes, and SLO classes, dispatched
+    /// against a carbon signal. `None` runs the anonymous single stream.
+    pub serving: Option<ServingConfig>,
     /// Optional chaos schedule (crashes, thermal emergencies, telemetry
     /// blackouts); `None` runs the fleet failure-free.
     pub chaos: Option<ChaosPlan>,
@@ -134,6 +141,7 @@ impl FleetConfig {
             horizon,
             queue_capacity: 32,
             arrivals,
+            serving: None,
             chaos: None,
             lifecycle: LifecycleParams::default(),
             engine: EngineKind::Serial,
@@ -145,6 +153,36 @@ impl FleetConfig {
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = Some(plan);
         self
+    }
+
+    /// Attaches a multi-tenant serving layer (builder style). The
+    /// tenants' arrival processes replace [`FleetConfig::arrivals`].
+    pub fn with_serving(mut self, serving: ServingConfig) -> Self {
+        self.serving = Some(serving);
+        self
+    }
+
+    /// The size multiplier that maps a size-1 job onto the fleet's ~8 s
+    /// cluster quantum — the same normalization
+    /// [`FleetConfig::from_nodes`] bakes into the anonymous stream's
+    /// size range. Serving configs scale their tenant size ranges by
+    /// this so jobs land on the quantum regardless of the card's raw
+    /// profile times. Falls back to 1.0 if node 0's card cannot profile
+    /// the reference mix.
+    pub fn reference_size_scale(&self) -> f64 {
+        const TARGET_JOB_S: f64 = 8.0;
+        let Some(node0) = self.nodes.first() else {
+            return 1.0;
+        };
+        let profile_seed = SplitMix64::new(self.seed).next_u64();
+        let mut sum = 0.0f64;
+        for name in ["hotspot", "kmeans"] {
+            match ServiceProfile::build(name, profile_seed, &node0.gpu) {
+                Some(p) => sum += p.peak_time_s(),
+                None => return 1.0,
+            }
+        }
+        TARGET_JOB_S / (sum / 2.0)
     }
 
     /// Selects the execution engine (builder style).
@@ -179,8 +217,11 @@ impl FleetConfig {
         if self.queue_capacity == 0 {
             return Err("queue_capacity must be at least 1".to_string());
         }
-        if self.arrivals.mix.is_empty() {
+        if self.serving.is_none() && self.arrivals.mix.is_empty() {
             return Err("arrivals.mix must not be empty".to_string());
+        }
+        if let Some(serving) = &self.serving {
+            serving.try_validate().map_err(|msg| format!("serving: {msg}"))?;
         }
         if let EngineKind::Parallel { workers } = self.engine {
             if workers == 0 {
@@ -275,6 +316,23 @@ pub struct FleetReport {
     pub recoveries: Vec<RecoveryRecord>,
     /// Per-crash power-capping audit, in crash order.
     pub crash_records: Vec<CrashRecord>,
+    /// Best-effort jobs parked for a green window over the run.
+    pub jobs_deferred: u64,
+    /// Deferred jobs released back into admission over the run.
+    pub jobs_released: u64,
+    /// Jobs still parked in the deferral queue at the horizon. The
+    /// serving conservation ledger is `admitted == completed +
+    /// dead_letter + deferred_pending_at_end + in_flight_at_end`.
+    pub deferred_pending_at_end: u64,
+    /// Per-interval serving telemetry (empty on single-stream runs).
+    pub serving_trace: ServingTrace,
+    /// Tenant names in index order (empty on single-stream runs).
+    pub tenant_names: Vec<String>,
+    /// Per-tenant admitted counts, indexed like `tenant_names`
+    /// (single-stream runs report one implicit tenant).
+    pub admitted_by_tenant: Vec<u64>,
+    /// Per-tenant rejected counts, indexed like `tenant_names`.
+    pub rejected_by_tenant: Vec<u64>,
 }
 
 impl FleetReport {
@@ -321,7 +379,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     if let Err(msg) = cfg.try_validate() {
         panic!("invalid fleet config: {msg}");
     }
-    let mix_names: Vec<String> = cfg.arrivals.mix.iter().map(|(n, _)| n.clone()).collect();
+    let mix_names: Vec<String> = match &cfg.serving {
+        Some(serving) => mix_union(&serving.tenants),
+        None => cfg.arrivals.mix.iter().map(|(n, _)| n.clone()).collect(),
+    };
     let mut root = SplitMix64::new(cfg.seed);
     let profile_seed = root.next_u64();
     let arrival_seed = root.next_u64();
@@ -392,7 +453,31 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             (name.clone(), t)
         })
         .collect();
-    let jobs = generate_arrivals(arrival_seed, &cfg.arrivals, cfg.horizon, &ref_time_s);
+    // Serving runs reuse `arrival_seed` for the tenant streams, so no
+    // extra root draw happens and the single-stream golden traces are
+    // untouched.
+    let jobs: Vec<JobSpec> = match &cfg.serving {
+        Some(serving) => generate_tenant_arrivals(arrival_seed, &serving.tenants, cfg.horizon.as_secs_f64())
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let arrival = SimTime::ZERO + SimDuration::from_secs_f64(a.at_s);
+                let deadline = a.deadline_slack.map(|slack| {
+                    let reference = ref_time_s.get(&a.workload).copied().unwrap_or(1.0);
+                    arrival + SimDuration::from_secs_f64(reference * a.size * slack)
+                });
+                JobSpec {
+                    id: i as u64,
+                    workload: a.workload,
+                    arrival,
+                    size: a.size,
+                    deadline,
+                    tenant: a.tenant,
+                }
+            })
+            .collect(),
+        None => generate_arrivals(arrival_seed, &cfg.arrivals, cfg.horizon, &ref_time_s),
+    };
 
     // Spine: ticks scheduled first so a same-instant arrival waits for
     // the *next* tick (FIFO tie-break).
@@ -418,6 +503,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         .map(|_| CircuitBreaker::new(cfg.lifecycle.breaker_cooldown_s, cfg.lifecycle.breaker_max_backoff_exp))
         .collect();
     let mut retry = RetryQueue::new(cfg.lifecycle.max_retries, cfg.lifecycle.retry_backoff_s);
+    let mut dispatcher = match &cfg.serving {
+        Some(serving) => TenantDispatcher::from_serving(serving),
+        None => TenantDispatcher::passthrough(),
+    };
 
     let inputs = DriveInputs {
         cfg,
@@ -426,8 +515,17 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         budget_mw,
         ticket_root,
     };
-    let outcome = drive(&inputs, spine, &mut nodes, &mut scheduler, &mut breakers, &mut retry);
+    let outcome = drive(
+        &inputs,
+        spine,
+        &mut nodes,
+        &mut scheduler,
+        &mut breakers,
+        &mut retry,
+        &mut dispatcher,
+    );
 
+    let n_tenants = cfg.serving.as_ref().map_or(1, |s| s.tenants.len());
     FleetReport {
         trace: FleetTrace { rows: outcome.rows },
         per_node_completed: nodes.iter().map(Node::completed).collect(),
@@ -461,6 +559,16 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
         recoveries: nodes.iter().flat_map(|n| n.recoveries().iter().copied()).collect(),
         crash_records: outcome.crash_records,
+        jobs_deferred: dispatcher.jobs_deferred(),
+        jobs_released: dispatcher.jobs_released(),
+        deferred_pending_at_end: dispatcher.pending_len() as u64,
+        serving_trace: dispatcher.take_trace(),
+        tenant_names: cfg
+            .serving
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.tenants.iter().map(|t| t.name.clone()).collect()),
+        admitted_by_tenant: scheduler.admitted_by_tenant(n_tenants),
+        rejected_by_tenant: scheduler.rejected_by_tenant(n_tenants),
         completed: outcome.completed,
     }
 }

@@ -22,6 +22,9 @@ pub struct JobSpec {
     pub size: f64,
     /// Optional absolute completion deadline.
     pub deadline: Option<SimTime>,
+    /// Owning tenant's index in the serving config (0 for the anonymous
+    /// single-stream runs, which behave as one implicit tenant).
+    pub tenant: usize,
 }
 
 /// Completion record of one job.
@@ -37,6 +40,10 @@ pub struct JobRecord {
     pub finished: SimTime,
     /// Whether a deadline existed and was missed.
     pub missed_deadline: bool,
+    /// GPU board energy attributed to this job's service windows, joules
+    /// (the profile's pair energy prorated by per-window progress, so it
+    /// reflects the frequency pairs the job actually ran under).
+    pub gpu_energy_j: f64,
 }
 
 impl JobRecord {
@@ -152,6 +159,7 @@ pub fn generate_arrivals(
             arrival,
             size,
             deadline,
+            tenant: 0,
         });
     }
     jobs

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod breaker;
+pub mod dispatch;
 pub mod engine;
 pub mod fleet;
 pub mod job;
@@ -60,6 +61,7 @@ pub mod scheduler;
 pub mod telemetry;
 
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use dispatch::{ServingConfig, TenantDispatcher};
 pub use engine::EngineKind;
 pub use fleet::{run_fleet, CrashRecord, FleetConfig, FleetReport};
 pub use job::{ArrivalConfig, JobRecord, JobSpec};
@@ -72,4 +74,7 @@ pub use greengpu::PolicySpec;
 pub use power::{apportion, NodeDemand};
 pub use profile::ServiceProfile;
 pub use scheduler::Scheduler;
-pub use telemetry::{FleetTrace, TraceRow};
+pub use telemetry::{FleetTrace, NameTable, ServingTrace, ServingTraceRow, TraceRow};
+// Convenience re-export: the tenant/SLO/carbon model the serving layer
+// composes with.
+pub use greengpu_tenancy::{ArrivalProcess, CarbonSignal, SloClass, TenantConfig};

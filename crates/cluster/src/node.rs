@@ -18,6 +18,7 @@ use crate::job::{JobRecord, JobSpec};
 use crate::lifecycle::NodeState;
 use crate::power::{mw, MilliWatts, NodeDemand};
 use crate::profile::ServiceProfile;
+use crate::telemetry::NameTable;
 use greengpu::{GreenGpuConfig, GreenGpuController, PairModel, PolicySpec};
 use greengpu_hw::{
     calib, BlackoutSensors, CleanSensors, CpuSpec, DirectActuator, FaultPlan, FaultyActuator, FaultySensor,
@@ -112,6 +113,13 @@ struct RunningJob {
     started: SimTime,
     /// Completed fraction of the whole run in `[0, 1)`.
     progress: f64,
+    /// GPU energy attributed so far, joules (pair energy prorated by
+    /// per-window progress, so DVFS changes mid-job are accounted).
+    energy_j: f64,
+    /// Interned profile id (index into `Node::profile_seq`), resolved
+    /// once at dispatch so the per-window hot path never re-keys the
+    /// profile map by workload `String`.
+    profile: u32,
 }
 
 /// A lifecycle transition surfaced to the fleet supervisor.
@@ -144,6 +152,11 @@ pub struct Node {
     platform: Platform,
     ctl: GreenGpuController,
     profiles: BTreeMap<String, ServiceProfile>,
+    /// Workload names interned in sorted order; ids index `profile_seq`.
+    profile_names: NameTable,
+    /// Profiles in interned-id order — the per-window hot path resolves
+    /// a job's profile by `u32` id, never by `String` key.
+    profile_seq: Vec<ServiceProfile>,
     cap_w: f64,
     job: Option<RunningJob>,
     busy_s: f64,
@@ -260,6 +273,14 @@ impl Node {
             _ => None,
         };
         let policy_seed = SplitMix64::new(profile_seed.wrapping_add(id as u64)).next_u64();
+        // Intern the workload names once (sorted map order, so ids are
+        // deterministic) — jobs carry the `u32` id from dispatch on.
+        let mut profile_names = NameTable::new();
+        let mut profile_seq = Vec::with_capacity(profiles.len());
+        for (name, prof) in &profiles {
+            profile_names.intern(name);
+            profile_seq.push(prof.clone());
+        }
         let mut node = Node {
             id,
             platform,
@@ -270,6 +291,8 @@ impl Node {
                 cfg.freq_policy.build(n_core, n_mem, policy_seed, model.as_ref())?,
             ),
             profiles,
+            profile_names,
+            profile_seq,
             cap_w: f64::INFINITY,
             job: None,
             busy_s: 0.0,
@@ -698,8 +721,10 @@ impl Node {
         match &self.job {
             Some(run) => {
                 let (c, m) = self.current_pair();
-                let prof = &self.profiles[&run.spec.workload];
-                let (uc, um) = (prof.u_core(c, m), prof.u_mem(c, m));
+                let (uc, um) = self
+                    .profile_seq
+                    .get(run.profile as usize)
+                    .map_or((0.0, 0.0), |prof| (prof.u_core(c, m), prof.u_mem(c, m)));
                 self.platform.set_gpu_activity(at, uc, um);
                 self.platform.set_cpu_activity(at, 1.0, n_cores);
             }
@@ -725,10 +750,15 @@ impl Node {
         }
         self.parked_cap = None;
         self.parked_checkpoint_fresh = false;
+        // Resolve the interned profile id once; `advance` and
+        // `refresh_activity` index by it from here on.
+        let profile = self.profile_names.get(&job.workload).unwrap_or(u32::MAX);
         self.job = Some(RunningJob {
             spec: job,
             started: now,
             progress: 0.0,
+            energy_j: 0.0,
+            profile,
         });
         self.refresh_activity(now);
     }
@@ -746,19 +776,25 @@ impl Node {
             self.platform.gpu().core().current_level(),
             self.platform.gpu().mem().current_level(),
         );
-        let full_s = self.profiles[&run.spec.workload].time_s(c, m) * run.spec.size;
+        let prof = self.profile_seq.get(run.profile as usize)?;
+        let full_s = prof.time_s(c, m) * run.spec.size;
+        // The whole-run energy at this window's pair; progress made here
+        // attributes a proportional slice of it to the job.
+        let full_e = prof.energy_j(self.platform.gpu().spec(), c, m, run.spec.size);
         let need_s = (1.0 - run.progress) * full_s;
         if need_s <= dt * (1.0 + 1e-12) {
             // Completes inside this window, at the exact instant.
             let finished = from + SimDuration::from_secs_f64(need_s.max(0.0));
             self.busy_s += need_s.max(0.0);
-            let run = self.job.take()?;
+            let mut run = self.job.take()?;
+            run.energy_j += (1.0 - run.progress) * full_e;
             let missed_deadline = run.spec.deadline.is_some_and(|d| finished > d);
             let record = JobRecord {
                 node: self.id,
                 started: run.started,
                 finished,
                 missed_deadline,
+                gpu_energy_j: run.energy_j,
                 spec: run.spec,
             };
             self.completed += 1;
@@ -766,6 +802,7 @@ impl Node {
             Some(record)
         } else {
             run.progress += dt / full_s;
+            run.energy_j += (dt / full_s) * full_e;
             self.busy_s += dt;
             None
         }
@@ -926,6 +963,7 @@ mod tests {
             arrival: SimTime::ZERO,
             size,
             deadline: None,
+            tenant: 0,
         }
     }
 

@@ -119,6 +119,7 @@ mod tests {
             arrival: SimTime::ZERO,
             size: 1.0,
             deadline: None,
+            tenant: 0,
         }
     }
 

@@ -113,6 +113,7 @@ mod tests {
             arrival: SimTime::ZERO,
             size: 1.0,
             deadline: None,
+            tenant: 0,
         }
     }
 

@@ -21,6 +21,18 @@ pub struct Scheduler {
     admitted: u64,
     rejected: u64,
     peak_depth: usize,
+    // Per-tenant admission/rejection tallies, indexed by
+    // `JobSpec::tenant` and grown on demand (single-stream runs only
+    // ever touch slot 0).
+    admitted_by_tenant: Vec<u64>,
+    rejected_by_tenant: Vec<u64>,
+}
+
+fn bump(counters: &mut Vec<u64>, tenant: usize) {
+    if counters.len() <= tenant {
+        counters.resize(tenant + 1, 0);
+    }
+    counters[tenant] += 1;
 }
 
 impl Scheduler {
@@ -35,6 +47,8 @@ impl Scheduler {
             admitted: 0,
             rejected: 0,
             peak_depth: 0,
+            admitted_by_tenant: Vec::new(),
+            rejected_by_tenant: Vec::new(),
         }
     }
 
@@ -43,12 +57,33 @@ impl Scheduler {
     pub fn submit(&mut self, job: JobSpec) -> bool {
         if self.queue.len() >= self.capacity {
             self.rejected += 1;
+            bump(&mut self.rejected_by_tenant, job.tenant);
             return false;
         }
+        bump(&mut self.admitted_by_tenant, job.tenant);
         self.queue.push_back(job);
         self.admitted += 1;
         self.peak_depth = self.peak_depth.max(self.queue.len());
         true
+    }
+
+    /// Counts a job as admitted *without* queueing it — the dispatcher
+    /// calls this when it parks a deferrable job in its deferral queue,
+    /// so the conservation ledger (admitted equals completed plus
+    /// dead-lettered plus deferred-pending plus in-flight) holds while
+    /// the job waits for a green window.
+    pub fn note_deferred_admission(&mut self, tenant: usize) {
+        self.admitted += 1;
+        bump(&mut self.admitted_by_tenant, tenant);
+    }
+
+    /// Enqueues a job that was already counted admitted (a released
+    /// deferral). Exempt from the capacity bound for the same reason
+    /// retries are: bouncing it here would turn deliberate deferral into
+    /// silent loss.
+    pub fn enqueue_admitted(&mut self, job: JobSpec) {
+        self.queue.push_back(job);
+        self.peak_depth = self.peak_depth.max(self.queue.len());
     }
 
     /// Re-admits a job at the *front* of the queue (a crash-retry keeps
@@ -93,6 +128,20 @@ impl Scheduler {
         self.rejected
     }
 
+    /// Per-tenant admitted counts, padded with zeros to `n_tenants`.
+    pub fn admitted_by_tenant(&self, n_tenants: usize) -> Vec<u64> {
+        let mut v = self.admitted_by_tenant.clone();
+        v.resize(v.len().max(n_tenants), 0);
+        v
+    }
+
+    /// Per-tenant rejected counts, padded with zeros to `n_tenants`.
+    pub fn rejected_by_tenant(&self, n_tenants: usize) -> Vec<u64> {
+        let mut v = self.rejected_by_tenant.clone();
+        v.resize(v.len().max(n_tenants), 0);
+        v
+    }
+
     /// Deepest the queue has been.
     pub fn peak_depth(&self) -> usize {
         self.peak_depth
@@ -120,6 +169,7 @@ mod tests {
             arrival: SimTime::ZERO,
             size: 1.0,
             deadline: None,
+            tenant: 0,
         }
     }
 

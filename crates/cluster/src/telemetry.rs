@@ -5,6 +5,56 @@
 //! (fixed decimal formatting, no floats straight through `Display`).
 
 use greengpu_sim::Table;
+use std::collections::BTreeMap;
+
+/// String interner for telemetry: workload and tenant names appear once
+/// here, and rows carry compact `u32` ids instead of cloning a `String`
+/// per interval. Ids are assigned in first-intern order, so a table
+/// built in a fixed order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NameTable {
+    names: Vec<String>,
+    index: BTreeMap<String, u32>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NameTable::default()
+    }
+
+    /// The id for `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind `id` (empty string for an unknown id — rows
+    /// render, never panic).
+    pub fn resolve(&self, id: u32) -> &str {
+        self.names.get(id as usize).map_or("", String::as_str)
+    }
+
+    /// The id of an already-interned name, without interning.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
 
 /// One control interval's fleet state.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +171,65 @@ impl FleetTrace {
     }
 }
 
+/// One control interval's serving-layer state (only emitted on runs with
+/// a [`crate::ServingConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingTraceRow {
+    /// Interval index (matches the fleet trace's).
+    pub interval: u64,
+    /// Interval end, seconds.
+    pub time_s: f64,
+    /// Carbon intensity at the interval end (relative units).
+    pub carbon_intensity: f64,
+    /// Whether the interval end sits in a green window (intensity at or
+    /// below the dispatch threshold).
+    pub green: bool,
+    /// Best-effort jobs parked in the deferral queue after this tick.
+    pub deferred_pending: usize,
+    /// Jobs deferred so far.
+    pub jobs_deferred: u64,
+    /// Deferred jobs released into the admission queue so far.
+    pub jobs_released: u64,
+}
+
+/// The per-interval serving trace of one multi-tenant fleet run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingTrace {
+    /// Rows in interval order (empty for single-stream runs).
+    pub rows: Vec<ServingTraceRow>,
+}
+
+impl ServingTrace {
+    /// Renders the trace as a table titled `title`.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            // lint:contract(serving_trace_columns)
+            &[
+                "interval",
+                "time_s",
+                "carbon_intensity",
+                "green",
+                "deferred_pending",
+                "jobs_deferred",
+                "jobs_released",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.interval.to_string(),
+                format!("{:.2}", r.time_s),
+                format!("{:.4}", r.carbon_intensity),
+                u8::from(r.green).to_string(),
+                r.deferred_pending.to_string(),
+                r.jobs_deferred.to_string(),
+                r.jobs_released.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +276,38 @@ mod tests {
         };
         assert_eq!(trace.peak_queue_depth(), 3);
         assert!((trace.mean_gpu_power_w() - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn name_table_interns_once_and_resolves() {
+        let mut t = NameTable::new();
+        assert!(t.is_empty());
+        let a = t.intern("hotspot");
+        let b = t.intern("kmeans");
+        assert_eq!(t.intern("hotspot"), a, "re-intern returns the same id");
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "hotspot");
+        assert_eq!(t.resolve(b), "kmeans");
+        assert_eq!(t.resolve(99), "", "unknown ids resolve to empty, never panic");
+    }
+
+    #[test]
+    fn serving_trace_rendering_is_stable() {
+        let trace = ServingTrace {
+            rows: vec![ServingTraceRow {
+                interval: 1,
+                time_s: 1.0,
+                carbon_intensity: 1.25,
+                green: false,
+                deferred_pending: 2,
+                jobs_deferred: 3,
+                jobs_released: 1,
+            }],
+        };
+        let a = trace.to_table("s").to_csv();
+        assert_eq!(a, trace.to_table("s").to_csv());
+        assert!(a.starts_with("interval,time_s,carbon_intensity,green"));
+        assert!(a.contains("1,1.00,1.2500,0,2,3,1"));
     }
 }

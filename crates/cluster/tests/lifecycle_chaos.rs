@@ -90,6 +90,7 @@ fn warm_restart_recovers_strictly_faster_than_cold() {
         arrival: SimTime::ZERO,
         size: 50.0,
         deadline: None,
+        tenant: 0,
     };
     let mut warm = mk();
     let mut cold = mk();

@@ -12,6 +12,7 @@ pub mod fig8;
 pub mod policies;
 pub mod robustness;
 pub mod scorecard;
+pub mod serving;
 pub mod static_search;
 pub mod tables;
 
@@ -118,7 +119,7 @@ fn update_manifest(dir: &Path, experiment: &str, files: &[String], seed: u64) ->
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "table1",
     "table2",
     "fig1",
@@ -133,6 +134,7 @@ pub const ALL_IDS: [&str; 15] = [
     "robustness",
     "cluster",
     "chaos",
+    "serving",
     "scorecard",
 ];
 
@@ -153,6 +155,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "robustness" => robustness::run(seed),
         "cluster" => cluster::run(seed),
         "chaos" => chaos::run(seed),
+        "serving" => serving::run(seed),
         "scorecard" => scorecard::run(seed),
         _ => return None,
     })

@@ -1,0 +1,382 @@
+//! Seeded per-tenant arrival processes.
+//!
+//! Each process generates the full list of arrival instants inside
+//! `[0, horizon)` as a pure function of `(seed, config, horizon)`. The
+//! generators draw from named [`Pcg32`] child streams of the seed, so a
+//! tenant's schedule never shifts when anything *else* in the simulation
+//! changes — the property the fleet-size-independence proptests pin.
+
+use greengpu_sim::{Pcg32, SplitMix64};
+
+// Child-stream selectors (disjoint from the cluster's 0xC1_* family).
+const STREAM_GAP: u64 = 0x7E_0001;
+const STREAM_ACCEPT: u64 = 0x7E_0002;
+const STREAM_PHASE: u64 = 0x7E_0003;
+
+/// One tenant's traffic shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Sinusoid-modulated Poisson process: rate
+    /// `base · (1 + amplitude · sin(2π (t + phase) / period))`, sampled
+    /// by thinning against the peak rate. Models interactive day/night
+    /// cycles.
+    Diurnal {
+        /// Mean rate, jobs per second (the sinusoid's midline).
+        base_rate_per_s: f64,
+        /// Relative swing in `[0, 1]`; 0 degenerates to plain Poisson.
+        amplitude: f64,
+        /// Cycle length, seconds.
+        period_s: f64,
+        /// Phase offset, seconds.
+        phase_s: f64,
+    },
+    /// On/off Markov-modulated Poisson process: exponentially distributed
+    /// bursts (mean `mean_on_s`, rate `rate_on_per_s`) alternating with
+    /// quiet phases (mean `mean_off_s`, rate `rate_off_per_s`). With
+    /// `mean_on_s ≪ mean_off_s` and a hot on-rate this produces the
+    /// bursty, self-similar-looking traffic of analytics tenants.
+    Bursty {
+        /// Arrival rate inside a burst, jobs per second.
+        rate_on_per_s: f64,
+        /// Arrival rate between bursts, jobs per second (0 = silent).
+        rate_off_per_s: f64,
+        /// Mean burst duration, seconds.
+        mean_on_s: f64,
+        /// Mean quiet duration, seconds.
+        mean_off_s: f64,
+    },
+    /// Batch backfill: constant-rate Poisson inside `[start_s, end_s)`,
+    /// silence outside — the nightly training/report window.
+    Batch {
+        /// Arrival rate inside the window, jobs per second.
+        rate_per_s: f64,
+        /// Window start, seconds.
+        start_s: f64,
+        /// Window end, seconds (clamped to the horizon).
+        end_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Stable label for telemetry tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::Bursty { .. } => "bursty",
+            ArrivalProcess::Batch { .. } => "batch",
+        }
+    }
+
+    /// Non-panicking parameter check naming the offending field.
+    pub fn try_validate(&self) -> Result<(), String> {
+        match self {
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                amplitude,
+                period_s,
+                phase_s,
+            } => {
+                if !(base_rate_per_s.is_finite() && *base_rate_per_s > 0.0) {
+                    return Err(format!(
+                        "arrival.base_rate_per_s must be finite and > 0, got {base_rate_per_s}"
+                    ));
+                }
+                if !(amplitude.is_finite() && (0.0..=1.0).contains(amplitude)) {
+                    return Err(format!("arrival.amplitude must be in [0, 1], got {amplitude}"));
+                }
+                if !(period_s.is_finite() && *period_s > 0.0) {
+                    return Err(format!("arrival.period_s must be finite and > 0, got {period_s}"));
+                }
+                if !phase_s.is_finite() {
+                    return Err(format!("arrival.phase_s must be finite, got {phase_s}"));
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate_on_per_s,
+                rate_off_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                if !(rate_on_per_s.is_finite() && *rate_on_per_s > 0.0) {
+                    return Err(format!(
+                        "arrival.rate_on_per_s must be finite and > 0, got {rate_on_per_s}"
+                    ));
+                }
+                if !(rate_off_per_s.is_finite() && *rate_off_per_s >= 0.0) {
+                    return Err(format!(
+                        "arrival.rate_off_per_s must be finite and >= 0, got {rate_off_per_s}"
+                    ));
+                }
+                if !(mean_on_s.is_finite() && *mean_on_s > 0.0) {
+                    return Err(format!("arrival.mean_on_s must be finite and > 0, got {mean_on_s}"));
+                }
+                if !(mean_off_s.is_finite() && *mean_off_s > 0.0) {
+                    return Err(format!("arrival.mean_off_s must be finite and > 0, got {mean_off_s}"));
+                }
+            }
+            ArrivalProcess::Batch {
+                rate_per_s,
+                start_s,
+                end_s,
+            } => {
+                if !(rate_per_s.is_finite() && *rate_per_s > 0.0) {
+                    return Err(format!("arrival.rate_per_s must be finite and > 0, got {rate_per_s}"));
+                }
+                if !(start_s.is_finite() && *start_s >= 0.0) {
+                    return Err(format!("arrival.start_s must be finite and >= 0, got {start_s}"));
+                }
+                if !(end_s.is_finite() && *end_s > *start_s) {
+                    return Err(format!("arrival.end_s must be finite and > start_s, got {end_s}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Long-run mean arrival rate over `[0, horizon_s)`, jobs per
+    /// second — the load-sizing anchor (exact for diurnal/batch, the
+    /// stationary phase-weighted mean for bursty).
+    pub fn mean_rate_per_s(&self, horizon_s: f64) -> f64 {
+        match self {
+            ArrivalProcess::Diurnal { base_rate_per_s, .. } => *base_rate_per_s,
+            ArrivalProcess::Bursty {
+                rate_on_per_s,
+                rate_off_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                let cycle = mean_on_s + mean_off_s;
+                if cycle <= 0.0 {
+                    return 0.0;
+                }
+                (rate_on_per_s * mean_on_s + rate_off_per_s * mean_off_s) / cycle
+            }
+            ArrivalProcess::Batch {
+                rate_per_s,
+                start_s,
+                end_s,
+            } => {
+                if horizon_s <= 0.0 {
+                    return 0.0;
+                }
+                let window = (end_s.min(horizon_s) - start_s).max(0.0);
+                rate_per_s * window / horizon_s
+            }
+        }
+    }
+
+    /// Generates the sorted arrival instants inside `[0, horizon_s)`.
+    /// Invalid configurations yield an empty schedule (the fleet-level
+    /// `try_validate` rejects them before a run gets this far).
+    pub fn generate(&self, seed: u64, horizon_s: f64) -> Vec<f64> {
+        if self.try_validate().is_err() || !(horizon_s.is_finite() && horizon_s > 0.0) {
+            return Vec::new();
+        }
+        let root = SplitMix64::new(seed).next_u64();
+        let mut r_gap = Pcg32::new(root, STREAM_GAP);
+        match self {
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                amplitude,
+                period_s,
+                phase_s,
+            } => {
+                // Thinning: candidate Poisson at the peak rate, accept
+                // with probability rate(t) / rate_max.
+                let mut r_acc = Pcg32::new(root, STREAM_ACCEPT);
+                let rate_max = base_rate_per_s * (1.0 + amplitude);
+                let mut out = Vec::new();
+                let mut t = 0.0f64;
+                loop {
+                    t += exp_draw(&mut r_gap, rate_max);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    let theta = std::f64::consts::TAU * (t + phase_s) / period_s;
+                    let rate = base_rate_per_s * (1.0 + amplitude * theta.sin());
+                    if r_acc.next_f64() * rate_max <= rate {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Bursty {
+                rate_on_per_s,
+                rate_off_per_s,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                // Alternating exponential phases, each a homogeneous
+                // Poisson segment. The phase stream is separate from the
+                // gap stream so the burst boundaries do not depend on
+                // how many jobs the previous phase emitted.
+                let mut r_phase = Pcg32::new(root, STREAM_PHASE);
+                let mut out = Vec::new();
+                let mut phase_start = 0.0f64;
+                let mut on = true;
+                while phase_start < horizon_s {
+                    let mean = if on { *mean_on_s } else { *mean_off_s };
+                    let phase_end = (phase_start + exp_draw(&mut r_phase, 1.0 / mean)).min(horizon_s);
+                    let rate = if on { *rate_on_per_s } else { *rate_off_per_s };
+                    if rate > 0.0 {
+                        let mut t = phase_start;
+                        loop {
+                            t += exp_draw(&mut r_gap, rate);
+                            if t >= phase_end {
+                                break;
+                            }
+                            out.push(t);
+                        }
+                    }
+                    phase_start = phase_end;
+                    on = !on;
+                }
+                out
+            }
+            ArrivalProcess::Batch {
+                rate_per_s,
+                start_s,
+                end_s,
+            } => {
+                let end = end_s.min(horizon_s);
+                let mut out = Vec::new();
+                let mut t = *start_s;
+                loop {
+                    t += exp_draw(&mut r_gap, *rate_per_s);
+                    if t >= end {
+                        break;
+                    }
+                    out.push(t);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One exponential interarrival draw; `1 - u` keeps the log argument
+/// strictly positive.
+fn exp_draw(rng: &mut Pcg32, rate: f64) -> f64 {
+    -(1.0 - rng.next_f64()).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<ArrivalProcess> {
+        vec![
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: 0.5,
+                amplitude: 0.8,
+                period_s: 120.0,
+                phase_s: 0.0,
+            },
+            ArrivalProcess::Bursty {
+                rate_on_per_s: 2.0,
+                rate_off_per_s: 0.05,
+                mean_on_s: 10.0,
+                mean_off_s: 40.0,
+            },
+            ArrivalProcess::Batch {
+                rate_per_s: 1.0,
+                start_s: 60.0,
+                end_s: 180.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        for p in shapes() {
+            let a = p.generate(42, 600.0);
+            let b = p.generate(42, 600.0);
+            assert_eq!(a, b, "{} must be a pure function of the seed", p.name());
+            let c = p.generate(43, 600.0);
+            assert_ne!(a, c, "{} must vary with the seed", p.name());
+        }
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_in_horizon() {
+        for p in shapes() {
+            let xs = p.generate(7, 600.0);
+            assert!(!xs.is_empty(), "{} produced no arrivals", p.name());
+            for w in xs.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            assert!(xs.iter().all(|&t| (0.0..600.0).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn empirical_rates_track_the_mean() {
+        for p in shapes() {
+            let h = 20_000.0;
+            let xs = p.generate(11, h);
+            let want = p.mean_rate_per_s(h);
+            let got = xs.len() as f64 / h;
+            assert!(
+                (got - want).abs() < 0.25 * want,
+                "{}: empirical {got:.3} vs stationary {want:.3}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_respects_its_window() {
+        let p = ArrivalProcess::Batch {
+            rate_per_s: 2.0,
+            start_s: 100.0,
+            end_s: 200.0,
+        };
+        let xs = p.generate(3, 600.0);
+        assert!(xs.iter().all(|&t| (100.0..200.0).contains(&t)));
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let bad = ArrivalProcess::Diurnal {
+            base_rate_per_s: 0.0,
+            amplitude: 0.5,
+            period_s: 60.0,
+            phase_s: 0.0,
+        };
+        assert!(bad.try_validate().unwrap_err().contains("base_rate_per_s"));
+        let bad = ArrivalProcess::Diurnal {
+            base_rate_per_s: 1.0,
+            amplitude: 1.5,
+            period_s: 60.0,
+            phase_s: 0.0,
+        };
+        assert!(bad.try_validate().unwrap_err().contains("amplitude"));
+        let bad = ArrivalProcess::Bursty {
+            rate_on_per_s: 1.0,
+            rate_off_per_s: -0.1,
+            mean_on_s: 5.0,
+            mean_off_s: 5.0,
+        };
+        assert!(bad.try_validate().unwrap_err().contains("rate_off_per_s"));
+        let bad = ArrivalProcess::Batch {
+            rate_per_s: 1.0,
+            start_s: 50.0,
+            end_s: 10.0,
+        };
+        assert!(bad.try_validate().unwrap_err().contains("end_s"));
+        assert!(bad.generate(1, 100.0).is_empty(), "invalid configs generate nothing");
+    }
+
+    #[test]
+    fn zero_amplitude_diurnal_is_plain_poisson_rate() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate_per_s: 1.0,
+            amplitude: 0.0,
+            period_s: 60.0,
+            phase_s: 0.0,
+        };
+        let xs = p.generate(5, 10_000.0);
+        let rate = xs.len() as f64 / 10_000.0;
+        assert!((rate - 1.0).abs() < 0.1, "empirical rate {rate}");
+    }
+}

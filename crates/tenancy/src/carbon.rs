@@ -1,0 +1,242 @@
+//! The time-varying carbon/price intensity signal.
+//!
+//! A [`CarbonSignal`] is a piecewise-constant step function over the
+//! horizon — the shape grid operators actually publish (5–60 minute
+//! marginal-intensity buckets). The synthetic generator lays a seeded
+//! jitter over a sinusoid so every run sees the same curve for the same
+//! seed, and the integrals the dispatcher and telemetry need
+//! ([`CarbonSignal::mean_over`]) are exact closed forms over the steps.
+
+use greengpu_sim::{Pcg32, SplitMix64};
+
+/// Stream selector for the per-step jitter.
+const STREAM_JITTER: u64 = 0x7E_0010;
+/// Relative amplitude of the per-step jitter in the synthetic signal.
+const JITTER_FRAC: f64 = 0.05;
+
+/// A piecewise-constant carbon (or price) intensity over `[0, horizon)`.
+/// Units are relative — the dispatcher and telemetry only ever compare
+/// and weight by it — so 1.0 is "average grid intensity".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarbonSignal {
+    step_s: f64,
+    values: Vec<f64>,
+}
+
+impl CarbonSignal {
+    /// A constant signal — the carbon-blind baseline's view of the grid.
+    pub fn flat(value: f64, horizon_s: f64, step_s: f64) -> CarbonSignal {
+        let steps = (horizon_s / step_s.max(1e-9)).ceil().max(1.0) as usize;
+        CarbonSignal {
+            step_s,
+            values: vec![value; steps],
+        }
+    }
+
+    /// A signal from explicit per-step values (e.g. a published grid
+    /// trace). Shape problems surface via [`CarbonSignal::try_validate`].
+    pub fn from_steps(step_s: f64, values: Vec<f64>) -> CarbonSignal {
+        CarbonSignal { step_s, values }
+    }
+
+    /// A seeded diurnal-shaped signal: `base · (1 + amplitude ·
+    /// sin(2π t_mid / period))` per step, with ±5 % seeded jitter,
+    /// clamped positive. Deterministic per `(seed, shape)`.
+    pub fn synthetic(seed: u64, horizon_s: f64, step_s: f64, base: f64, amplitude: f64, period_s: f64) -> CarbonSignal {
+        let step = step_s.max(1e-9);
+        let steps = (horizon_s / step).ceil().max(1.0) as usize;
+        let root = SplitMix64::new(seed).next_u64();
+        let mut jitter = Pcg32::new(root, STREAM_JITTER);
+        let values = (0..steps)
+            .map(|k| {
+                let t_mid = (k as f64 + 0.5) * step;
+                let theta = std::f64::consts::TAU * t_mid / period_s.max(1e-9);
+                let wobble = 1.0 + JITTER_FRAC * (2.0 * jitter.next_f64() - 1.0);
+                (base * (1.0 + amplitude * theta.sin()) * wobble).max(1e-6)
+            })
+            .collect();
+        CarbonSignal { step_s: step, values }
+    }
+
+    /// Non-panicking shape check naming the offending field.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(self.step_s.is_finite() && self.step_s > 0.0) {
+            return Err(format!("carbon.step_s must be finite and > 0, got {}", self.step_s));
+        }
+        if self.values.is_empty() {
+            return Err("carbon.values must not be empty".to_string());
+        }
+        if let Some(v) = self.values.iter().find(|v| !(v.is_finite() && **v > 0.0)) {
+            return Err(format!("carbon.values must all be finite and > 0, got {v}"));
+        }
+        Ok(())
+    }
+
+    /// Step length, seconds.
+    pub fn step_s(&self) -> f64 {
+        self.step_s
+    }
+
+    /// Covered horizon, seconds.
+    pub fn horizon_s(&self) -> f64 {
+        self.step_s * self.values.len() as f64
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the signal has no steps (never true for the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Intensity at time `t_s` (clamped to the first/last step).
+    pub fn intensity_at(&self, t_s: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = ((t_s / self.step_s).floor().max(0.0) as usize).min(self.values.len() - 1);
+        self.values[idx]
+    }
+
+    /// Exact mean intensity over `[a_s, b_s]` (piecewise-constant
+    /// integral divided by the window). Degenerate windows return the
+    /// point intensity at `a_s`.
+    pub fn mean_over(&self, a_s: f64, b_s: f64) -> f64 {
+        let (a, b) = (a_s.max(0.0), b_s.max(0.0));
+        if b <= a || self.values.is_empty() {
+            return self.intensity_at(a);
+        }
+        let mut integral = 0.0f64;
+        let mut t = a;
+        while t < b {
+            let idx = ((t / self.step_s).floor().max(0.0) as usize).min(self.values.len() - 1);
+            let step_end = if idx + 1 == self.values.len() {
+                // Past-the-end time is weighted by the final step.
+                b
+            } else {
+                ((idx as f64 + 1.0) * self.step_s).min(b)
+            };
+            let dt = (step_end - t).max(0.0);
+            integral += self.values[idx] * dt;
+            if step_end <= t {
+                break;
+            }
+            t = step_end;
+        }
+        integral / (b - a)
+    }
+
+    /// The intensity value at the given quantile of the step
+    /// distribution (`0.0` = cleanest step, `1.0` = dirtiest). Steps at
+    /// or below the returned value are "green" for that quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
+    /// Whether the step containing `t_s` is at or below `threshold`.
+    pub fn is_green(&self, t_s: f64, threshold: f64) -> bool {
+        self.intensity_at(t_s) <= threshold
+    }
+
+    /// Start of the first green step at or after `t_s`, or `None` when
+    /// no remaining step is at or below `threshold`.
+    pub fn next_green_start(&self, t_s: f64, threshold: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let first = ((t_s / self.step_s).floor().max(0.0) as usize).min(self.values.len() - 1);
+        (first..self.values.len())
+            .find(|&k| self.values[k] <= threshold)
+            .map(|k| (k as f64 * self.step_s).max(t_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> CarbonSignal {
+        CarbonSignal::synthetic(9, 600.0, 30.0, 1.0, 0.6, 200.0)
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_positive() {
+        let a = sig();
+        let b = sig();
+        assert_eq!(a, b);
+        assert!(a.try_validate().is_ok());
+        assert_eq!(a.len(), 20);
+        assert!((a.horizon_s() - 600.0).abs() < 1e-9);
+        let c = CarbonSignal::synthetic(10, 600.0, 30.0, 1.0, 0.6, 200.0);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn mean_over_matches_hand_integral() {
+        let s = CarbonSignal {
+            step_s: 10.0,
+            values: vec![1.0, 3.0, 5.0],
+        };
+        assert!((s.mean_over(0.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!((s.mean_over(5.0, 15.0) - 2.0).abs() < 1e-12);
+        assert!((s.mean_over(0.0, 30.0) - 3.0).abs() < 1e-12);
+        // Past the end: weighted by the final step.
+        assert!((s.mean_over(25.0, 45.0) - 5.0).abs() < 1e-12);
+        // Degenerate window: point intensity.
+        assert!((s.mean_over(12.0, 12.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_and_green_windows() {
+        let s = CarbonSignal {
+            step_s: 10.0,
+            values: vec![4.0, 1.0, 2.0, 3.0],
+        };
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 4.0).abs() < 1e-12);
+        let th = s.quantile(1.0 / 3.0);
+        assert!((th - 2.0).abs() < 1e-12);
+        assert!(!s.is_green(5.0, th));
+        assert!(s.is_green(15.0, th));
+        assert_eq!(s.next_green_start(0.0, th), Some(10.0));
+        // Inside a green step the "next" green start is now.
+        assert_eq!(s.next_green_start(12.0, th), Some(12.0));
+        assert_eq!(s.next_green_start(35.0, 0.5), None);
+    }
+
+    #[test]
+    fn flat_signal_is_always_its_value() {
+        let s = CarbonSignal::flat(1.0, 300.0, 60.0);
+        assert!(s.try_validate().is_ok());
+        assert!((s.intensity_at(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.mean_over(7.0, 290.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let s = CarbonSignal {
+            step_s: 0.0,
+            values: vec![1.0],
+        };
+        assert!(s.try_validate().unwrap_err().contains("step_s"));
+        let s = CarbonSignal {
+            step_s: 1.0,
+            values: vec![],
+        };
+        assert!(s.try_validate().unwrap_err().contains("values"));
+        let s = CarbonSignal {
+            step_s: 1.0,
+            values: vec![1.0, -2.0],
+        };
+        assert!(s.try_validate().unwrap_err().contains("finite and > 0"));
+    }
+}

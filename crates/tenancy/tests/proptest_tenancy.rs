@@ -1,0 +1,137 @@
+//! Property tests for the tenancy model: arrival schedules are pure
+//! functions of `(seed, config, horizon)` — deterministic, ordered,
+//! horizon-bounded, and independent of the rest of the tenant
+//! population (hence trivially independent of fleet size, which never
+//! enters the generator at all).
+
+use greengpu_tenancy::{
+    generate_tenant_arrivals, tenant_stream_seed, ArrivalProcess, CarbonSignal, SloClass, TenantArrival, TenantConfig,
+};
+use proptest::prelude::*;
+
+/// One syntactically valid tenant from generated parameters.
+fn tenant(name: &str, which: u8, a: f64, b: f64) -> TenantConfig {
+    let arrival = match which % 3 {
+        0 => ArrivalProcess::Diurnal {
+            base_rate_per_s: 0.05 + a,
+            amplitude: (b / 2.0).clamp(0.0, 0.95),
+            period_s: 60.0 + 200.0 * b,
+            phase_s: 30.0 * a,
+        },
+        1 => ArrivalProcess::Bursty {
+            rate_on_per_s: 0.2 + a,
+            rate_off_per_s: 0.01 + 0.05 * b,
+            mean_on_s: 5.0 + 20.0 * a,
+            mean_off_s: 5.0 + 40.0 * b,
+        },
+        _ => ArrivalProcess::Batch {
+            rate_per_s: 0.05 + a,
+            start_s: 50.0 * b,
+            end_s: 50.0 * b + 100.0 + 100.0 * a,
+        },
+    };
+    let slo = match which % 3 {
+        0 => SloClass::LatencyBound {
+            deadline_slack: (1.5 + a, 3.0 + a + b),
+        },
+        1 => SloClass::ThroughputBound {
+            target_completion_rate: (0.3 + 0.6 * b).min(1.0),
+        },
+        _ => SloClass::BestEffort {
+            deferral_horizon_s: 20.0 + 100.0 * b,
+        },
+    };
+    TenantConfig {
+        name: name.to_string(),
+        arrival,
+        mix: vec![("hotspot".to_string(), 1.0), ("kmeans".to_string(), 0.5 + a)],
+        size_range: (0.5, 1.5 + b),
+        slo,
+    }
+}
+
+/// Strips tenant indices so streams can be compared across populations.
+fn shape(xs: &[TenantArrival], keep: usize) -> Vec<(f64, String, f64, Option<f64>)> {
+    xs.iter()
+        .filter(|x| x.tenant == keep)
+        .map(|x| (x.at_s, x.workload.clone(), x.size, x.deadline_slack))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same `(seed, config, horizon)` ⇒ the same merged stream, ordered
+    /// and inside the horizon.
+    #[test]
+    fn arrival_streams_are_deterministic_ordered_and_bounded(
+        seed in any::<u64>(),
+        which in 0u8..3,
+        a in 0.0f64..0.5,
+        b in 0.0f64..1.0,
+        horizon_s in 50.0f64..400.0,
+    ) {
+        let tenants = vec![tenant("alpha", which, a, b)];
+        let x = generate_tenant_arrivals(seed, &tenants, horizon_s);
+        let y = generate_tenant_arrivals(seed, &tenants, horizon_s);
+        prop_assert_eq!(&x, &y);
+        for w in x.windows(2) {
+            prop_assert!(w[0].at_s <= w[1].at_s);
+        }
+        for arr in &x {
+            prop_assert!(arr.at_s >= 0.0 && arr.at_s < horizon_s);
+            prop_assert!(arr.size >= 0.5 && arr.size <= 1.5 + b);
+        }
+    }
+
+    /// A tenant's schedule is a function of its *name* and the root
+    /// seed alone: reordering the population or deleting other tenants
+    /// leaves it untouched — which is exactly why schedules cannot
+    /// depend on fleet size (the generator never sees the fleet).
+    #[test]
+    fn tenant_streams_ignore_the_rest_of_the_population(
+        seed in any::<u64>(),
+        wa in 0u8..3, wb in 0u8..3, wc in 0u8..3,
+        a in 0.0f64..0.4,
+        b in 0.0f64..0.9,
+    ) {
+        let ta = tenant("alpha", wa, a, b);
+        let tb = tenant("bravo", wb, b.min(0.4), a.min(0.9) + 0.05);
+        let tc = tenant("charlie", wc, (a + 0.1).min(0.4), (b + 0.2).min(0.9));
+        let full = generate_tenant_arrivals(seed, &[ta.clone(), tb.clone(), tc.clone()], 200.0);
+        let reduced = generate_tenant_arrivals(seed, &[ta.clone(), tc.clone()], 200.0);
+        let reordered = generate_tenant_arrivals(seed, &[tc, tb, ta], 200.0);
+        prop_assert_eq!(shape(&full, 0), shape(&reduced, 0), "alpha moved when bravo left");
+        prop_assert_eq!(shape(&full, 2), shape(&reduced, 1), "charlie moved when bravo left");
+        prop_assert_eq!(shape(&full, 0), shape(&reordered, 2), "alpha moved under reordering");
+        prop_assert_eq!(shape(&full, 1), shape(&reordered, 1), "bravo moved under reordering");
+        // The per-tenant seeds themselves are population-independent.
+        prop_assert_eq!(tenant_stream_seed(seed, "alpha"), tenant_stream_seed(seed, "alpha"));
+        prop_assert_ne!(tenant_stream_seed(seed, "alpha"), tenant_stream_seed(seed, "bravo"));
+    }
+
+    /// The carbon signal's exact window mean always sits inside the
+    /// signal's range, and green-window search never points backwards.
+    #[test]
+    fn carbon_means_are_bounded_and_green_search_is_forward(
+        seed in any::<u64>(),
+        a in 0.0f64..500.0,
+        len in 1.0f64..400.0,
+        q in 0.0f64..1.0,
+    ) {
+        let sig = CarbonSignal::synthetic(seed, 600.0, 30.0, 1.0, 0.6, 200.0);
+        let mean = sig.mean_over(a, a + len);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for k in 0..sig.len() {
+            let v = sig.intensity_at(k as f64 * sig.step_s());
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
+        let threshold = sig.quantile(q);
+        if let Some(start) = sig.next_green_start(a, threshold) {
+            prop_assert!(start >= a, "green start {start} before query {a}");
+            prop_assert!(sig.is_green(start, threshold));
+        }
+    }
+}
