@@ -1,0 +1,220 @@
+//! Bench: training-workload policy throughput and trace-CSV formatting —
+//! writes `results/BENCH_8.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Training throughput per policy**: the phase-cycling
+//!    [`TrainingLoop`] driven through the scaling-only controller under
+//!    each Tier-2 policy, including the phase-conditioned contextual
+//!    bandits, reported as control intervals simulated per wall second
+//!    and mean per-decision latency. The contextual rows price what the
+//!    detector + per-phase routing adds on top of the flat bandits.
+//! 2. **Trace CSV formatting before/after**: rendering a fleet trace
+//!    through the generic `Table` (per-cell `String` allocations, the
+//!    pre-existing path) vs `FleetTrace::write_csv_into` (one reusable
+//!    scratch buffer, zero allocations per row). The outputs are
+//!    byte-identical — asserted here and unit-tested in
+//!    `crates/cluster/src/telemetry.rs` — so golden traces are
+//!    unchanged and the delta is pure formatting cost.
+//!
+//! Methodology is recorded in the JSON alongside the rows.
+
+use greengpu::baselines::run_with_policy;
+use greengpu::{
+    pair_model_for, DeadlineParams, Exp3Params, GreenGpuConfig, PhaseDetectorParams, PolicySpec, SwitchingParams,
+    UcbParams, WmaParams,
+};
+use greengpu_bench::BENCH_SEED;
+use greengpu_cluster::telemetry::{FleetTrace, TraceRow};
+use greengpu_hw::calib::geforce_8800_gtx;
+use greengpu_runtime::RunConfig;
+use greengpu_sim::JsonValue;
+use greengpu_workloads::training::TrainingLoop;
+use std::time::Instant;
+
+/// Training iterations per policy run (≈2 control intervals each).
+const TRAIN_ITERS: usize = 120;
+/// Iterations per phase stage.
+const PHASE_PERIOD: usize = 4;
+/// Synthetic trace rows for the CSV formatting comparison.
+const TRACE_ROWS: usize = 20_000;
+/// Render repetitions per CSV timing.
+const TRACE_REPS: usize = 20;
+
+/// The policy grid: same shapes the `training` repro experiment sweeps.
+fn specs() -> Vec<(&'static str, PolicySpec)> {
+    let gpu = geforce_8800_gtx();
+    let levels = Some((gpu.core_levels_mhz.clone(), gpu.mem_levels_mhz.clone()));
+    let exp3 = Exp3Params {
+        switching: SwitchingParams::none(),
+        ..Exp3Params::default()
+    };
+    let ucb = UcbParams {
+        c: 0.02,
+        switching: SwitchingParams::none(),
+        ..UcbParams::default()
+    };
+    let detector = PhaseDetectorParams::default();
+    vec![
+        ("wma", PolicySpec::Wma(WmaParams::default())),
+        ("exp3-nosw", PolicySpec::Exp3(exp3)),
+        ("ucb-nosw", PolicySpec::Ucb(ucb)),
+        (
+            "ctx-exp3",
+            PolicySpec::ContextualExp3 {
+                inner: exp3,
+                detector,
+                levels: levels.clone(),
+            },
+        ),
+        (
+            "ctx-ucb",
+            PolicySpec::ContextualUcb {
+                inner: ucb,
+                detector,
+                levels,
+            },
+        ),
+        ("deadline", PolicySpec::Deadline(DeadlineParams::default())),
+    ]
+}
+
+/// Times one training run under `spec`: (intervals/sec, mean decision
+/// latency in microseconds, intervals simulated).
+fn timed_training(spec: &PolicySpec) -> (f64, f64, u64) {
+    let gpu = geforce_8800_gtx();
+    let mut wl = TrainingLoop::with_params(128, TRAIN_ITERS, PHASE_PERIOD, 1.0, BENCH_SEED);
+    let model = pair_model_for(&wl, &gpu);
+    let spec = match spec {
+        PolicySpec::Deadline(_) => PolicySpec::Deadline(DeadlineParams {
+            time_budget_s: model.peak_time_s() * 1.25,
+            ..DeadlineParams::default()
+        }),
+        other => other.clone(),
+    };
+    let policy = spec
+        .build(6, 6, BENCH_SEED, Some(&model))
+        .expect("bench specs are valid");
+    let start = Instant::now();
+    let outcome = run_with_policy(&mut wl, GreenGpuConfig::scaling_only(), RunConfig::sweep(), policy);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let intervals = outcome.telemetry.intervals;
+    (intervals as f64 / wall, wall / intervals.max(1) as f64 * 1e6, intervals)
+}
+
+/// A synthetic but realistic-shaped fleet trace of `n` rows.
+fn synth_trace(n: usize) -> FleetTrace {
+    let rows = (1..=n as u64)
+        .map(|k| TraceRow {
+            interval: k,
+            time_s: k as f64 * 3.0,
+            queue_depth: (k % 7) as usize,
+            busy_nodes: 3,
+            healthy_nodes: 4,
+            gpu_power_w: 180.0 + (k % 50) as f64 * 0.73,
+            total_power_w: 260.0 + (k % 50) as f64 * 0.91,
+            fleet_cap_w: 900.0,
+            budget_w: 1_000.0,
+            completed: k / 3,
+            rejected: k / 40,
+            deadline_misses: k / 90,
+            cap_violations: k / 200,
+            max_pair_over_cap_w: if k % 9 == 0 { 4.25 } else { 0.0 },
+            up_nodes: 4,
+            open_breakers: 0,
+            retry_depth: (k % 3) as usize,
+            dead_lettered: 0,
+        })
+        .collect();
+    FleetTrace { rows }
+}
+
+/// Times the two CSV renderers over the same trace. Returns
+/// (before_ns_per_row, after_ns_per_row).
+fn timed_trace_csv(trace: &FleetTrace) -> (f64, f64) {
+    // Before: the generic Table path — one Vec<String> per row, one
+    // String per cell, then the RFC-4180 escape scan per cell.
+    let mut sink = 0usize;
+    let start = Instant::now();
+    for _ in 0..TRACE_REPS {
+        sink += trace.to_table("t").to_csv().len();
+    }
+    let before = start.elapsed().as_secs_f64() / (TRACE_REPS * trace.rows.len()) as f64 * 1e9;
+
+    // After: one scratch buffer reused across renders.
+    let mut buf = String::new();
+    let start = Instant::now();
+    for _ in 0..TRACE_REPS {
+        buf.clear();
+        trace.write_csv_into(&mut buf);
+        sink += buf.len();
+    }
+    let after = start.elapsed().as_secs_f64() / (TRACE_REPS * trace.rows.len()) as f64 * 1e9;
+
+    // Keep the renders observable and re-assert byte equality at bench
+    // scale (the unit test covers small traces).
+    assert!(sink > 0);
+    assert_eq!(buf, trace.to_table("t").to_csv());
+    (before, after)
+}
+
+fn main() {
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for (name, spec) in specs() {
+        let (rate, decision_us, intervals) = timed_training(&spec);
+        println!(
+            "training {name:<9} {rate:>12.0} intervals/s  {decision_us:>8.3} us/decision  ({intervals} intervals)"
+        );
+        rows.push(JsonValue::Obj(vec![
+            ("policy".to_string(), JsonValue::str(name)),
+            ("intervals_per_s".to_string(), JsonValue::f64(rate)),
+            ("decision_latency_us".to_string(), JsonValue::f64(decision_us)),
+            ("intervals".to_string(), JsonValue::u64(intervals)),
+        ]));
+    }
+
+    let trace = synth_trace(TRACE_ROWS);
+    let (before_ns, after_ns) = timed_trace_csv(&trace);
+    println!("trace csv  before {before_ns:.1} ns/row (Table)  after {after_ns:.1} ns/row (scratch buffer)");
+
+    let doc = JsonValue::Obj(vec![
+        ("bench".to_string(), JsonValue::str("training_phase")),
+        ("seed".to_string(), JsonValue::u64(BENCH_SEED)),
+        (
+            "methodology".to_string(),
+            JsonValue::str(
+                "training rows: the phase-cycling TrainingLoop (128 samples, 120 iterations, \
+                 4-iteration stages, paper-scale cost) run through the scaling-only controller \
+                 under each Tier-2 policy incl. the phase-conditioned contextual bandits; \
+                 intervals_per_s counts simulated 3 s control intervals per wall second, \
+                 decision_latency_us is its inverse (upper bound per masked 36-pair decision, \
+                 including workload advancement). trace_csv rows: a 20k-row synthetic fleet \
+                 trace rendered 20x through the generic Table (per-cell String allocations) vs \
+                 FleetTrace::write_csv_into (one reusable scratch buffer, no per-row \
+                 allocations); outputs are asserted byte-identical, so golden traces are \
+                 unchanged.",
+            ),
+        ),
+        ("training_rows".to_string(), JsonValue::Arr(rows)),
+        (
+            "trace_csv".to_string(),
+            JsonValue::Obj(vec![
+                ("rows".to_string(), JsonValue::usize(TRACE_ROWS)),
+                ("reps".to_string(), JsonValue::usize(TRACE_REPS)),
+                ("before_ns_per_row".to_string(), JsonValue::f64(before_ns)),
+                ("after_ns_per_row".to_string(), JsonValue::f64(after_ns)),
+                (
+                    "note".to_string(),
+                    JsonValue::str(
+                        "before = FleetTrace::to_table().to_csv() (one Vec<String> per row plus \
+                         an escape scan per cell); after = FleetTrace::write_csv_into with one \
+                         reused String scratch buffer (crates/cluster/src/telemetry.rs)",
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_8.json");
+    std::fs::write(&out, format!("{doc}\n")).expect("write results/BENCH_8.json");
+    println!("wrote results/BENCH_8.json");
+}

@@ -81,6 +81,7 @@ impl ServingConfig {
                     rate_off_per_s: 0.02,
                     mean_on_s: 20.0,
                     mean_off_s: 40.0,
+                    on_pareto_alpha: None,
                 },
                 mix: vec![("kmeans".to_string(), 1.0)],
                 size_range: (0.5 * size_scale, 2.0 * size_scale),

@@ -6,6 +6,7 @@
 
 use greengpu_sim::Table;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// String interner for telemetry: workload and tenant names appear once
 /// here, and rows carry compact `u32` ids instead of cloning a `String`
@@ -105,33 +106,34 @@ pub struct FleetTrace {
     pub rows: Vec<TraceRow>,
 }
 
+/// The fleet trace's CSV column contract, shared by the [`Table`]
+/// renderer and the allocation-free writer so the two can never skew.
+// lint:contract(fleet_trace_columns)
+const FLEET_TRACE_COLUMNS: [&str; 18] = [
+    "interval",
+    "time_s",
+    "queue_depth",
+    "busy_nodes",
+    "healthy_nodes",
+    "gpu_power_w",
+    "total_power_w",
+    "fleet_cap_w",
+    "budget_w",
+    "completed",
+    "rejected",
+    "deadline_misses",
+    "cap_violations",
+    "max_pair_over_cap_w",
+    "up_nodes",
+    "open_breakers",
+    "retry_depth",
+    "dead_lettered",
+];
+
 impl FleetTrace {
     /// Renders the trace as a table titled `title`.
     pub fn to_table(&self, title: &str) -> Table {
-        let mut t = Table::new(
-            title,
-            // lint:contract(fleet_trace_columns)
-            &[
-                "interval",
-                "time_s",
-                "queue_depth",
-                "busy_nodes",
-                "healthy_nodes",
-                "gpu_power_w",
-                "total_power_w",
-                "fleet_cap_w",
-                "budget_w",
-                "completed",
-                "rejected",
-                "deadline_misses",
-                "cap_violations",
-                "max_pair_over_cap_w",
-                "up_nodes",
-                "open_breakers",
-                "retry_depth",
-                "dead_lettered",
-            ],
-        );
+        let mut t = Table::new(title, &FLEET_TRACE_COLUMNS);
         for r in &self.rows {
             t.row(&[
                 r.interval.to_string(),
@@ -155,6 +157,47 @@ impl FleetTrace {
             ]);
         }
         t
+    }
+
+    /// Appends the trace's CSV (header plus one line per interval) to
+    /// `buf` — byte-identical to `self.to_table(title).to_csv()` but
+    /// with zero allocations per row: every cell is numeric, so the
+    /// RFC-4180 escape path can never trigger and the cells are written
+    /// straight into the caller's scratch buffer. Callers reuse one
+    /// buffer across batched writes (`clear()` between traces keeps the
+    /// capacity).
+    pub fn write_csv_into(&self, buf: &mut String) {
+        for (k, h) in FLEET_TRACE_COLUMNS.iter().enumerate() {
+            if k > 0 {
+                buf.push(',');
+            }
+            buf.push_str(h);
+        }
+        buf.push('\n');
+        for r in &self.rows {
+            let _ = writeln!(
+                buf,
+                "{},{:.2},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{:.3},{},{},{},{}",
+                r.interval,
+                r.time_s,
+                r.queue_depth,
+                r.busy_nodes,
+                r.healthy_nodes,
+                r.gpu_power_w,
+                r.total_power_w,
+                r.fleet_cap_w,
+                r.budget_w,
+                r.completed,
+                r.rejected,
+                r.deadline_misses,
+                r.cap_violations,
+                r.max_pair_over_cap_w,
+                r.up_nodes,
+                r.open_breakers,
+                r.retry_depth,
+                r.dead_lettered,
+            );
+        }
     }
 
     /// Time-weighted mean GPU power across the trace, watts.
@@ -199,22 +242,23 @@ pub struct ServingTrace {
     pub rows: Vec<ServingTraceRow>,
 }
 
+/// The serving trace's CSV column contract, shared by the [`Table`]
+/// renderer and the allocation-free writer.
+// lint:contract(serving_trace_columns)
+const SERVING_TRACE_COLUMNS: [&str; 7] = [
+    "interval",
+    "time_s",
+    "carbon_intensity",
+    "green",
+    "deferred_pending",
+    "jobs_deferred",
+    "jobs_released",
+];
+
 impl ServingTrace {
     /// Renders the trace as a table titled `title`.
     pub fn to_table(&self, title: &str) -> Table {
-        let mut t = Table::new(
-            title,
-            // lint:contract(serving_trace_columns)
-            &[
-                "interval",
-                "time_s",
-                "carbon_intensity",
-                "green",
-                "deferred_pending",
-                "jobs_deferred",
-                "jobs_released",
-            ],
-        );
+        let mut t = Table::new(title, &SERVING_TRACE_COLUMNS);
         for r in &self.rows {
             t.row(&[
                 r.interval.to_string(),
@@ -227,6 +271,32 @@ impl ServingTrace {
             ]);
         }
         t
+    }
+
+    /// Appends the trace's CSV to `buf`, byte-identical to
+    /// `self.to_table(title).to_csv()` with zero per-row allocations —
+    /// the serving counterpart of [`FleetTrace::write_csv_into`].
+    pub fn write_csv_into(&self, buf: &mut String) {
+        for (k, h) in SERVING_TRACE_COLUMNS.iter().enumerate() {
+            if k > 0 {
+                buf.push(',');
+            }
+            buf.push_str(h);
+        }
+        buf.push('\n');
+        for r in &self.rows {
+            let _ = writeln!(
+                buf,
+                "{},{:.2},{:.4},{},{},{},{}",
+                r.interval,
+                r.time_s,
+                r.carbon_intensity,
+                u8::from(r.green),
+                r.deferred_pending,
+                r.jobs_deferred,
+                r.jobs_released,
+            );
+        }
     }
 }
 
@@ -276,6 +346,48 @@ mod tests {
         };
         assert_eq!(trace.peak_queue_depth(), 3);
         assert!((trace.mean_gpu_power_w() - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_writer_matches_table_csv_byte_for_byte() {
+        // The allocation-free path must be indistinguishable from the
+        // Table renderer — golden traces pin the Table output, so any
+        // skew here is silent corruption. Negative time/power exercise
+        // the sign formatting; the buffer is reused across traces the
+        // way batched writers hold it.
+        let mut r = row(7);
+        r.time_s = -0.0;
+        r.max_pair_over_cap_w = 12.3456;
+        let trace = FleetTrace {
+            rows: vec![row(1), r, row(3)],
+        };
+        let mut buf = String::new();
+        trace.write_csv_into(&mut buf);
+        assert_eq!(buf, trace.to_table("ignored").to_csv());
+        buf.clear();
+        let empty = FleetTrace::default();
+        empty.write_csv_into(&mut buf);
+        assert_eq!(buf, empty.to_table("t").to_csv(), "header-only trace");
+    }
+
+    #[test]
+    fn serving_scratch_writer_matches_table_csv() {
+        let trace = ServingTrace {
+            rows: (0..4)
+                .map(|k| ServingTraceRow {
+                    interval: k,
+                    time_s: k as f64 * 3.0,
+                    carbon_intensity: 0.5 + k as f64 * 0.25,
+                    green: k % 2 == 0,
+                    deferred_pending: k as usize,
+                    jobs_deferred: k * 2,
+                    jobs_released: k,
+                })
+                .collect(),
+        };
+        let mut buf = String::new();
+        trace.write_csv_into(&mut buf);
+        assert_eq!(buf, trace.to_table("ignored").to_csv());
     }
 
     #[test]

@@ -20,7 +20,9 @@ use greengpu_sim::{SimDuration, SimTime};
 
 /// Format version written into every controller checkpoint; restores
 /// reject any other version (bump on incompatible schema changes).
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Version 2: the contextual policies' nested detector/inner snapshots
+/// joined the policy-state schema.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Which division algorithm tier 1 runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

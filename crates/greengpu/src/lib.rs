@@ -60,7 +60,7 @@ pub use ondemand::OndemandGovernor;
 pub use policy::{pair_model_for, PolicySpec, WmaPolicy};
 // Re-export the policy crate's surface so consumers need only `greengpu`.
 pub use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, PolicyTelemetry, SwitchingParams,
-    UcbParams, UcbPolicy,
+    Contextual, DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, PhaseDetectorParams,
+    PolicyTelemetry, SwitchingParams, UcbParams, UcbPolicy,
 };
 pub use wma::{WmaParams, WmaScaler};

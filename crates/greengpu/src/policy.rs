@@ -15,9 +15,10 @@ use crate::wma::{WmaParams, WmaScaler};
 use greengpu_hw::GpuSpec;
 use greengpu_policy::telemetry::DecisionTracker;
 use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, LossModel, LossParams, PairModel,
-    PolicyTelemetry, UcbParams, UcbPolicy,
+    Contextual, DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, LossModel, LossParams, PairModel,
+    PhaseDetectorParams, PolicyTelemetry, UcbParams, UcbPolicy,
 };
+use greengpu_sim::SplitMix64;
 use greengpu_workloads::model::phase_gpu_timing;
 use greengpu_workloads::Workload;
 
@@ -132,6 +133,31 @@ pub enum PolicySpec {
     /// Deadline-aware energy-minimizing selection; building it requires
     /// a [`PairModel`] (see [`PolicySpec::build`]).
     Deadline(DeadlineParams),
+    /// Phase-conditioned EXP3: one inner bandit per phase the detector
+    /// discovers. The wrapper's switching accounting and the telemetry
+    /// loss model reuse the inner parameters' own `switching`/`loss`.
+    ContextualExp3 {
+        /// Parameters every inner bandit is built with.
+        inner: Exp3Params,
+        /// Phase-detector tuning (`max_phases` bounds the inner count;
+        /// [`PhaseDetectorParams::disabled`] is the detector-off
+        /// ablation).
+        detector: PhaseDetectorParams,
+        /// Optional per-level clock tables `(core, mem)` enabling
+        /// clock-invariant detection ([`Contextual::with_level_caps`]);
+        /// `None` feeds the detector raw utilizations.
+        levels: Option<(Vec<f64>, Vec<f64>)>,
+    },
+    /// Phase-conditioned UCB: one inner bandit per detected phase.
+    ContextualUcb {
+        /// Parameters every inner bandit is built with.
+        inner: UcbParams,
+        /// Phase-detector tuning.
+        detector: PhaseDetectorParams,
+        /// Optional per-level clock tables `(core, mem)` for
+        /// clock-invariant detection.
+        levels: Option<(Vec<f64>, Vec<f64>)>,
+    },
 }
 
 impl Default for PolicySpec {
@@ -149,6 +175,8 @@ impl PolicySpec {
             PolicySpec::Exp3(_) => "exp3",
             PolicySpec::Ucb(_) => "ucb",
             PolicySpec::Deadline(_) => "deadline",
+            PolicySpec::ContextualExp3 { .. } => "ctx-exp3",
+            PolicySpec::ContextualUcb { .. } => "ctx-ucb",
         }
     }
 
@@ -159,6 +187,14 @@ impl PolicySpec {
             PolicySpec::Exp3(p) => p.try_validate(),
             PolicySpec::Ucb(p) => p.try_validate(),
             PolicySpec::Deadline(p) => p.try_validate(),
+            PolicySpec::ContextualExp3 { inner, detector, .. } => {
+                inner.try_validate()?;
+                detector.try_validate()
+            }
+            PolicySpec::ContextualUcb { inner, detector, .. } => {
+                inner.try_validate()?;
+                detector.try_validate()
+            }
         }
     }
 
@@ -191,6 +227,38 @@ impl PolicySpec {
                     ));
                 }
                 Ok(Box::new(DeadlinePolicy::new(model.clone(), *p)))
+            }
+            PolicySpec::ContextualExp3 {
+                inner,
+                detector,
+                levels,
+            } => {
+                // Inner seeds derive from the run seed through the same
+                // SplitMix64 expansion the rest of the suite uses, so
+                // every phase's bandit gets an independent stream that
+                // is still a pure function of `seed`.
+                let mut root = SplitMix64::new(seed);
+                let seeds: Vec<u64> = (0..detector.max_phases).map(|_| root.next_u64()).collect();
+                let mut ctx = Contextual::new(n_core, n_mem, *detector, inner.switching, inner.loss, |k| {
+                    Exp3Policy::new(n_core, n_mem, *inner, seeds[k])
+                })?;
+                if let Some((core, mem)) = levels {
+                    ctx = ctx.with_level_caps(core, mem)?;
+                }
+                Ok(Box::new(ctx))
+            }
+            PolicySpec::ContextualUcb {
+                inner,
+                detector,
+                levels,
+            } => {
+                let mut ctx = Contextual::new(n_core, n_mem, *detector, inner.switching, inner.loss, |_| {
+                    UcbPolicy::new(n_core, n_mem, *inner)
+                })?;
+                if let Some((core, mem)) = levels {
+                    ctx = ctx.with_level_caps(core, mem)?;
+                }
+                Ok(Box::new(ctx))
             }
         }
     }
@@ -279,6 +347,16 @@ mod tests {
                 time_budget_s: model.peak_time_s() * 1.5,
                 ..DeadlineParams::default()
             }),
+            PolicySpec::ContextualExp3 {
+                inner: Exp3Params::default(),
+                detector: PhaseDetectorParams::default(),
+                levels: Some((spec.core_levels_mhz.clone(), spec.mem_levels_mhz.clone())),
+            },
+            PolicySpec::ContextualUcb {
+                inner: UcbParams::default(),
+                detector: PhaseDetectorParams::disabled(),
+                levels: None,
+            },
         ];
         for s in &specs {
             assert!(s.try_validate().is_ok(), "{}", s.kind());
@@ -304,6 +382,26 @@ mod tests {
         let err = bad.try_validate().unwrap_err();
         assert!(err.contains("beta"), "{err}");
         assert!(bad.build(6, 6, 1, None).is_err());
+        let bad_detector = PolicySpec::ContextualUcb {
+            inner: UcbParams::default(),
+            detector: PhaseDetectorParams {
+                max_phases: 0,
+                ..PhaseDetectorParams::default()
+            },
+            levels: None,
+        };
+        let err = bad_detector.try_validate().unwrap_err();
+        assert!(err.contains("max_phases"), "{err}");
+        let bad_levels = PolicySpec::ContextualUcb {
+            inner: UcbParams::default(),
+            detector: PhaseDetectorParams::default(),
+            levels: Some((vec![1.0, 2.0], vec![1.0, 2.0])),
+        };
+        let err = bad_levels
+            .build(6, 6, 1, None)
+            .err()
+            .expect("must refuse short level tables");
+        assert!(err.contains("levels"), "{err}");
     }
 
     #[test]

@@ -18,8 +18,10 @@ use crate::findings::Finding;
 use crate::lexer::TokKind;
 use crate::source::{match_delim, FileKind, SourceFile};
 
-/// Crates that participate in learner checkpointing.
-const SCOPE: &[&str] = &["greengpu", "policy", "cluster"];
+/// Crates that participate in learner checkpointing. The phase
+/// detector's snapshot nests inside the contextual policies' state, so
+/// its field set is part of the same wire format.
+const SCOPE: &[&str] = &["greengpu", "phase", "policy", "cluster"];
 
 /// Function names whose bodies define the checkpoint wire format.
 const SNAPSHOT_FNS: &[&str] = &["snapshot", "restore", "checkpoint_data", "restore_checkpoint"];

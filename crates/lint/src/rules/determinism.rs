@@ -11,7 +11,9 @@ use crate::findings::Finding;
 use crate::source::FileKind;
 
 /// Crates whose library code must be wall-clock- and hash-order-free.
-pub const SCOPE: &[&str] = &["sim", "cluster", "policy", "greengpu", "repro", "runtime", "tenancy"];
+pub const SCOPE: &[&str] = &[
+    "sim", "cluster", "policy", "phase", "greengpu", "repro", "runtime", "tenancy",
+];
 
 /// Forbidden identifier → what to use instead.
 const FORBIDDEN: &[(&str, &str)] = &[

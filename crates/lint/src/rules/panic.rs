@@ -11,7 +11,7 @@ use crate::lexer::TokKind;
 use crate::source::FileKind;
 
 /// Crates whose library code sits on controller paths.
-pub const SCOPE: &[&str] = &["greengpu", "cluster", "policy", "runtime", "tenancy"];
+pub const SCOPE: &[&str] = &["greengpu", "cluster", "policy", "phase", "runtime", "tenancy"];
 
 /// The rule.
 pub struct PanicFreedom;

@@ -78,7 +78,7 @@ impl SwitchingParams {
 }
 
 /// Normalized L1 level distance between two pairs in `[0, 1]`.
-fn dist_norm(a: (usize, usize), b: (usize, usize), n_core: usize, n_mem: usize) -> f64 {
+pub(crate) fn dist_norm(a: (usize, usize), b: (usize, usize), n_core: usize, n_mem: usize) -> f64 {
     let d = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
     let d_max = (n_core - 1) + (n_mem - 1);
     d as f64 / d_max as f64

@@ -34,12 +34,15 @@
 #![forbid(unsafe_code)]
 
 pub mod bandit;
+pub mod contextual;
 pub mod deadline;
 pub mod loss;
 pub mod telemetry;
 
 pub use bandit::{Exp3Params, Exp3Policy, SwitchingParams, UcbParams, UcbPolicy};
+pub use contextual::Contextual;
 pub use deadline::{DeadlineParams, DeadlinePolicy, PairModel};
+pub use greengpu_phase::{PhaseDetector, PhaseDetectorParams, PhaseId, PhaseTracker};
 pub use greengpu_sim::JsonValue;
 pub use loss::{LossModel, LossParams};
 pub use telemetry::{DecisionTracker, PolicyTelemetry};

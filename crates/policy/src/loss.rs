@@ -88,6 +88,41 @@ impl LossModel {
         }
     }
 
+    /// Closed-form per-domain argmin of the V-shaped level loss.
+    ///
+    /// Each domain's loss is piecewise linear in `umean` with slope
+    /// `−(1−α)` below the observed utilization and `+α` above it, so the
+    /// minimizer is one of the two levels bracketing `u` on the linear
+    /// map — no grid scan needed. Because Eq. 3 is separable and `φ`
+    /// weights both domains positively (`φ ∈ (0, 1)`), the pair of
+    /// per-domain minimizers is exactly the grid argmin, with the same
+    /// lower-level tie-break as [`DecisionTracker::best_static`]. This
+    /// is the per-interval *sweet-spot oracle* the contextual policies
+    /// are scored against.
+    ///
+    /// [`DecisionTracker::best_static`]: crate::telemetry::DecisionTracker::best_static
+    pub fn sweet_spot(&self, u_core: f64, u_mem: f64) -> (usize, usize) {
+        (
+            Self::domain_argmin(&self.ucmean, u_core.clamp(0.0, 1.0), self.params.alpha_core),
+            Self::domain_argmin(&self.ummean, u_mem.clamp(0.0, 1.0), self.params.alpha_mem),
+        )
+    }
+
+    /// The lower/upper bracketing level with the smaller V-loss (ties
+    /// toward the lower level, matching row-major exhaustive scans).
+    fn domain_argmin(means: &[f64], u: f64, alpha: f64) -> usize {
+        let n = means.len();
+        let lo = ((u * (n - 1) as f64).floor() as usize).min(n - 1);
+        let hi = (lo + 1).min(n - 1);
+        let l_lo = (1.0 - alpha) * (u - means[lo]);
+        let l_hi = alpha * (means[hi] - u);
+        if l_lo <= l_hi {
+            lo
+        } else {
+            hi
+        }
+    }
+
     /// The combined Eq. 3 loss of pair `(i, j)` under clamped
     /// utilizations — always in `[0, 1]`.
     pub fn loss(&self, i: usize, j: usize, u_core: f64, u_mem: f64) -> f64 {
@@ -134,6 +169,42 @@ mod tests {
         let err = bad.try_validate().unwrap_err();
         assert!(err.contains("phi"), "{err}");
         assert!(LossParams::default().try_validate().is_ok());
+    }
+
+    #[test]
+    fn sweet_spot_matches_exhaustive_grid_argmin() {
+        // The closed form must agree with a row-major exhaustive scan
+        // (strict-< keeps the first minimum, i.e. lower levels on ties)
+        // across the whole utilization square, including level-exact and
+        // out-of-range inputs.
+        let m = LossModel::new(6, 6, LossParams::default());
+        let mut us: Vec<f64> = (0..=20).map(|k| k as f64 / 20.0).collect();
+        us.extend([-0.5, 1.5, 0.123_456, 0.999_99]);
+        for &uc in &us {
+            for &um in &us {
+                let mut best = (0, 0);
+                let mut best_l = f64::INFINITY;
+                for i in 0..6 {
+                    for j in 0..6 {
+                        let l = m.loss(i, j, uc, um);
+                        if l < best_l {
+                            best_l = l;
+                            best = (i, j);
+                        }
+                    }
+                }
+                assert_eq!(m.sweet_spot(uc, um), best, "u = ({uc}, {um})");
+            }
+        }
+    }
+
+    #[test]
+    fn sweet_spot_is_exact_on_level_means() {
+        let m = LossModel::new(6, 6, LossParams::default());
+        for i in 0..6 {
+            let u = i as f64 / 5.0;
+            assert_eq!(m.sweet_spot(u, u), (i, i));
+        }
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub struct PolicyTelemetry {
     pub best_static_loss: f64,
     /// Regret: `cumulative_loss − best_static_loss`.
     pub regret: f64,
+    /// Cumulative loss of the per-interval sweet-spot oracle: the
+    /// closed-form [`LossModel::sweet_spot`] pair charged each interval.
+    /// A *dynamic* comparator — it re-optimizes every interval, so it
+    /// lower-bounds every static comparator and every policy.
+    pub oracle_loss: f64,
+    /// Exact-oracle regret: `cumulative_loss − oracle_loss`. Always
+    /// ≥ `regret`; the gap between the two is what phase-conditioned
+    /// policies can close on phase-cycling workloads.
+    pub oracle_regret: f64,
     /// Intervals whose feasible set was empty (decision degraded to the
     /// lowest-power pair `(0, 0)`).
     pub empty_mask_fallbacks: u64,
@@ -85,6 +94,9 @@ impl DecisionTracker {
         let best = self.static_loss.iter().copied().fold(f64::INFINITY, f64::min);
         self.telemetry.best_static_loss = best;
         self.telemetry.regret = self.telemetry.cumulative_loss - best;
+        let sweet = self.model.sweet_spot(u_core, u_mem);
+        self.telemetry.oracle_loss += self.model.loss(sweet.0, sweet.1, u_core, u_mem);
+        self.telemetry.oracle_regret = self.telemetry.cumulative_loss - self.telemetry.oracle_loss;
     }
 
     /// Counts an empty-feasible-set fallback.
@@ -190,6 +202,39 @@ mod tests {
         t.reset();
         assert_eq!(t.telemetry(), &PolicyTelemetry::default());
         assert_eq!(t.last_pair(), None);
+    }
+
+    #[test]
+    fn oracle_regret_dominates_static_regret() {
+        // The dynamic sweet-spot comparator re-optimizes per interval,
+        // so its cumulative loss lower-bounds the best static pair's —
+        // oracle_regret ≥ regret, with equality only on constant traces.
+        let mut t = tracker();
+        for k in 0..12 {
+            let u = if k % 2 == 0 { 0.85 } else { 0.25 };
+            t.record(u, 1.0 - u, (3, 3), 0.0);
+        }
+        let telem = t.telemetry();
+        assert!(telem.oracle_loss <= telem.best_static_loss + 1e-12);
+        assert!(telem.oracle_regret >= telem.regret - 1e-12);
+        assert!(
+            telem.oracle_regret > telem.regret + 1e-9,
+            "a fluctuating trace must open a gap: {} vs {}",
+            telem.oracle_regret,
+            telem.regret
+        );
+    }
+
+    #[test]
+    fn oracle_has_zero_regret_against_itself_on_level_exact_traces() {
+        let mut t = tracker();
+        for _ in 0..10 {
+            // u sits exactly on level 3's umean: sweet spot is (3, 3)
+            // with zero loss, and playing it charges zero loss.
+            t.record(0.6, 0.6, (3, 3), 0.0);
+        }
+        assert_eq!(t.telemetry().oracle_loss, 0.0);
+        assert!(t.telemetry().oracle_regret.abs() < 1e-12);
     }
 
     #[test]

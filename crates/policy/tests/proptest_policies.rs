@@ -3,9 +3,41 @@
 //! and are deterministic under a fixed seed.
 
 use greengpu_policy::{
-    DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, PairModel, UcbParams, UcbPolicy,
+    Contextual, DeadlineParams, DeadlinePolicy, Exp3Params, Exp3Policy, FreqPolicy, LossParams, PairModel,
+    PhaseDetectorParams, SwitchingParams, UcbParams, UcbPolicy,
 };
+use greengpu_sim::SplitMix64;
 use proptest::prelude::*;
+
+/// The phase-conditioned exp3 wrapper, seeded one inner per potential
+/// phase like the `PolicySpec` builder does.
+fn ctx_exp3(n_core: usize, n_mem: usize, seed: u64) -> Contextual<Exp3Policy> {
+    let mut root = SplitMix64::new(seed);
+    let max = PhaseDetectorParams::default().max_phases;
+    let seeds: Vec<u64> = (0..max).map(|_| root.next_u64()).collect();
+    Contextual::new(
+        n_core,
+        n_mem,
+        PhaseDetectorParams::default(),
+        SwitchingParams::default(),
+        LossParams::default(),
+        |k| Exp3Policy::new(n_core, n_mem, Exp3Params::default(), seeds[k]),
+    )
+    .expect("valid contextual params")
+}
+
+/// The phase-conditioned UCB wrapper (seedless inners).
+fn ctx_ucb(n_core: usize, n_mem: usize) -> Contextual<UcbPolicy> {
+    Contextual::new(
+        n_core,
+        n_mem,
+        PhaseDetectorParams::default(),
+        SwitchingParams::default(),
+        LossParams::default(),
+        |_| UcbPolicy::new(n_core, n_mem, UcbParams::default()),
+    )
+    .expect("valid contextual params")
+}
 
 /// Builds one of each policy family over an `n_core × n_mem` grid.
 fn all_policies(n_core: usize, n_mem: usize, seed: u64) -> Vec<Box<dyn FreqPolicy>> {
@@ -24,6 +56,8 @@ fn all_policies(n_core: usize, n_mem: usize, seed: u64) -> Vec<Box<dyn FreqPolic
                 ..DeadlineParams::default()
             },
         )),
+        Box::new(ctx_exp3(n_core, n_mem, seed)),
+        Box::new(ctx_ucb(n_core, n_mem)),
     ]
 }
 
@@ -115,6 +149,44 @@ proptest! {
                 prop_assert!(feasible(pa.0, pa.1));
             }
             prop_assert_eq!(a.telemetry().invalid_inputs, bad, "{}", a.name());
+        }
+    }
+
+    /// Contextual checkpoint round trips are bit-exact at any split
+    /// point: a fresh same-seed wrapper restored from the donor's
+    /// snapshot replays its future decision-for-decision — detector
+    /// window, phase library, per-phase inners, and the enforced pair
+    /// all survive serialization.
+    #[test]
+    fn contextual_checkpoint_round_trip_is_bit_exact(
+        seed in any::<u64>(),
+        split in 1usize..120,
+        reps in 4usize..20,
+    ) {
+        let total = 160usize;
+        let split = split.min(total - 1);
+        let wave = |k: usize| if (k / reps).is_multiple_of(2) { (0.85, 0.25) } else { (0.2, 0.8) };
+        let mut donors: Vec<Box<dyn FreqPolicy>> =
+            vec![Box::new(ctx_exp3(6, 6, seed)), Box::new(ctx_ucb(6, 6))];
+        let mut restored: Vec<Box<dyn FreqPolicy>> =
+            vec![Box::new(ctx_exp3(6, 6, seed)), Box::new(ctx_ucb(6, 6))];
+        for (a, b) in donors.iter_mut().zip(restored.iter_mut()) {
+            for k in 0..split {
+                let (uc, um) = wave(k);
+                a.decide(uc, um, &|_, _| true);
+            }
+            let snap = a.snapshot();
+            b.restore(&snap).expect("restore own snapshot");
+            prop_assert_eq!(snap.to_string(), b.snapshot().to_string(), "{} restore not exact", a.name());
+            for k in split..total {
+                let (uc, um) = wave(k);
+                prop_assert_eq!(
+                    a.decide(uc, um, &|_, _| true),
+                    b.decide(uc, um, &|_, _| true),
+                    "{} diverged at interval {}", a.name(), k
+                );
+            }
+            prop_assert_eq!(a.snapshot().to_string(), b.snapshot().to_string(), "{} end state", a.name());
         }
     }
 

@@ -15,6 +15,7 @@ pub mod scorecard;
 pub mod serving;
 pub mod static_search;
 pub mod tables;
+pub mod training;
 
 use greengpu_sim::Table;
 use std::fmt::Write as _;
@@ -119,7 +120,7 @@ fn update_manifest(dir: &Path, experiment: &str, files: &[String], seed: u64) ->
 pub const DEFAULT_SEED: u64 = 20120910; // ICPP 2012 dates
 
 /// All experiment ids in presentation order.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "table1",
     "table2",
     "fig1",
@@ -135,6 +136,7 @@ pub const ALL_IDS: [&str; 16] = [
     "cluster",
     "chaos",
     "serving",
+    "training",
     "scorecard",
 ];
 
@@ -156,6 +158,7 @@ pub fn run_by_id(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "cluster" => cluster::run(seed),
         "chaos" => chaos::run(seed),
         "serving" => serving::run(seed),
+        "training" => training::run(seed),
         "scorecard" => scorecard::run(seed),
         _ => return None,
     })

@@ -16,7 +16,7 @@
 //! CI to prove exactly that on real experiment output).
 
 use greengpu_cluster::EngineKind;
-use greengpu_repro::experiments::{chaos, cluster, run_by_id, serving, ALL_IDS, DEFAULT_SEED};
+use greengpu_repro::experiments::{chaos, cluster, run_by_id, serving, training, ALL_IDS, DEFAULT_SEED};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -103,9 +103,11 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let fleet_flag = args.nodes.is_some() || args.seconds.is_some() || args.engine.is_some() || args.workers.is_some();
-    if fleet_flag && args.experiment != "cluster" && args.experiment != "chaos" && args.experiment != "serving" {
+    let fleet_experiments = ["cluster", "chaos", "serving", "training"];
+    if fleet_flag && !fleet_experiments.contains(&args.experiment.as_str()) {
         return Err(
-            "--nodes/--seconds/--engine/--workers only apply to --experiment cluster, chaos, or serving".to_string(),
+            "--nodes/--seconds/--engine/--workers only apply to --experiment cluster, chaos, serving, or training"
+                .to_string(),
         );
     }
     if args.nodes == Some(0) {
@@ -167,6 +169,13 @@ fn main() -> ExitCode {
             ))
         } else if custom && id == "serving" {
             Some(serving::run_custom(
+                args.seed,
+                args.nodes.unwrap_or(3),
+                args.seconds.unwrap_or(30),
+                engine,
+            ))
+        } else if custom && id == "training" {
+            Some(training::run_custom(
                 args.seed,
                 args.nodes.unwrap_or(3),
                 args.seconds.unwrap_or(30),

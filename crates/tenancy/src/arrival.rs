@@ -44,6 +44,15 @@ pub enum ArrivalProcess {
         mean_on_s: f64,
         /// Mean quiet duration, seconds.
         mean_off_s: f64,
+        /// Optional heavy tail for the *on*-period durations: `Some(α)`
+        /// replaces the exponential burst length with a Pareto draw of
+        /// shape `α > 1` whose scale is chosen to keep the mean at
+        /// `mean_on_s` (`x_m = mean_on_s · (α−1)/α`), so the stationary
+        /// rate — and hence load sizing — is unchanged. `α ≤ 2` gives
+        /// infinite burst-length variance, the classic source of
+        /// self-similar traffic; `None` keeps the exponential (memoryless)
+        /// sessions.
+        on_pareto_alpha: Option<f64>,
     },
     /// Batch backfill: constant-rate Poisson inside `[start_s, end_s)`,
     /// silence outside — the nightly training/report window.
@@ -96,6 +105,7 @@ impl ArrivalProcess {
                 rate_off_per_s,
                 mean_on_s,
                 mean_off_s,
+                on_pareto_alpha,
             } => {
                 if !(rate_on_per_s.is_finite() && *rate_on_per_s > 0.0) {
                     return Err(format!(
@@ -112,6 +122,13 @@ impl ArrivalProcess {
                 }
                 if !(mean_off_s.is_finite() && *mean_off_s > 0.0) {
                     return Err(format!("arrival.mean_off_s must be finite and > 0, got {mean_off_s}"));
+                }
+                if let Some(alpha) = on_pareto_alpha {
+                    // α = 1 has no finite mean, so the mean-preserving
+                    // scale x_m = mean·(α−1)/α would collapse to zero.
+                    if !(alpha.is_finite() && *alpha > 1.0) {
+                        return Err(format!("arrival.on_pareto_alpha must be finite and > 1, got {alpha}"));
+                    }
                 }
             }
             ArrivalProcess::Batch {
@@ -144,7 +161,10 @@ impl ArrivalProcess {
                 rate_off_per_s,
                 mean_on_s,
                 mean_off_s,
+                ..
             } => {
+                // The Pareto tail (if any) is mean-preserving by
+                // construction, so the stationary mean is tail-agnostic.
                 let cycle = mean_on_s + mean_off_s;
                 if cycle <= 0.0 {
                     return 0.0;
@@ -205,18 +225,25 @@ impl ArrivalProcess {
                 rate_off_per_s,
                 mean_on_s,
                 mean_off_s,
+                on_pareto_alpha,
             } => {
-                // Alternating exponential phases, each a homogeneous
-                // Poisson segment. The phase stream is separate from the
-                // gap stream so the burst boundaries do not depend on
-                // how many jobs the previous phase emitted.
+                // Alternating phases, each a homogeneous Poisson segment.
+                // The phase stream is separate from the gap stream so the
+                // burst boundaries do not depend on how many jobs the
+                // previous phase emitted. Off-periods are always
+                // exponential; on-periods switch to a mean-preserving
+                // Pareto when a tail shape is configured.
                 let mut r_phase = Pcg32::new(root, STREAM_PHASE);
                 let mut out = Vec::new();
                 let mut phase_start = 0.0f64;
                 let mut on = true;
                 while phase_start < horizon_s {
-                    let mean = if on { *mean_on_s } else { *mean_off_s };
-                    let phase_end = (phase_start + exp_draw(&mut r_phase, 1.0 / mean)).min(horizon_s);
+                    let dur = match (on, on_pareto_alpha) {
+                        (true, Some(alpha)) => pareto_draw(&mut r_phase, *mean_on_s, *alpha),
+                        (true, None) => exp_draw(&mut r_phase, 1.0 / mean_on_s),
+                        (false, _) => exp_draw(&mut r_phase, 1.0 / mean_off_s),
+                    };
+                    let phase_end = (phase_start + dur).min(horizon_s);
                     let rate = if on { *rate_on_per_s } else { *rate_off_per_s };
                     if rate > 0.0 {
                         let mut t = phase_start;
@@ -260,6 +287,15 @@ fn exp_draw(rng: &mut Pcg32, rate: f64) -> f64 {
     -(1.0 - rng.next_f64()).ln() / rate
 }
 
+/// One Pareto draw of shape `alpha > 1` with the scale chosen so the
+/// mean is exactly `mean`: `E[X] = x_m·α/(α−1)` ⇒ `x_m = mean·(α−1)/α`.
+/// Inverse-CDF sampling; `1 - u` keeps the power argument strictly
+/// positive. Every draw is at least `x_m`, so durations stay > 0.
+fn pareto_draw(rng: &mut Pcg32, mean: f64, alpha: f64) -> f64 {
+    let x_m = mean * (alpha - 1.0) / alpha;
+    x_m * (1.0 - rng.next_f64()).powf(-1.0 / alpha)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +313,14 @@ mod tests {
                 rate_off_per_s: 0.05,
                 mean_on_s: 10.0,
                 mean_off_s: 40.0,
+                on_pareto_alpha: None,
+            },
+            ArrivalProcess::Bursty {
+                rate_on_per_s: 2.0,
+                rate_off_per_s: 0.05,
+                mean_on_s: 10.0,
+                mean_off_s: 40.0,
+                on_pareto_alpha: Some(2.5),
             },
             ArrivalProcess::Batch {
                 rate_per_s: 1.0,
@@ -356,8 +400,22 @@ mod tests {
             rate_off_per_s: -0.1,
             mean_on_s: 5.0,
             mean_off_s: 5.0,
+            on_pareto_alpha: None,
         };
         assert!(bad.try_validate().unwrap_err().contains("rate_off_per_s"));
+        for alpha in [1.0, 0.5, f64::NAN, f64::INFINITY] {
+            let bad = ArrivalProcess::Bursty {
+                rate_on_per_s: 1.0,
+                rate_off_per_s: 0.0,
+                mean_on_s: 5.0,
+                mean_off_s: 5.0,
+                on_pareto_alpha: Some(alpha),
+            };
+            assert!(
+                bad.try_validate().unwrap_err().contains("on_pareto_alpha"),
+                "alpha {alpha} must be rejected"
+            );
+        }
         let bad = ArrivalProcess::Batch {
             rate_per_s: 1.0,
             start_s: 50.0,
@@ -365,6 +423,50 @@ mod tests {
         };
         assert!(bad.try_validate().unwrap_err().contains("end_s"));
         assert!(bad.generate(1, 100.0).is_empty(), "invalid configs generate nothing");
+    }
+
+    #[test]
+    fn pareto_tail_is_mean_preserving_and_bounded_below() {
+        let mut rng = Pcg32::new(0xBEEF, STREAM_PHASE);
+        let (mean, alpha) = (10.0, 2.5);
+        let x_m = mean * (alpha - 1.0) / alpha;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = pareto_draw(&mut rng, mean, alpha);
+            assert!(d >= x_m, "Pareto draws start at the scale x_m, got {d}");
+            sum += d;
+        }
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.05 * mean, "empirical mean {got:.3} vs {mean}");
+    }
+
+    #[test]
+    fn pareto_tail_changes_the_schedule_not_the_stationary_rate() {
+        let exp = ArrivalProcess::Bursty {
+            rate_on_per_s: 2.0,
+            rate_off_per_s: 0.05,
+            mean_on_s: 10.0,
+            mean_off_s: 40.0,
+            on_pareto_alpha: None,
+        };
+        let pareto = ArrivalProcess::Bursty {
+            rate_on_per_s: 2.0,
+            rate_off_per_s: 0.05,
+            mean_on_s: 10.0,
+            mean_off_s: 40.0,
+            on_pareto_alpha: Some(1.5),
+        };
+        assert_ne!(
+            exp.generate(42, 5_000.0),
+            pareto.generate(42, 5_000.0),
+            "the tail must reshape the burst boundaries"
+        );
+        assert_eq!(
+            exp.mean_rate_per_s(5_000.0),
+            pareto.mean_rate_per_s(5_000.0),
+            "load sizing is tail-agnostic"
+        );
     }
 
     #[test]

@@ -172,6 +172,7 @@ mod tests {
                     rate_off_per_s: 0.05,
                     mean_on_s: 15.0,
                     mean_off_s: 45.0,
+                    on_pareto_alpha: None,
                 },
                 mix: vec![("kmeans".to_string(), 1.0)],
                 size_range: (0.5, 2.0),

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 /// One syntactically valid tenant from generated parameters.
 fn tenant(name: &str, which: u8, a: f64, b: f64) -> TenantConfig {
-    let arrival = match which % 3 {
+    let arrival = match which % 4 {
         0 => ArrivalProcess::Diurnal {
             base_rate_per_s: 0.05 + a,
             amplitude: (b / 2.0).clamp(0.0, 0.95),
@@ -23,6 +23,17 @@ fn tenant(name: &str, which: u8, a: f64, b: f64) -> TenantConfig {
             rate_off_per_s: 0.01 + 0.05 * b,
             mean_on_s: 5.0 + 20.0 * a,
             mean_off_s: 5.0 + 40.0 * b,
+            on_pareto_alpha: None,
+        },
+        // Heavy-tailed variant: same knobs, Pareto on-periods with a
+        // shape swept through the infinite-variance band (1, 2] and a
+        // bit beyond.
+        3 => ArrivalProcess::Bursty {
+            rate_on_per_s: 0.2 + a,
+            rate_off_per_s: 0.01 + 0.05 * b,
+            mean_on_s: 5.0 + 20.0 * a,
+            mean_off_s: 5.0 + 40.0 * b,
+            on_pareto_alpha: Some(1.1 + 1.5 * b),
         },
         _ => ArrivalProcess::Batch {
             rate_per_s: 0.05 + a,
@@ -66,7 +77,7 @@ proptest! {
     #[test]
     fn arrival_streams_are_deterministic_ordered_and_bounded(
         seed in any::<u64>(),
-        which in 0u8..3,
+        which in 0u8..4,
         a in 0.0f64..0.5,
         b in 0.0f64..1.0,
         horizon_s in 50.0f64..400.0,
@@ -91,7 +102,7 @@ proptest! {
     #[test]
     fn tenant_streams_ignore_the_rest_of_the_population(
         seed in any::<u64>(),
-        wa in 0u8..3, wb in 0u8..3, wc in 0u8..3,
+        wa in 0u8..4, wb in 0u8..4, wc in 0u8..4,
         a in 0.0f64..0.4,
         b in 0.0f64..0.9,
     ) {

@@ -40,6 +40,7 @@ pub mod quasirandom;
 pub mod registry;
 pub mod srad;
 pub mod streamcluster;
+pub mod training;
 pub mod traits;
 
 pub use model::{iteration_cpu_time_s, iteration_gpu_time_s, phase_cpu_time_s, phase_gpu_timing, PhaseTiming};

@@ -12,6 +12,7 @@ use crate::pathfinder::Pathfinder;
 use crate::quasirandom::QuasirandomGen;
 use crate::srad::Srad;
 use crate::streamcluster::StreamCluster;
+use crate::training::TrainingLoop;
 use crate::traits::Workload;
 
 /// The names of the Table II workloads, in the paper's order.
@@ -39,6 +40,9 @@ pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
         "hotspot" => Box::new(Hotspot::paper(seed)),
         "kmeans" => Box::new(KMeans::paper(seed)),
         "streamcluster" => Box::new(StreamCluster::paper(seed)),
+        // Not a Table II row: the phase-cycling training workload used by
+        // the `training` experiment and the contextual policies.
+        "training" => Box::new(TrainingLoop::paper(seed)),
         _ => return None,
     })
 }
@@ -55,6 +59,7 @@ pub fn by_name_small(name: &str, seed: u64) -> Option<Box<dyn Workload>> {
         "hotspot" => Box::new(Hotspot::small(seed)),
         "kmeans" => Box::new(KMeans::small(seed)),
         "streamcluster" => Box::new(StreamCluster::small(seed)),
+        "training" => Box::new(TrainingLoop::small(seed)),
         _ => return None,
     })
 }

@@ -1,0 +1,353 @@
+//! `training` — a phase-cycling ML-training loop (not in the paper's
+//! Table II).
+//!
+//! Training steps cycle through forward / backward / optimizer phases
+//! with sharply different compute/memory intensity (arXiv 2201.01684):
+//! the forward pass is GEMM-bound, the backward pass moves roughly twice
+//! the activation traffic per flop, and the optimizer is a short
+//! bandwidth-light, host-chatty update. The suite's enlargement folds
+//! many training steps into each division-quantum iteration, so
+//! consecutive iterations carry a single phase's signature and the phase
+//! rotates every `phase_period` iterations — slow enough for the 3 s
+//! scaling interval (and the phase detector layered on it) to see each
+//! regime, fast enough that a context-free policy keeps getting dragged
+//! between fixed points.
+//!
+//! Per-iteration durations are jittered by a seeded PCG stream; the
+//! jitter scales `ops` and `bytes` together, so it moves phase *length*
+//! without moving the `(u_core, u_mem)` signature — recurring phases
+//! look alike to the detector, as they do on real hardware.
+//!
+//! Functionally the workload runs real full-batch gradient descent on a
+//! deterministic synthetic linear-regression problem; the digest is the
+//! weight vector's state, so golden pins catch any numeric drift.
+
+use crate::model::host_floor_for_gap_fraction;
+use crate::traits::{CpuSlice, GpuPhase, PhaseCost, UtilClass, Workload, WorkloadProfile};
+use greengpu_hw::calib::geforce_8800_gtx;
+use greengpu_sim::Pcg32;
+
+/// PCG stream id for the duration-jitter draws.
+const STREAM_JITTER: u64 = 0x7121;
+
+/// Feature dimension of the synthetic regression problem.
+const DIMS: usize = 8;
+
+/// The three training phases, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Forward,
+    Backward,
+    Optimizer,
+}
+
+/// Phase-cycling training-loop workload instance.
+pub struct TrainingLoop {
+    profile: WorkloadProfile,
+    /// Synthetic dataset: `(x, y)` rows with `y = w_true · x + bias`.
+    data: Vec<([f64; DIMS], f64)>,
+    /// Model weights updated by [`Workload::execute`].
+    weights: [f64; DIMS],
+    /// Running sum of per-step losses (part of the digest).
+    loss_acc: f64,
+    /// Iterations per phase before rotating to the next.
+    phase_period: usize,
+    /// Per-iteration duration multipliers, pre-drawn so `phases` stays
+    /// `&self` and deterministic.
+    jitter: Vec<f64>,
+    /// Scales all per-iteration op/byte costs (1.0 = paper preset).
+    cost_scale: f64,
+    iters: usize,
+}
+
+impl TrainingLoop {
+    /// Paper-scale preset: iterations several 3 s control intervals
+    /// long, phases rotating every 2 iterations.
+    pub fn paper(seed: u64) -> Self {
+        TrainingLoop::with_params(256, 12, 2, 1.0, seed)
+    }
+
+    /// Small preset for fast tests.
+    pub fn small(seed: u64) -> Self {
+        TrainingLoop::with_params(64, 6, 1, 0.25, seed)
+    }
+
+    /// Fully parameterized constructor. `phase_period` is clamped to at
+    /// least 1; `cost_scale` multiplies every phase's ops/bytes (and so
+    /// its duration) without touching utilization signatures.
+    pub fn with_params(n_samples: usize, iters: usize, phase_period: usize, cost_scale: f64, seed: u64) -> Self {
+        let mut rng = Pcg32::new(seed, STREAM_JITTER);
+        // Deterministic synthetic regression task: ground-truth weights
+        // are fixed, features drawn from the seeded stream.
+        let mut w_true = [0.0; DIMS];
+        for (d, w) in w_true.iter_mut().enumerate() {
+            *w = (d as f64 + 1.0) * 0.25 - 1.0;
+        }
+        let data: Vec<([f64; DIMS], f64)> = (0..n_samples.max(1))
+            .map(|_| {
+                let mut x = [0.0; DIMS];
+                for v in x.iter_mut() {
+                    *v = rng.next_f64() * 2.0 - 1.0;
+                }
+                let y = x.iter().zip(w_true.iter()).map(|(a, b)| a * b).sum::<f64>() + 0.5;
+                (x, y)
+            })
+            .collect();
+        // Duration jitter in [0.9, 1.1]: phase lengths vary run to run
+        // (per the seeded stream) while signatures stay put.
+        let jitter: Vec<f64> = (0..iters).map(|_| 0.9 + 0.2 * rng.next_f64()).collect();
+        TrainingLoop {
+            profile: WorkloadProfile {
+                name: "training",
+                enlargement: format!("{iters} iterations; phase period {phase_period}"),
+                description: "Training phases cycle compute/memory/host-bound",
+                core_class: UtilClass::Fluctuating,
+                mem_class: UtilClass::Fluctuating,
+                divisible: false,
+            },
+            data,
+            weights: [0.0; DIMS],
+            loss_acc: 0.0,
+            phase_period: phase_period.max(1),
+            jitter,
+            cost_scale,
+            iters,
+        }
+    }
+
+    /// Iterations per phase before rotating.
+    pub fn phase_period(&self) -> usize {
+        self.phase_period
+    }
+
+    /// Which training phase iteration `iter` runs.
+    fn stage(&self, iter: usize) -> Stage {
+        match (iter / self.phase_period) % 3 {
+            0 => Stage::Forward,
+            1 => Stage::Backward,
+            _ => Stage::Optimizer,
+        }
+    }
+
+    /// One full-batch gradient-descent step on the MSE objective.
+    fn gd_step(&mut self) -> f64 {
+        let n = self.data.len() as f64;
+        let mut grad = [0.0; DIMS];
+        let mut loss = 0.0;
+        for (x, y) in &self.data {
+            let pred: f64 = x.iter().zip(self.weights.iter()).map(|(a, b)| a * b).sum();
+            let err = pred - y;
+            loss += err * err;
+            for (g, v) in grad.iter_mut().zip(x.iter()) {
+                *g += 2.0 * err * v;
+            }
+        }
+        const LR: f64 = 0.05;
+        for (w, g) in self.weights.iter_mut().zip(grad.iter()) {
+            *w -= LR * g / n;
+        }
+        loss / n
+    }
+}
+
+impl Workload for TrainingLoop {
+    fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    fn phases(&self, iter: usize) -> Vec<PhaseCost> {
+        let spec = geforce_8800_gtx();
+        let j = self.cost_scale * self.jitter.get(iter).copied().unwrap_or(1.0);
+        // Costs are sized against the 8800 GTX rates (±eff): at peak
+        // clocks an unjittered forward/backward iteration walls ~7 s —
+        // two-plus control intervals — and the optimizer ~3 s.
+        let (phase, cpu) = match self.stage(iter) {
+            Stage::Forward => {
+                // GEMM-bound: arithmetic intensity ~5 ops/B, small host
+                // gap. Signature ≈ (0.83, 0.34) at peak clocks.
+                let ops = 5.0e11 * j;
+                let mut p = GpuPhase::new("forward", ops, ops / 5.0, 0.60, 0.50, 0.0);
+                p.host_floor_s = host_floor_for_gap_fraction(&p, &spec, 0.12);
+                let cpu = CpuSlice {
+                    ops: ops * 0.6,
+                    bytes: ops / 25.0,
+                    eff: 0.70,
+                };
+                (p, cpu)
+            }
+            Stage::Backward => {
+                // Activation-gradient traffic dominates: intensity ~0.6
+                // ops/B. Signature ≈ (0.24, 0.81) at peak clocks.
+                let bytes = 2.5e11 * j;
+                let mut p = GpuPhase::new("backward", bytes * 0.6, bytes, 0.60, 0.50, 0.0);
+                p.host_floor_s = host_floor_for_gap_fraction(&p, &spec, 0.15);
+                let cpu = CpuSlice {
+                    ops: bytes * 0.5,
+                    bytes: bytes / 6.0,
+                    eff: 0.70,
+                };
+                (p, cpu)
+            }
+            Stage::Optimizer => {
+                // Element-wise weight update: little work on either
+                // domain, host-side step/logging gap dominates.
+                // Signature ≈ (0.20, 0.42) at peak clocks.
+                let ops = 6.0e10 * j;
+                let mut p = GpuPhase::new("optimizer", ops, ops, 0.60, 0.50, 0.0);
+                p.host_floor_s = host_floor_for_gap_fraction(&p, &spec, 0.55);
+                let cpu = CpuSlice {
+                    ops: ops * 0.5,
+                    bytes: ops / 4.0,
+                    eff: 0.70,
+                };
+                (p, cpu)
+            }
+        };
+        vec![PhaseCost { gpu: phase, cpu }]
+    }
+
+    fn execute(&mut self, _iter: usize, _cpu_share: f64) -> f64 {
+        // Not divisible: the whole folded training step runs GPU-side.
+        let loss = self.gd_step();
+        self.loss_acc += loss;
+        loss
+    }
+
+    fn digest(&self) -> f64 {
+        self.weights.iter().sum::<f64>() + self.loss_acc
+    }
+
+    fn reset(&mut self) {
+        self.weights = [0.0; DIMS];
+        self.loss_acc = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::iteration_utilization;
+    use crate::traits::check_phase;
+
+    #[test]
+    fn phases_are_valid() {
+        let t = TrainingLoop::paper(1);
+        for iter in 0..t.iterations() {
+            for p in t.phases(iter) {
+                check_phase(&p);
+            }
+        }
+    }
+
+    #[test]
+    fn the_three_signatures_are_distinct() {
+        let t = TrainingLoop::with_params(64, 6, 1, 1.0, 3);
+        let spec = geforce_8800_gtx();
+        let sig: Vec<(f64, f64)> = (0..3)
+            .map(|i| iteration_utilization(&t.phases(i), &spec, 576.0, 900.0))
+            .collect();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let d = (sig[a].0 - sig[b].0).abs() + (sig[a].1 - sig[b].1).abs();
+                assert!(d > 0.3, "stages {a}/{b} too close: {:?} vs {:?}", sig[a], sig[b]);
+            }
+        }
+        // Forward is compute-leaning, backward memory-leaning.
+        assert!(sig[0].0 > sig[0].1, "forward must be compute-heavy: {:?}", sig[0]);
+        assert!(sig[1].1 > sig[1].0, "backward must be memory-heavy: {:?}", sig[1]);
+    }
+
+    #[test]
+    fn jitter_moves_duration_not_signature() {
+        let t = TrainingLoop::paper(5);
+        let spec = geforce_8800_gtx();
+        // Iterations 0 and 1 are both forward (period 2) with different
+        // jitter draws: same utilization, different wall time.
+        let u0 = iteration_utilization(&t.phases(0), &spec, 576.0, 900.0);
+        let u1 = iteration_utilization(&t.phases(1), &spec, 576.0, 900.0);
+        assert!((u0.0 - u1.0).abs() < 1e-9 && (u0.1 - u1.1).abs() < 1e-9);
+        let w = |i: usize| {
+            let p = &t.phases(i)[0].gpu;
+            crate::model::phase_gpu_timing(p, &spec, 576.0, 900.0).wall_s
+        };
+        assert!((w(0) - w(1)).abs() > 1e-6, "jitter must vary duration");
+    }
+
+    #[test]
+    fn stage_rotation_follows_the_period() {
+        let t = TrainingLoop::with_params(64, 12, 2, 1.0, 1);
+        let labels: Vec<&str> = (0..12).map(|i| t.phases(i)[0].gpu.label).collect();
+        assert_eq!(
+            labels,
+            [
+                "forward",
+                "forward",
+                "backward",
+                "backward",
+                "optimizer",
+                "optimizer",
+                "forward",
+                "forward",
+                "backward",
+                "backward",
+                "optimizer",
+                "optimizer"
+            ]
+        );
+    }
+
+    #[test]
+    fn execution_is_deterministic_and_learns() {
+        let run = |seed| {
+            let mut t = TrainingLoop::small(seed);
+            let mut losses = Vec::new();
+            for i in 0..t.iterations() {
+                losses.push(t.execute(i, 0.0));
+            }
+            (losses, t.digest())
+        };
+        let (l_a, d_a) = run(7);
+        let (l_b, d_b) = run(7);
+        assert_eq!(d_a, d_b, "same seed must be bit-identical");
+        assert_eq!(l_a, l_b);
+        assert!(
+            l_a.last().unwrap() < l_a.first().unwrap(),
+            "gradient descent must reduce the loss: {l_a:?}"
+        );
+        let (_, d_c) = run(8);
+        assert_ne!(d_a, d_c, "different seed, different data, different digest");
+    }
+
+    #[test]
+    fn golden_trace_pin() {
+        // Pins the small-preset jitter stream and functional digest.
+        // Any change to the PCG draws, the dataset synthesis, or the
+        // gradient step shows up here first.
+        let mut t = TrainingLoop::small(20120910);
+        for i in 0..t.iterations() {
+            t.execute(i, 0.0);
+        }
+        assert_eq!(format!("{:.9}", t.digest()), "7.575774509");
+        let jit: Vec<String> = t.jitter.iter().map(|j| format!("{j:.6}")).collect();
+        assert_eq!(
+            jit,
+            ["1.067013", "1.006170", "1.091433", "1.064211", "0.918407", "0.991038"],
+            "jitter stream drifted"
+        );
+    }
+
+    #[test]
+    fn reset_clears_training_state() {
+        let mut t = TrainingLoop::small(1);
+        t.execute(0, 0.0);
+        assert_ne!(t.digest(), 0.0);
+        t.reset();
+        // Untrained model on the synthetic data: digest is exactly the
+        // zero weight vector plus an empty loss accumulator.
+        assert_eq!(t.digest(), 0.0);
+    }
+}
